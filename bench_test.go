@@ -1,0 +1,302 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 3.6, Figures 1–5, Example 3.1) plus the ablation
+// sweeps of EXPERIMENTS.md. Each benchmark prints its artifact once (on
+// the first iteration) and then times regeneration; custom metrics report
+// the quantities the paper reports — page I/Os per transaction — so that
+// `go test -bench . -benchmem` reproduces the evaluation end to end.
+package mvmaint_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	mvmaint "repro"
+	"repro/internal/corpus"
+	"repro/internal/paper"
+)
+
+// printOnce gates artifact printing so -bench output stays readable
+// across benchmark iterations.
+var printOnce sync.Map
+
+func emitOnce(b *testing.B, key, artifact string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Printf("\n%s\n", artifact)
+	}
+}
+
+func fixture(b *testing.B) *paper.Fixture {
+	b.Helper()
+	f, err := paper.NewFixture(corpus.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkTable1QueryCosts regenerates the §3.6 per-query cost table.
+func BenchmarkTable1QueryCosts(b *testing.B) {
+	f := fixture(b)
+	emitOnce(b, "t1", f.Table1())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Table1()
+	}
+}
+
+// BenchmarkTable2MaintCosts regenerates the §3.6 view-maintenance table.
+func BenchmarkTable2MaintCosts(b *testing.B) {
+	f := fixture(b)
+	emitOnce(b, "t2", f.Table2())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Table2()
+	}
+}
+
+// BenchmarkTable3TrackCosts regenerates the §3.6 per-track cost table.
+func BenchmarkTable3TrackCosts(b *testing.B) {
+	f := fixture(b)
+	emitOnce(b, "t3", f.Table3())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Table3()
+	}
+}
+
+// BenchmarkTable4Combined regenerates the §3.6 combined table and reports
+// the paper's headline numbers as metrics.
+func BenchmarkTable4Combined(b *testing.B) {
+	f := fixture(b)
+	emitOnce(b, "t4", f.Table4())
+	wEmpty, _ := f.Cost.WeightedCost(f.Empty, f.Types)
+	wN3, _ := f.Cost.WeightedCost(f.SetN3, f.Types)
+	wN4, _ := f.Cost.WeightedCost(f.SetN4, f.Types)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Table4()
+	}
+	// ReportMetric must follow ResetTimer, which clears reported metrics.
+	b.ReportMetric(wEmpty, "IO/txn(empty)")
+	b.ReportMetric(wN3, "IO/txn(N3)")
+	b.ReportMetric(wN4, "IO/txn(N4)")
+}
+
+// BenchmarkFigure1Trees regenerates the two expression trees of Figure 1.
+func BenchmarkFigure1Trees(b *testing.B) {
+	f := fixture(b)
+	emitOnce(b, "f1", f.Figure1())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Figure1()
+	}
+}
+
+// BenchmarkFigure2DAG regenerates the expression DAG of Figure 2,
+// timing full DAG construction + rule expansion.
+func BenchmarkFigure2DAG(b *testing.B) {
+	f := fixture(b)
+	emitOnce(b, "f2", f.Figure2())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := paper.NewFixture(corpus.Config{Departments: 10, EmpsPerDept: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3ADeptsStatus regenerates Example 3.1/Figure 3: the
+// maintenance-optimal plan diverges from the query-optimal one.
+func BenchmarkFigure3ADeptsStatus(b *testing.B) {
+	out, err := paper.Figure3(corpus.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	emitOnce(b, "f3", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := paper.Figure3(corpus.Config{Departments: 50, EmpsPerDept: 5, ADeptsEveryN: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5Shielding regenerates the articulation-node experiment
+// of Figure 5/§4.2 and reports the search-space reduction.
+func BenchmarkFigure5Shielding(b *testing.B) {
+	rep, out, err := paper.Figure5(corpus.DefaultFigure5Config())
+	if err != nil {
+		b.Fatal(err)
+	}
+	emitOnce(b, "f5", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := paper.Figure5(corpus.Figure5Config{Items: 20, RPerItem: 2, SPerItem: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.ExhaustiveExplored), "sets(exhaustive)")
+	b.ReportMetric(float64(rep.ShieldedExplored), "sets(shielded)")
+}
+
+// BenchmarkAlgorithmOptimalViewSet times Algorithm OptimalViewSet
+// (Figure 4) on the paper instance.
+func BenchmarkAlgorithmOptimalViewSet(b *testing.B) {
+	f := fixture(b)
+	res, err := f.Optimum()
+	if err != nil {
+		b.Fatal(err)
+	}
+	emitOnce(b, "f4", fmt.Sprintf(
+		"Algorithm OptimalViewSet (Figure 4): chose %s at %.4g I/Os per txn, %d sets explored\n",
+		res.Best.Set.Key(), res.Best.Weighted, res.Explored))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Optimum(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasuredParity runs the live engine next to the estimates
+// (experiment E1): measured page I/O per strategy and transaction type.
+func BenchmarkMeasuredParity(b *testing.B) {
+	_, out, err := paper.MeasuredParity(corpus.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	emitOnce(b, "e1", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := paper.MeasuredParity(corpus.Config{Departments: 50, EmpsPerDept: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaintainedTransaction measures engine throughput on the paper
+// metric: maintained transactions over the {N3} strategy, reporting
+// page I/Os per transaction.
+func BenchmarkMaintainedTransaction(b *testing.B) {
+	cfg := corpus.Config{Departments: 100, EmpsPerDept: 10}
+	total, err := paper.MeasuredWorkload(cfg, true, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := paper.MeasuredWorkload(cfg, true, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(total)/100, "pageIO/txn")
+}
+
+// BenchmarkSweepFanout is ablation A1: where the SumOfSals advantage goes
+// as employees-per-department varies.
+func BenchmarkSweepFanout(b *testing.B) {
+	rows, out, err := paper.SweepFanout(1000, []int{1, 2, 5, 10, 20, 50, 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	emitOnce(b, "a1", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := paper.SweepFanout(100, []int{1, 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].Ratio, "ratio(d=100)")
+}
+
+// BenchmarkSweepWeights is ablation A2: sensitivity of the chosen view
+// set to the transaction weights.
+func BenchmarkSweepWeights(b *testing.B) {
+	_, out, err := paper.SweepWeights(corpus.PaperConfig(), []float64{0.01, 0.1, 1, 10, 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	emitOnce(b, "a2", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := paper.SweepWeights(corpus.Config{Departments: 50, EmpsPerDept: 5}, []float64{0.1, 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepOptimizers is ablation A3: exhaustive vs shielded vs the
+// Section 5 heuristics on growing join chains.
+func BenchmarkSweepOptimizers(b *testing.B) {
+	_, out, err := paper.SweepOptimizers([]int{2, 3, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	emitOnce(b, "a3", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := paper.SweepOptimizers([]int{3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepBuffer is ablation A5: LRU residency vs the cold-cache
+// cost model on a skewed stream.
+func BenchmarkSweepBuffer(b *testing.B) {
+	_, out, err := paper.SweepBuffer(corpus.Config{Departments: 200, EmpsPerDept: 10}, []int{0, 64, 1024, 16384}, 400)
+	if err != nil {
+		b.Fatal(err)
+	}
+	emitOnce(b, "a5", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := paper.SweepBuffer(corpus.Config{Departments: 30, EmpsPerDept: 5}, []int{0, 256}, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepBatch is ablation A6: batching amortization of index
+// pages, generalizing the paper's 10-tuple batch arithmetic.
+func BenchmarkSweepBatch(b *testing.B) {
+	_, out, err := paper.SweepBatch(corpus.Config{Departments: 500, EmpsPerDept: 200}, []int{1, 2, 10, 50, 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	emitOnce(b, "a6", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := paper.SweepBatch(corpus.Config{Departments: 50, EmpsPerDept: 10}, []int{1, 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiViewMaintenance is experiment A4 (Section 6): maintaining
+// a set of views and an assertion through one multi-rooted DAG.
+func BenchmarkMultiViewMaintenance(b *testing.B) {
+	db := paperDB(b, 30, 5)
+	db.MustExec(`
+CREATE VIEW DeptPayroll (DName, Total) AS
+SELECT Dept.DName, SUM(Salary) FROM Emp, Dept
+WHERE Dept.DName = Emp.DName GROUP BY Dept.DName, Budget;
+`)
+	sys, err := db.Build([]string{"DeptPayroll", "DeptConstraint"}, mvmaint.Config{
+		Workload: paperWorkload(),
+		Method:   mvmaint.Greedy,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	emitOnce(b, "a4", "Section 6 multi-view system:\n"+sys.Explain())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sql := fmt.Sprintf(`UPDATE Emp SET Salary = %d WHERE EName = 'e%03d_%02d'`,
+			100+i%50, i%30, i%5)
+		if _, err := sys.Execute(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

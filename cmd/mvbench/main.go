@@ -1,0 +1,126 @@
+// Command mvbench regenerates the paper's tables and figures as text.
+//
+// Usage:
+//
+//	mvbench            # everything
+//	mvbench -table 4   # one §3.6 table (1..4)
+//	mvbench -figure 3  # one figure (1, 2, 3, 5)
+//	mvbench -measured  # estimated-vs-measured parity run
+//	mvbench -sweeps    # the ablation sweeps recorded in EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/paper"
+)
+
+func main() {
+	log.SetFlags(0)
+	table := flag.Int("table", 0, "print one §3.6 table (1..4)")
+	figure := flag.Int("figure", 0, "print one figure (1, 2, 3, 5)")
+	measured := flag.Bool("measured", false, "run the measured-parity experiment")
+	sweeps := flag.Bool("sweeps", false, "run the ablation sweeps")
+	dot := flag.Bool("dot", false, "emit the ProblemDept expression DAG as Graphviz DOT")
+	flag.Parse()
+
+	all := *table == 0 && *figure == 0 && !*measured && !*sweeps && !*dot
+
+	var f *paper.Fixture
+	needFixture := all || *table > 0 || *figure == 1 || *figure == 2 || *dot
+	if needFixture {
+		var err error
+		f, err = paper.NewFixture(corpus.PaperConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	emit := func(s string) { fmt.Println(s) }
+
+	if all || *table == 1 {
+		emit(f.Table1())
+	}
+	if all || *table == 2 {
+		emit(f.Table2())
+	}
+	if all || *table == 3 {
+		emit(f.Table3())
+	}
+	if all || *table == 4 {
+		emit(f.Table4())
+	}
+	if *dot {
+		fmt.Print(f.D.RenderDOT(map[int]bool{f.D.Root.ID: true, f.N3.ID: true}))
+	}
+	if all || *figure == 1 {
+		emit(f.Figure1())
+	}
+	if all || *figure == 2 {
+		emit(f.Figure2())
+	}
+	if all || *figure == 3 {
+		out, err := paper.Figure3(corpus.PaperConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(out)
+	}
+	if all || *figure == 5 {
+		_, out, err := paper.Figure5(corpus.DefaultFigure5Config())
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(out)
+	}
+	if all {
+		res, err := f.Optimum()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Algorithm OptimalViewSet: chose %s at %.4g page I/Os per transaction (explored %d sets)\n\n",
+			res.Best.Set.Key(), res.Best.Weighted, res.Explored)
+	}
+	if all || *measured {
+		_, out, err := paper.MeasuredParity(corpus.PaperConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(out)
+	}
+	if all || *sweeps {
+		_, out, err := paper.SweepFanout(1000, []int{1, 2, 5, 10, 20, 50, 100})
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(out)
+		_, out, err = paper.SweepWeights(corpus.PaperConfig(), []float64{0.01, 0.1, 1, 10, 100})
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(out)
+		_, out, err = paper.SweepOptimizers([]int{2, 3, 4, 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(out)
+		_, out, err = paper.SweepBuffer(corpus.PaperConfig(), []int{0, 64, 512, 4096, 32768}, 400)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(out)
+		_, out, err = paper.SweepBatch(corpus.Config{Departments: 1000, EmpsPerDept: 200}, []int{1, 2, 5, 10, 50, 200})
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(out)
+	}
+	if !all && *table == 0 && *figure == 0 && !*measured && !*sweeps && !*dot {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,170 @@
+// Command mvshell is a tiny interactive shell over the library: type SQL
+// statements terminated by ';', declare views and assertions, then
+// '.build view1,view2' to start maintained execution. Subsequent DML runs
+// through the maintenance engine with live page-I/O reporting and
+// assertion checking.
+//
+// Meta commands:
+//
+//	.build names     optimize + materialize for the named views/assertions
+//	.explain         show the optimizer's decision
+//	.view name       print a maintained view's rows
+//	.io              print cumulative page I/O counters
+//	.quit            exit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	mvmaint "repro"
+	"repro/internal/txn"
+)
+
+func main() {
+	log.SetFlags(0)
+	db := mvmaint.Open()
+	var sys *mvmaint.System
+
+	fmt.Println("mvmaint shell — SQL statements end with ';', meta commands start with '.'")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("mv> ")
+		} else {
+			fmt.Print("..> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+			if !meta(db, &sys, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			sql := buf.String()
+			buf.Reset()
+			runSQL(db, sys, sql)
+		}
+		prompt()
+	}
+}
+
+// meta handles dot-commands; returns false to quit.
+func meta(db *mvmaint.DB, sys **mvmaint.System, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return false
+	case ".build":
+		if len(fields) < 2 {
+			fmt.Println("usage: .build view1,view2")
+			return true
+		}
+		names := strings.Split(fields[1], ",")
+		s, err := db.Build(names, mvmaint.Config{
+			Workload: defaultWorkload(db),
+			Method:   mvmaint.Exhaustive,
+		})
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		*sys = s
+		fmt.Print(s.Explain())
+	case ".explain":
+		if *sys == nil {
+			fmt.Println("no system built yet (.build first)")
+			return true
+		}
+		fmt.Print((*sys).Explain())
+	case ".view":
+		if *sys == nil || len(fields) < 2 {
+			fmt.Println("usage (after .build): .view name")
+			return true
+		}
+		rows, err := (*sys).ViewRows(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		for _, r := range rows {
+			fmt.Printf("  %s ×%d\n", r.Tuple, r.Count)
+		}
+		fmt.Printf("  (%d rows)\n", len(rows))
+	case ".io":
+		fmt.Println(" ", db.Store.IO.String())
+	default:
+		fmt.Println("unknown meta command:", fields[0])
+	}
+	return true
+}
+
+// defaultWorkload synthesizes one modify type per base relation (equal
+// weights) when the user has not scripted anything fancier.
+func defaultWorkload(db *mvmaint.DB) []*txn.Type {
+	var out []*txn.Type
+	for _, name := range db.Store.Names() {
+		def, ok := db.Catalog.Get(name)
+		if !ok || def.Schema.Len() == 0 {
+			continue
+		}
+		last := def.Schema.Cols[def.Schema.Len()-1].Name
+		out = append(out, &txn.Type{
+			Name: ">" + name, Weight: 1,
+			Updates: []txn.RelUpdate{{Rel: name, Kind: txn.Modify, Size: 1, Cols: []string{last}}},
+		})
+	}
+	return out
+}
+
+func runSQL(db *mvmaint.DB, sys *mvmaint.System, sql string) {
+	trimmed := strings.ToUpper(strings.TrimSpace(sql))
+	switch {
+	case strings.HasPrefix(trimmed, "SELECT"):
+		res, err := db.Query(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(" ", res.Schema)
+		for _, r := range res.Sorted() {
+			fmt.Printf("  %s ×%d\n", r.Tuple, r.Count)
+		}
+		fmt.Printf("  (%d rows)\n", res.Card())
+	case sys != nil && (strings.HasPrefix(trimmed, "INSERT") ||
+		strings.HasPrefix(trimmed, "DELETE") || strings.HasPrefix(trimmed, "UPDATE")):
+		out, err := sys.Execute(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		rep := out.Report
+		fmt.Printf("  maintained: query I/O %d, view I/O %d (paper metric %d)\n",
+			rep.QueryIO.Total(), rep.ViewIO.Total(), rep.PaperTotal())
+		for _, v := range out.Violations {
+			fmt.Println(" ", v)
+		}
+		if out.RolledBack {
+			fmt.Println("  transaction ROLLED BACK")
+		}
+	default:
+		if err := db.Exec(sql); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println("  ok")
+	}
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	mvmaint "repro"
+)
+
+// captureStdout runs f with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	f()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func shellDB(t *testing.T) *mvmaint.DB {
+	t.Helper()
+	db := mvmaint.Open()
+	db.MustExec(`
+CREATE TABLE Dept (DName VARCHAR(20) PRIMARY KEY, MName VARCHAR(20), Budget INT);
+CREATE TABLE Emp  (EName VARCHAR(20) PRIMARY KEY, DName VARCHAR(20), Salary INT);
+CREATE INDEX dept_dname ON Dept (DName);
+CREATE INDEX emp_dname  ON Emp (DName);
+INSERT INTO Dept VALUES ('d0', 'm0', 900), ('d1', 'm1', 900);
+INSERT INTO Emp VALUES ('a', 'd0', 100), ('b', 'd0', 100), ('c', 'd1', 100);
+CREATE VIEW ProblemDept (DName) AS
+SELECT Dept.DName FROM Emp, Dept
+WHERE Dept.DName = Emp.DName
+GROUP BY Dept.DName, Budget
+HAVING SUM(Salary) > Budget;
+`)
+	return db
+}
+
+func TestShellSelectAndDDL(t *testing.T) {
+	db := shellDB(t)
+	out := captureStdout(t, func() {
+		runSQL(db, nil, `SELECT DName, SUM(Salary) AS s FROM Emp GROUP BY DName;`)
+	})
+	if !strings.Contains(out, "(2 rows)") {
+		t.Errorf("select output:\n%s", out)
+	}
+	out = captureStdout(t, func() {
+		runSQL(db, nil, `INSERT INTO Emp VALUES ('d', 'd1', 50);`)
+	})
+	if !strings.Contains(out, "ok") {
+		t.Errorf("ddl output:\n%s", out)
+	}
+	out = captureStdout(t, func() {
+		runSQL(db, nil, `SELECT nonsense FROM Nowhere;`)
+	})
+	if !strings.Contains(out, "error") {
+		t.Errorf("bad select should report an error:\n%s", out)
+	}
+}
+
+func TestShellBuildAndMaintainedDML(t *testing.T) {
+	db := shellDB(t)
+	var sys *mvmaint.System
+	out := captureStdout(t, func() {
+		meta(db, &sys, ".build ProblemDept")
+	})
+	if sys == nil || !strings.Contains(out, "chosen view set") {
+		t.Fatalf("build output:\n%s", out)
+	}
+	out = captureStdout(t, func() {
+		runSQL(db, sys, `UPDATE Emp SET Salary = 2000 WHERE EName = 'a';`)
+	})
+	if !strings.Contains(out, "maintained") {
+		t.Errorf("maintained DML output:\n%s", out)
+	}
+	out = captureStdout(t, func() {
+		meta(db, &sys, ".view ProblemDept")
+	})
+	if !strings.Contains(out, "(1 rows)") {
+		t.Errorf("view output should show the violation:\n%s", out)
+	}
+	out = captureStdout(t, func() {
+		meta(db, &sys, ".io")
+	})
+	if !strings.Contains(out, "total=") {
+		t.Errorf("io output:\n%s", out)
+	}
+}
+
+func TestShellMetaEdgeCases(t *testing.T) {
+	db := shellDB(t)
+	var sys *mvmaint.System
+	if !meta(db, &sys, ".explain") { // no system yet: message, keep running
+		t.Error(".explain should not quit")
+	}
+	if !meta(db, &sys, ".unknown") {
+		t.Error("unknown meta should not quit")
+	}
+	if meta(db, &sys, ".quit") {
+		t.Error(".quit should return false")
+	}
+	if !meta(db, &sys, ".build") { // missing args: usage, keep running
+		t.Error(".build usage should not quit")
+	}
+}

@@ -1,0 +1,309 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+func deptDef() *catalog.TableDef {
+	return &catalog.TableDef{
+		Name: "Dept",
+		Schema: catalog.NewSchema(
+			catalog.Column{Qualifier: "Dept", Name: "DName", Type: value.String},
+			catalog.Column{Qualifier: "Dept", Name: "Budget", Type: value.Int},
+		),
+		Keys: [][]string{{"DName"}},
+	}
+}
+
+func empDef() *catalog.TableDef {
+	return &catalog.TableDef{
+		Name: "Emp",
+		Schema: catalog.NewSchema(
+			catalog.Column{Qualifier: "Emp", Name: "EName", Type: value.String},
+			catalog.Column{Qualifier: "Emp", Name: "DName", Type: value.String},
+			catalog.Column{Qualifier: "Emp", Name: "Salary", Type: value.Int},
+		),
+		Keys: [][]string{{"EName"}},
+	}
+}
+
+func problemDept() Node {
+	join := NewJoin(
+		[]JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}},
+		Scan(empDef()), Scan(deptDef()),
+	)
+	agg := NewAggregate(
+		[]string{"Dept.DName", "Dept.Budget"},
+		[]AggSpec{{Func: Sum, Arg: expr.C("Emp.Salary"), As: "SumSal"}},
+		join,
+	)
+	return NewSelect(expr.Compare(expr.GT, expr.C("SumSal"), expr.C("Dept.Budget")), agg)
+}
+
+func TestSchemaDerivation(t *testing.T) {
+	v := problemDept()
+	s := v.Schema()
+	want := []string{"Dept.DName", "Dept.Budget", "SumSal"}
+	got := s.ColumnNames()
+	if len(got) != len(want) {
+		t.Fatalf("schema = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("col %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if s.Cols[2].Type != value.Int {
+		t.Errorf("SUM(Salary) type = %v, want INT", s.Cols[2].Type)
+	}
+}
+
+func TestJoinSchemaConcat(t *testing.T) {
+	j := NewJoin([]JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}},
+		Scan(empDef()), Scan(deptDef()))
+	if j.Schema().Len() != 5 {
+		t.Errorf("join width = %d, want 5", j.Schema().Len())
+	}
+	if got := j.LeftCols(); len(got) != 1 || got[0] != "Emp.DName" {
+		t.Errorf("LeftCols = %v", got)
+	}
+	if got := j.RightCols(); len(got) != 1 || got[0] != "Dept.DName" {
+		t.Errorf("RightCols = %v", got)
+	}
+}
+
+func TestProjectSchema(t *testing.T) {
+	p := NewProject([]ProjectItem{
+		{E: expr.C("Emp.DName")},
+		{E: expr.Arith{Op: expr.Times, L: expr.C("Emp.Salary"), R: expr.IntLit(2)}, As: "Double"},
+	}, Scan(empDef()))
+	s := p.Schema()
+	if s.Cols[0].QName() != "Emp.DName" {
+		t.Errorf("pass-through column lost provenance: %v", s.Cols[0])
+	}
+	if s.Cols[1].Name != "Double" || s.Cols[1].Type != value.Int {
+		t.Errorf("computed column = %+v", s.Cols[1])
+	}
+}
+
+func TestLabelsAreCanonicalAndDistinct(t *testing.T) {
+	v1 := problemDept()
+	v2 := problemDept()
+	if v1.Label() != v2.Label() {
+		t.Error("identical trees must have identical labels")
+	}
+	join := NewJoin([]JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}},
+		Scan(empDef()), Scan(deptDef()))
+	other := NewJoin([]JoinCond{{Left: "Emp.EName", Right: "Dept.DName"}},
+		Scan(empDef()), Scan(deptDef()))
+	if join.Label() == other.Label() {
+		t.Error("different join conditions must label differently")
+	}
+}
+
+func TestOpLabelExcludesChildren(t *testing.T) {
+	j1 := NewJoin([]JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}},
+		Scan(empDef()), Scan(deptDef()))
+	j2 := NewJoin([]JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}},
+		Scan(empDef()), NewSelect(expr.Compare(expr.GT, expr.C("Dept.Budget"), expr.IntLit(0)), Scan(deptDef())))
+	if j1.OpLabel() != j2.OpLabel() {
+		t.Error("OpLabel must not depend on children")
+	}
+	if j1.Label() == j2.Label() {
+		t.Error("Label must depend on children")
+	}
+}
+
+func TestWithChildren(t *testing.T) {
+	v := problemDept().(*Select)
+	agg := v.Input.(*Aggregate)
+	join := agg.Input.(*Join)
+	newJoin := join.WithChildren([]Node{join.R, join.L}).(*Join)
+	if newJoin.L != join.R || newJoin.R != join.L {
+		t.Error("WithChildren should replace children")
+	}
+	// Original untouched.
+	if join.L.(*Rel).Def.Name != "Emp" {
+		t.Error("WithChildren must not mutate the receiver")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("WithChildren with wrong arity should panic")
+		}
+	}()
+	v.WithChildren(nil)
+}
+
+func TestBaseRelations(t *testing.T) {
+	got := BaseRelations(problemDept())
+	if len(got) != 2 || got[0] != "Dept" || got[1] != "Emp" {
+		t.Errorf("BaseRelations = %v", got)
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	if got := CountNodes(problemDept()); got != 5 {
+		t.Errorf("CountNodes = %d, want 5", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render(problemDept())
+	for _, want := range []string{"Select[", "Aggregate[", "Join[", "Emp", "Dept"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Errorf("Render should have 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestEqualByLabel(t *testing.T) {
+	if !Equal(problemDept(), problemDept()) {
+		t.Error("structurally identical trees should be Equal")
+	}
+	if Equal(problemDept(), Scan(empDef())) {
+		t.Error("different trees should not be Equal")
+	}
+}
+
+func TestTypeOf(t *testing.T) {
+	s := empDef().Schema
+	cases := []struct {
+		e    expr.Expr
+		want value.Kind
+	}{
+		{expr.C("Salary"), value.Int},
+		{expr.C("EName"), value.String},
+		{expr.IntLit(1), value.Int},
+		{expr.FloatLit(1.5), value.Float},
+		{expr.Arith{Op: expr.Plus, L: expr.C("Salary"), R: expr.IntLit(1)}, value.Int},
+		{expr.Arith{Op: expr.Over, L: expr.C("Salary"), R: expr.IntLit(2)}, value.Float},
+		{expr.Compare(expr.GT, expr.C("Salary"), expr.IntLit(0)), value.Bool},
+	}
+	for _, c := range cases {
+		if got := TypeOf(c.e, s); got != c.want {
+			t.Errorf("TypeOf(%s) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestDistinctUnionDiffSchemas(t *testing.T) {
+	e := Scan(empDef())
+	if NewDistinct(e).Schema() != e.Schema() {
+		t.Error("Distinct schema should pass through")
+	}
+	u := NewUnion(e, e)
+	if u.Schema() != e.Schema() {
+		t.Error("Union schema should come from the left input")
+	}
+	d := NewDiff(e, e)
+	if d.Schema() != e.Schema() {
+		t.Error("Diff schema should come from the left input")
+	}
+	if u.OpLabel() != "Union" || d.OpLabel() != "Diff" {
+		t.Error("unexpected op labels")
+	}
+}
+
+func TestColEquiv(t *testing.T) {
+	u := NewColEquiv()
+	u.Union("a", "b")
+	u.Union("b", "c")
+	if !u.Same("a", "c") || u.Same("a", "d") {
+		t.Error("union-find closure wrong")
+	}
+	if !u.SameAsAny("c", []string{"x", "a"}) || u.SameAsAny("d", []string{"x"}) {
+		t.Error("SameAsAny wrong")
+	}
+	// Collect from a tree with join conds and an equality selection.
+	join := NewJoin([]JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}},
+		Scan(empDef()), Scan(deptDef()))
+	sel := NewSelect(expr.Compare(expr.EQ, expr.C("Emp.EName"), expr.C("Emp.DName")), join)
+	v := NewColEquiv()
+	v.Collect(sel)
+	if !v.Same("Emp.DName", "Dept.DName") {
+		t.Error("join condition not collected")
+	}
+	if !v.Same("Emp.EName", "Dept.DName") {
+		t.Error("selection equality not closed with join condition")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindRel: "Rel", KindSelect: "Select", KindProject: "Project",
+		KindJoin: "Join", KindAggregate: "Aggregate", KindDistinct: "Distinct",
+		KindUnion: "Union", KindDiff: "Diff",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestWithChildrenAllOperators(t *testing.T) {
+	emp := Scan(empDef())
+	dept := Scan(deptDef())
+	nodes := []Node{
+		NewSelect(expr.Compare(expr.GT, expr.C("Emp.Salary"), expr.IntLit(0)), emp),
+		NewProject([]ProjectItem{{E: expr.C("Emp.DName")}}, emp),
+		NewAggregate([]string{"Emp.DName"}, []AggSpec{{Func: Count, As: "n"}}, emp),
+		NewDistinct(emp),
+	}
+	for _, n := range nodes {
+		replaced := n.WithChildren([]Node{dept})
+		if replaced.Children()[0] != Node(dept) {
+			t.Errorf("%T did not replace its child", n)
+		}
+		if n.Children()[0] != Node(emp) {
+			t.Errorf("%T mutated the receiver", n)
+		}
+		if n.Kind() != replaced.Kind() {
+			t.Errorf("%T changed kind", n)
+		}
+	}
+	u := NewUnion(emp, emp)
+	ur := u.WithChildren([]Node{dept, emp}).(*Union)
+	if ur.L != Node(dept) || ur.R != Node(emp) {
+		t.Error("Union.WithChildren wrong")
+	}
+	d := NewDiff(emp, emp)
+	dr := d.WithChildren([]Node{emp, dept}).(*Diff)
+	if dr.R != Node(dept) {
+		t.Error("Diff.WithChildren wrong")
+	}
+	if u.Label() == d.Label() {
+		t.Error("Union and Diff must label differently")
+	}
+	rel := Scan(empDef())
+	defer func() {
+		if recover() == nil {
+			t.Error("Rel.WithChildren with children should panic")
+		}
+	}()
+	rel.WithChildren([]Node{dept})
+}
+
+func TestProjectItemAndAggSpecStrings(t *testing.T) {
+	pi := ProjectItem{E: expr.C("a"), As: "b"}
+	if pi.String() != "a AS b" {
+		t.Errorf("ProjectItem = %q", pi.String())
+	}
+	pi2 := ProjectItem{E: expr.C("a")}
+	if pi2.String() != "a" {
+		t.Errorf("ProjectItem no-as = %q", pi2.String())
+	}
+	as := AggSpec{Func: Count, As: "n"}
+	if as.String() != "COUNT(*) AS n" {
+		t.Errorf("AggSpec = %q", as.String())
+	}
+}

@@ -1,0 +1,67 @@
+package algebra
+
+import "repro/internal/expr"
+
+// ColEquiv tracks equality-equivalence classes of column names, harvested
+// from equijoin conditions and column=column selection conjuncts. It is
+// the lightweight functional-dependency reasoning behind the paper's
+// key-based optimizations ("The conditions under which keys can be used
+// to reduce the set of needed queries").
+type ColEquiv struct{ parent map[string]string }
+
+// NewColEquiv returns an empty equivalence relation.
+func NewColEquiv() *ColEquiv { return &ColEquiv{parent: map[string]string{}} }
+
+func (u *ColEquiv) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok || p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+// Union records that columns a and b are equal.
+func (u *ColEquiv) Union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// Same reports whether a and b are known equal.
+func (u *ColEquiv) Same(a, b string) bool { return a == b || u.find(a) == u.find(b) }
+
+// SameAsAny reports whether col is known equal to any of cols.
+func (u *ColEquiv) SameAsAny(col string, cols []string) bool {
+	for _, c := range cols {
+		if u.Same(col, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Collect harvests column equalities from an expression tree into u.
+func (u *ColEquiv) Collect(n Node) {
+	switch t := n.(type) {
+	case *Join:
+		for _, c := range t.On {
+			u.Union(c.Left, c.Right)
+		}
+	case *Select:
+		for _, c := range expr.Conjuncts(t.Pred) {
+			if cmp, ok := c.(expr.Cmp); ok && cmp.Op == expr.EQ {
+				lc, lok := cmp.L.(expr.Col)
+				rc, rok := cmp.R.(expr.Col)
+				if lok && rok {
+					u.Union(lc.Name, rc.Name)
+				}
+			}
+		}
+	}
+	for _, c := range n.Children() {
+		u.Collect(c)
+	}
+}

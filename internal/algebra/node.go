@@ -1,0 +1,98 @@
+// Package algebra defines the logical relational algebra the whole system
+// operates on: base-relation scans, selection, projection, equijoin,
+// grouping/aggregation, duplicate elimination, and bag union/difference.
+//
+// Nodes are immutable trees. Every node has a canonical Label used as the
+// identity of its result set during initial expression-DAG construction,
+// and an OpLabel (operator signature without children) used to deduplicate
+// operation nodes inside the memo.
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// Kind identifies the operator of a node.
+type Kind uint8
+
+// Operator kinds.
+const (
+	KindRel Kind = iota
+	KindSelect
+	KindProject
+	KindJoin
+	KindAggregate
+	KindDistinct
+	KindUnion
+	KindDiff
+)
+
+// String returns the operator name.
+func (k Kind) String() string {
+	switch k {
+	case KindRel:
+		return "Rel"
+	case KindSelect:
+		return "Select"
+	case KindProject:
+		return "Project"
+	case KindJoin:
+		return "Join"
+	case KindAggregate:
+		return "Aggregate"
+	case KindDistinct:
+		return "Distinct"
+	case KindUnion:
+		return "Union"
+	case KindDiff:
+		return "Diff"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Node is a logical algebra operator tree.
+type Node interface {
+	// Kind identifies the operator.
+	Kind() Kind
+	// Schema is the output schema of the node.
+	Schema() *catalog.Schema
+	// Children returns the input subtrees (empty for leaves).
+	Children() []Node
+	// WithChildren returns a copy of the node with the inputs replaced.
+	// len(children) must match.
+	WithChildren(children []Node) Node
+	// Label is the canonical full-expression string (includes children).
+	Label() string
+	// OpLabel is the operator signature excluding children; two nodes
+	// with equal OpLabels and pairwise-equivalent children compute
+	// equivalent results.
+	OpLabel() string
+}
+
+// TypeOf infers the value kind of a scalar expression under a schema.
+func TypeOf(e expr.Expr, s *catalog.Schema) value.Kind {
+	switch t := e.(type) {
+	case expr.Col:
+		if i, err := s.Resolve(t.Name); err == nil {
+			return s.Cols[i].Type
+		}
+		return value.Null
+	case expr.Lit:
+		return t.V.Kind
+	case expr.Arith:
+		l, r := TypeOf(t.L, s), TypeOf(t.R, s)
+		if t.Op == expr.Over || l == value.Float || r == value.Float {
+			return value.Float
+		}
+		return value.Int
+	case expr.Cmp, expr.And, expr.Or, expr.Not:
+		return value.Bool
+	default:
+		return value.Null
+	}
+}

@@ -1,0 +1,425 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// Rel is a base-relation leaf.
+type Rel struct {
+	Def *catalog.TableDef
+}
+
+// Scan returns a leaf over the given table definition.
+func Scan(def *catalog.TableDef) *Rel { return &Rel{Def: def} }
+
+// Kind implements Node.
+func (r *Rel) Kind() Kind { return KindRel }
+
+// Schema implements Node.
+func (r *Rel) Schema() *catalog.Schema { return r.Def.Schema }
+
+// Children implements Node.
+func (r *Rel) Children() []Node { return nil }
+
+// WithChildren implements Node.
+func (r *Rel) WithChildren(children []Node) Node {
+	if len(children) != 0 {
+		panic("algebra: Rel takes no children")
+	}
+	return r
+}
+
+// Label implements Node.
+func (r *Rel) Label() string { return r.Def.Name }
+
+// OpLabel implements Node.
+func (r *Rel) OpLabel() string { return "Rel[" + r.Def.Name + "]" }
+
+// Select filters its input by a predicate.
+type Select struct {
+	Pred  expr.Expr
+	Input Node
+}
+
+// NewSelect builds a selection.
+func NewSelect(pred expr.Expr, in Node) *Select { return &Select{Pred: pred, Input: in} }
+
+// Kind implements Node.
+func (s *Select) Kind() Kind { return KindSelect }
+
+// Schema implements Node.
+func (s *Select) Schema() *catalog.Schema { return s.Input.Schema() }
+
+// Children implements Node.
+func (s *Select) Children() []Node { return []Node{s.Input} }
+
+// WithChildren implements Node.
+func (s *Select) WithChildren(children []Node) Node {
+	return &Select{Pred: s.Pred, Input: one(children)}
+}
+
+// Label implements Node.
+func (s *Select) Label() string {
+	return fmt.Sprintf("Select[%s](%s)", s.Pred, s.Input.Label())
+}
+
+// OpLabel implements Node.
+func (s *Select) OpLabel() string { return fmt.Sprintf("Select[%s]", s.Pred) }
+
+// ProjectItem is one output column of a projection: an expression and its
+// output name. When As is empty and E is a bare column reference the
+// original column (name and qualifier) is kept.
+type ProjectItem struct {
+	E  expr.Expr
+	As string
+}
+
+// String renders the item as "expr" or "expr AS name".
+func (p ProjectItem) String() string {
+	if p.As == "" {
+		return p.E.String()
+	}
+	return fmt.Sprintf("%s AS %s", p.E, p.As)
+}
+
+// Project computes a list of output columns from its input.
+type Project struct {
+	Items []ProjectItem
+	Input Node
+
+	schema *catalog.Schema
+}
+
+// NewProject builds a projection.
+func NewProject(items []ProjectItem, in Node) *Project {
+	return &Project{Items: items, Input: in}
+}
+
+// Kind implements Node.
+func (p *Project) Kind() Kind { return KindProject }
+
+// Schema implements Node.
+func (p *Project) Schema() *catalog.Schema {
+	if p.schema == nil {
+		in := p.Input.Schema()
+		cols := make([]catalog.Column, len(p.Items))
+		for i, it := range p.Items {
+			if c, ok := it.E.(expr.Col); ok && it.As == "" {
+				if j, err := in.Resolve(c.Name); err == nil {
+					cols[i] = in.Cols[j]
+					continue
+				}
+			}
+			name := it.As
+			if name == "" {
+				name = it.E.String()
+			}
+			cols[i] = catalog.Column{Name: name, Type: TypeOf(it.E, in)}
+		}
+		p.schema = catalog.NewSchema(cols...)
+	}
+	return p.schema
+}
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Input} }
+
+// WithChildren implements Node.
+func (p *Project) WithChildren(children []Node) Node {
+	return &Project{Items: p.Items, Input: one(children)}
+}
+
+// Label implements Node.
+func (p *Project) Label() string {
+	return fmt.Sprintf("%s(%s)", p.OpLabel(), p.Input.Label())
+}
+
+// OpLabel implements Node.
+func (p *Project) OpLabel() string {
+	parts := make([]string, len(p.Items))
+	for i, it := range p.Items {
+		parts[i] = it.String()
+	}
+	return fmt.Sprintf("Project[%s]", strings.Join(parts, ", "))
+}
+
+// JoinCond is one equality column pair of an equijoin: Left names a column
+// of the left input, Right of the right input.
+type JoinCond struct {
+	Left, Right string
+}
+
+// String renders the equality condition.
+func (jc JoinCond) String() string { return jc.Left + "=" + jc.Right }
+
+// Join is a bag equijoin on one or more column pairs, with an optional
+// residual predicate evaluated over the concatenated schema.
+type Join struct {
+	On       []JoinCond
+	Residual expr.Expr // nil when absent
+	L, R     Node
+
+	schema *catalog.Schema
+}
+
+// NewJoin builds an equijoin.
+func NewJoin(on []JoinCond, l, r Node) *Join { return &Join{On: on, L: l, R: r} }
+
+// Kind implements Node.
+func (j *Join) Kind() Kind { return KindJoin }
+
+// Schema implements Node.
+func (j *Join) Schema() *catalog.Schema {
+	if j.schema == nil {
+		j.schema = j.L.Schema().Concat(j.R.Schema())
+	}
+	return j.schema
+}
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.L, j.R} }
+
+// WithChildren implements Node.
+func (j *Join) WithChildren(children []Node) Node {
+	l, r := two(children)
+	return &Join{On: j.On, Residual: j.Residual, L: l, R: r}
+}
+
+// Label implements Node.
+func (j *Join) Label() string {
+	return fmt.Sprintf("%s(%s, %s)", j.OpLabel(), j.L.Label(), j.R.Label())
+}
+
+// OpLabel implements Node.
+func (j *Join) OpLabel() string {
+	conds := make([]string, len(j.On))
+	for i, c := range j.On {
+		conds[i] = c.String()
+	}
+	sort.Strings(conds)
+	s := fmt.Sprintf("Join[%s]", strings.Join(conds, " AND "))
+	if j.Residual != nil {
+		s += fmt.Sprintf("[%s]", j.Residual)
+	}
+	return s
+}
+
+// LeftCols returns the left-side join columns.
+func (j *Join) LeftCols() []string {
+	out := make([]string, len(j.On))
+	for i, c := range j.On {
+		out[i] = c.Left
+	}
+	return out
+}
+
+// RightCols returns the right-side join columns.
+func (j *Join) RightCols() []string {
+	out := make([]string, len(j.On))
+	for i, c := range j.On {
+		out[i] = c.Right
+	}
+	return out
+}
+
+// AggFunc is an aggregate function name.
+type AggFunc string
+
+// Aggregate functions.
+const (
+	Sum   AggFunc = "SUM"
+	Count AggFunc = "COUNT"
+	Avg   AggFunc = "AVG"
+	Min   AggFunc = "MIN"
+	Max   AggFunc = "MAX"
+)
+
+// AggSpec is one aggregate output: FUNC(Arg) AS As. Arg is nil for
+// COUNT(*).
+type AggSpec struct {
+	Func AggFunc
+	Arg  expr.Expr
+	As   string
+}
+
+// String renders the aggregate as FUNC(arg) AS name.
+func (a AggSpec) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	return fmt.Sprintf("%s(%s) AS %s", a.Func, arg, a.As)
+}
+
+// Aggregate groups its input by GroupBy columns and computes the Aggs.
+// Output schema is the group columns (originals) followed by one column
+// per aggregate.
+type Aggregate struct {
+	GroupBy []string
+	Aggs    []AggSpec
+	Input   Node
+
+	schema *catalog.Schema
+}
+
+// NewAggregate builds a grouping/aggregation.
+func NewAggregate(groupBy []string, aggs []AggSpec, in Node) *Aggregate {
+	return &Aggregate{GroupBy: groupBy, Aggs: aggs, Input: in}
+}
+
+// Kind implements Node.
+func (a *Aggregate) Kind() Kind { return KindAggregate }
+
+// Schema implements Node.
+func (a *Aggregate) Schema() *catalog.Schema {
+	if a.schema == nil {
+		in := a.Input.Schema()
+		cols := make([]catalog.Column, 0, len(a.GroupBy)+len(a.Aggs))
+		for _, g := range a.GroupBy {
+			cols = append(cols, in.Cols[in.MustResolve(g)])
+		}
+		for _, ag := range a.Aggs {
+			t := value.Float
+			switch ag.Func {
+			case Count:
+				t = value.Int
+			case Sum, Min, Max:
+				if ag.Arg != nil {
+					t = TypeOf(ag.Arg, in)
+				}
+			}
+			cols = append(cols, catalog.Column{Name: ag.As, Type: t})
+		}
+		a.schema = catalog.NewSchema(cols...)
+	}
+	return a.schema
+}
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Input} }
+
+// WithChildren implements Node.
+func (a *Aggregate) WithChildren(children []Node) Node {
+	return &Aggregate{GroupBy: a.GroupBy, Aggs: a.Aggs, Input: one(children)}
+}
+
+// Label implements Node.
+func (a *Aggregate) Label() string {
+	return fmt.Sprintf("%s(%s)", a.OpLabel(), a.Input.Label())
+}
+
+// OpLabel implements Node.
+func (a *Aggregate) OpLabel() string {
+	aggs := make([]string, len(a.Aggs))
+	for i, ag := range a.Aggs {
+		aggs[i] = ag.String()
+	}
+	return fmt.Sprintf("Aggregate[%s BY %s]",
+		strings.Join(aggs, ", "), strings.Join(a.GroupBy, ", "))
+}
+
+// Distinct eliminates duplicates (bag → set).
+type Distinct struct {
+	Input Node
+}
+
+// NewDistinct builds a duplicate elimination.
+func NewDistinct(in Node) *Distinct { return &Distinct{Input: in} }
+
+// Kind implements Node.
+func (d *Distinct) Kind() Kind { return KindDistinct }
+
+// Schema implements Node.
+func (d *Distinct) Schema() *catalog.Schema { return d.Input.Schema() }
+
+// Children implements Node.
+func (d *Distinct) Children() []Node { return []Node{d.Input} }
+
+// WithChildren implements Node.
+func (d *Distinct) WithChildren(children []Node) Node {
+	return &Distinct{Input: one(children)}
+}
+
+// Label implements Node.
+func (d *Distinct) Label() string { return fmt.Sprintf("Distinct(%s)", d.Input.Label()) }
+
+// OpLabel implements Node.
+func (d *Distinct) OpLabel() string { return "Distinct" }
+
+// Union is bag union (counts add).
+type Union struct{ L, R Node }
+
+// NewUnion builds a bag union.
+func NewUnion(l, r Node) *Union { return &Union{L: l, R: r} }
+
+// Kind implements Node.
+func (u *Union) Kind() Kind { return KindUnion }
+
+// Schema implements Node.
+func (u *Union) Schema() *catalog.Schema { return u.L.Schema() }
+
+// Children implements Node.
+func (u *Union) Children() []Node { return []Node{u.L, u.R} }
+
+// WithChildren implements Node.
+func (u *Union) WithChildren(children []Node) Node {
+	l, r := two(children)
+	return &Union{L: l, R: r}
+}
+
+// Label implements Node.
+func (u *Union) Label() string {
+	return fmt.Sprintf("Union(%s, %s)", u.L.Label(), u.R.Label())
+}
+
+// OpLabel implements Node.
+func (u *Union) OpLabel() string { return "Union" }
+
+// Diff is bag difference (counts subtract, floored at zero).
+type Diff struct{ L, R Node }
+
+// NewDiff builds a bag difference.
+func NewDiff(l, r Node) *Diff { return &Diff{L: l, R: r} }
+
+// Kind implements Node.
+func (d *Diff) Kind() Kind { return KindDiff }
+
+// Schema implements Node.
+func (d *Diff) Schema() *catalog.Schema { return d.L.Schema() }
+
+// Children implements Node.
+func (d *Diff) Children() []Node { return []Node{d.L, d.R} }
+
+// WithChildren implements Node.
+func (d *Diff) WithChildren(children []Node) Node {
+	l, r := two(children)
+	return &Diff{L: l, R: r}
+}
+
+// Label implements Node.
+func (d *Diff) Label() string {
+	return fmt.Sprintf("Diff(%s, %s)", d.L.Label(), d.R.Label())
+}
+
+// OpLabel implements Node.
+func (d *Diff) OpLabel() string { return "Diff" }
+
+func one(children []Node) Node {
+	if len(children) != 1 {
+		panic(fmt.Sprintf("algebra: want 1 child, got %d", len(children)))
+	}
+	return children[0]
+}
+
+func two(children []Node) (Node, Node) {
+	if len(children) != 2 {
+		panic(fmt.Sprintf("algebra: want 2 children, got %d", len(children)))
+	}
+	return children[0], children[1]
+}

@@ -1,0 +1,79 @@
+package algebra
+
+import (
+	"sort"
+	"strings"
+)
+
+// BaseRelations returns the sorted, deduplicated names of the base
+// relations appearing under n.
+func BaseRelations(n Node) []string {
+	set := map[string]bool{}
+	var walk func(Node)
+	walk = func(m Node) {
+		if r, ok := m.(*Rel); ok {
+			set[r.Def.Name] = true
+			return
+		}
+		for _, c := range m.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports whether two trees are structurally identical (same
+// canonical label).
+func Equal(a, b Node) bool { return a.Label() == b.Label() }
+
+// CountNodes returns the number of operator nodes in the tree, leaves
+// included.
+func CountNodes(n Node) int {
+	total := 1
+	for _, c := range n.Children() {
+		total += CountNodes(c)
+	}
+	return total
+}
+
+// Render draws the tree as indented ASCII, one operator per line, in the
+// style of the paper's figures (Figures 1, 3 and 5).
+func Render(n Node) string {
+	var b strings.Builder
+	var walk func(m Node, prefix string, last bool, root bool)
+	walk = func(m Node, prefix string, last, root bool) {
+		label := m.OpLabel()
+		if r, ok := m.(*Rel); ok {
+			label = r.Def.Name
+		}
+		if root {
+			b.WriteString(label + "\n")
+		} else {
+			connector := "├── "
+			if last {
+				connector = "└── "
+			}
+			b.WriteString(prefix + connector + label + "\n")
+		}
+		children := m.Children()
+		for i, c := range children {
+			childPrefix := prefix
+			if !root {
+				if last {
+					childPrefix += "    "
+				} else {
+					childPrefix += "│   "
+				}
+			}
+			walk(c, childPrefix, i == len(children)-1, false)
+		}
+	}
+	walk(n, "", true, true)
+	return b.String()
+}

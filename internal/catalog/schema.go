@@ -1,0 +1,118 @@
+// Package catalog holds schemas, keys, index declarations and statistics
+// for base relations and derived views. It is the shared vocabulary of the
+// algebra, the storage engine, the executor and the cost model.
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Column is a named, typed attribute. Name is the bare column name;
+// Qualifier is the relation or view alias it came from ("" for computed
+// columns that belong to no base relation).
+type Column struct {
+	Qualifier string
+	Name      string
+	Type      value.Kind
+}
+
+// QName returns the qualified name "Qualifier.Name" (or just Name when
+// unqualified).
+func (c Column) QName() string {
+	if c.Qualifier == "" {
+		return c.Name
+	}
+	return c.Qualifier + "." + c.Name
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema { return &Schema{Cols: cols} }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// Resolve finds the position of a column by name. The name may be
+// qualified ("Dept.DName") or bare ("DName"). A bare name that matches
+// more than one column is ambiguous and returns an error; an exact
+// qualified match is never ambiguous.
+func (s *Schema) Resolve(name string) (int, error) {
+	qualified := false
+	bare := name
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		qualified = true
+		q, n := name[:i], name[i+1:]
+		bare = n
+		for j, c := range s.Cols {
+			if c.Qualifier == q && c.Name == n {
+				return j, nil
+			}
+		}
+		// Fall through: a qualified name may still refer to a view
+		// column stored without a qualifier (e.g. a renamed aggregate
+		// output); but it must never match a column that carries a
+		// *different* qualifier.
+	}
+	found := -1
+	for j, c := range s.Cols {
+		if c.Name != bare {
+			continue
+		}
+		if qualified && c.Qualifier != "" {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("catalog: ambiguous column %q", name)
+		}
+		found = j
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("catalog: unknown column %q in schema %s", name, s)
+	}
+	return found, nil
+}
+
+// MustResolve is Resolve that panics on error; for internal call sites
+// where the column set has already been validated.
+func (s *Schema) MustResolve(name string) int {
+	i, err := s.Resolve(name)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// Has reports whether the schema can resolve name unambiguously.
+func (s *Schema) Has(name string) bool {
+	_, err := s.Resolve(name)
+	return err == nil
+}
+
+// Concat returns a new schema with o's columns appended (join output).
+func (s *Schema) Concat(o *Schema) *Schema {
+	cols := make([]Column, 0, len(s.Cols)+len(o.Cols))
+	cols = append(cols, s.Cols...)
+	cols = append(cols, o.Cols...)
+	return &Schema{Cols: cols}
+}
+
+// ColumnNames returns the qualified names of all columns, in order.
+func (s *Schema) ColumnNames() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.QName()
+	}
+	return out
+}
+
+// String renders the schema as (a, b, ...).
+func (s *Schema) String() string {
+	return "(" + strings.Join(s.ColumnNames(), ", ") + ")"
+}

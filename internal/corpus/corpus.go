@@ -1,0 +1,220 @@
+// Package corpus provides the paper's running scenarios as reusable
+// fixtures: the corporate schema (Dept, Emp, ADepts), deterministic data
+// generators matching Section 3.6's statistics (1000 departments, 10000
+// employees, uniform 10 employees per department), and the algebra trees
+// for the views ProblemDept (Example 1.1), SumOfSals, and ADeptsStatus
+// (Example 3.1), plus the articulation-point view of Figure 5.
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Config sizes a corporate database instance.
+type Config struct {
+	Departments  int // number of Dept tuples
+	EmpsPerDept  int // employees per department (uniform)
+	ADeptsEveryN int // every Nth department is of type A (0 = no ADepts rows)
+}
+
+// PaperConfig is the instance of Section 3.6: 1000 departments, 10
+// employees each, and (for Example 3.1) 1-in-50 departments of type A.
+func PaperConfig() Config {
+	return Config{Departments: 1000, EmpsPerDept: 10, ADeptsEveryN: 50}
+}
+
+// DeptDef returns the catalog definition of Dept(DName, MName, Budget)
+// with key DName and a hash index on DName.
+func DeptDef() *catalog.TableDef {
+	return &catalog.TableDef{
+		Name: "Dept",
+		Schema: catalog.NewSchema(
+			catalog.Column{Qualifier: "Dept", Name: "DName", Type: value.String},
+			catalog.Column{Qualifier: "Dept", Name: "MName", Type: value.String},
+			catalog.Column{Qualifier: "Dept", Name: "Budget", Type: value.Int},
+		),
+		Keys:    [][]string{{"DName"}},
+		Indexes: []catalog.IndexDef{{Name: "dept_dname", Columns: []string{"DName"}}},
+	}
+}
+
+// EmpDef returns the catalog definition of Emp(EName, DName, Salary) with
+// key EName and a hash index on DName.
+func EmpDef() *catalog.TableDef {
+	return &catalog.TableDef{
+		Name: "Emp",
+		Schema: catalog.NewSchema(
+			catalog.Column{Qualifier: "Emp", Name: "EName", Type: value.String},
+			catalog.Column{Qualifier: "Emp", Name: "DName", Type: value.String},
+			catalog.Column{Qualifier: "Emp", Name: "Salary", Type: value.Int},
+		),
+		Keys: [][]string{{"EName"}},
+		Indexes: []catalog.IndexDef{
+			{Name: "emp_dname", Columns: []string{"DName"}},
+			{Name: "emp_ename", Columns: []string{"EName"}},
+		},
+	}
+}
+
+// ADeptsDef returns the catalog definition of ADepts(DName) with key
+// DName and a hash index on DName.
+func ADeptsDef() *catalog.TableDef {
+	return &catalog.TableDef{
+		Name: "ADepts",
+		Schema: catalog.NewSchema(
+			catalog.Column{Qualifier: "ADepts", Name: "DName", Type: value.String},
+		),
+		Keys:    [][]string{{"DName"}},
+		Indexes: []catalog.IndexDef{{Name: "adepts_dname", Columns: []string{"DName"}}},
+	}
+}
+
+// DeptName returns the name of department i (0-based).
+func DeptName(i int) string { return fmt.Sprintf("d%04d", i) }
+
+// EmpName returns the name of employee j of department i.
+func EmpName(i, j int) string { return fmt.Sprintf("e%04d_%02d", i, j) }
+
+// BaseSalary is the salary every generated employee starts with.
+const BaseSalary = 100
+
+// BudgetFor returns department i's budget: comfortably above the salary
+// sum so the ProblemDept view (and the DeptConstraint assertion) starts
+// empty, as the paper assumes ("the integrity constraint is rarely
+// violated").
+func BudgetFor(cfg Config, i int) int64 {
+	return int64(cfg.EmpsPerDept*BaseSalary) + 500
+}
+
+// Database wires a catalog and a store populated per cfg.
+type Database struct {
+	Config  Config
+	Catalog *catalog.Catalog
+	Store   *storage.Store
+}
+
+// NewDatabase builds and populates a corporate database instance.
+// Statistics are refreshed after loading.
+func NewDatabase(cfg Config) *Database {
+	cat := catalog.New()
+	st := storage.NewStore()
+	defs := []*catalog.TableDef{DeptDef(), EmpDef(), ADeptsDef()}
+	for _, def := range defs {
+		if err := cat.Add(def); err != nil {
+			panic(err)
+		}
+		if _, err := st.Create(def); err != nil {
+			panic(err)
+		}
+	}
+	dept := st.MustGet("Dept")
+	emp := st.MustGet("Emp")
+	adepts := st.MustGet("ADepts")
+	for i := 0; i < cfg.Departments; i++ {
+		dept.LoadTuples([]value.Tuple{{
+			value.NewString(DeptName(i)),
+			value.NewString("m" + DeptName(i)),
+			value.NewInt(BudgetFor(cfg, i)),
+		}})
+		for j := 0; j < cfg.EmpsPerDept; j++ {
+			emp.LoadTuples([]value.Tuple{{
+				value.NewString(EmpName(i, j)),
+				value.NewString(DeptName(i)),
+				value.NewInt(BaseSalary),
+			}})
+		}
+		if cfg.ADeptsEveryN > 0 && i%cfg.ADeptsEveryN == 0 {
+			adepts.LoadTuples([]value.Tuple{{value.NewString(DeptName(i))}})
+		}
+	}
+	dept.RefreshStats()
+	emp.RefreshStats()
+	adepts.RefreshStats()
+	return &Database{Config: cfg, Catalog: cat, Store: st}
+}
+
+// ProblemDept returns the algebra tree of Example 1.1 in the shape of the
+// right tree of Figure 1 (aggregate above the join):
+//
+//	Select[SumSal > Budget](
+//	  Aggregate[SUM(Salary) AS SumSal BY Dept.DName, Dept.Budget](
+//	    Join[Emp.DName = Dept.DName](Emp, Dept)))
+//
+// The projection to DName alone is applied by callers that need the exact
+// SQL output; the maintenance machinery works on this core.
+func (db *Database) ProblemDept() algebra.Node {
+	emp := algebra.Scan(db.Catalog.MustGet("Emp"))
+	dept := algebra.Scan(db.Catalog.MustGet("Dept"))
+	join := algebra.NewJoin(
+		[]algebra.JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}},
+		emp, dept,
+	)
+	agg := algebra.NewAggregate(
+		[]string{"Dept.DName", "Dept.Budget"},
+		[]algebra.AggSpec{{Func: algebra.Sum, Arg: expr.C("Emp.Salary"), As: "SumSal"}},
+		join,
+	)
+	return algebra.NewSelect(
+		expr.Compare(expr.GT, expr.C("SumSal"), expr.C("Dept.Budget")),
+		agg,
+	)
+}
+
+// SumOfSals returns the auxiliary view of Example 1.1:
+//
+//	Aggregate[SUM(Salary) AS SumSal BY Emp.DName](Emp)
+func (db *Database) SumOfSals() algebra.Node {
+	emp := algebra.Scan(db.Catalog.MustGet("Emp"))
+	return algebra.NewAggregate(
+		[]string{"Emp.DName"},
+		[]algebra.AggSpec{{Func: algebra.Sum, Arg: expr.C("Emp.Salary"), As: "SumSal"}},
+		emp,
+	)
+}
+
+// ProblemDeptAlt returns the left tree of Figure 1 (aggregate pushed to
+// Emp, then joined with Dept):
+//
+//	Select[SumSal > Budget](
+//	  Join[Emp.DName = Dept.DName](SumOfSals, Dept))
+func (db *Database) ProblemDeptAlt() algebra.Node {
+	dept := algebra.Scan(db.Catalog.MustGet("Dept"))
+	join := algebra.NewJoin(
+		[]algebra.JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}},
+		db.SumOfSals(), dept,
+	)
+	return algebra.NewSelect(
+		expr.Compare(expr.GT, expr.C("SumSal"), expr.C("Dept.Budget")),
+		join,
+	)
+}
+
+// ADeptsStatus returns the view of Example 3.1:
+//
+//	Aggregate[SUM(Salary) BY Dept.DName, Dept.Budget](
+//	  Join[Emp.DName = ADepts.DName](
+//	    Join[Dept.DName = Emp.DName](Dept, Emp), ADepts))
+func (db *Database) ADeptsStatus() algebra.Node {
+	dept := algebra.Scan(db.Catalog.MustGet("Dept"))
+	emp := algebra.Scan(db.Catalog.MustGet("Emp"))
+	adepts := algebra.Scan(db.Catalog.MustGet("ADepts"))
+	inner := algebra.NewJoin(
+		[]algebra.JoinCond{{Left: "Dept.DName", Right: "Emp.DName"}},
+		dept, emp,
+	)
+	outer := algebra.NewJoin(
+		[]algebra.JoinCond{{Left: "Emp.DName", Right: "ADepts.DName"}},
+		inner, adepts,
+	)
+	return algebra.NewAggregate(
+		[]string{"Dept.DName", "Dept.Budget"},
+		[]algebra.AggSpec{{Func: algebra.Sum, Arg: expr.C("Emp.Salary"), As: "SumSal"}},
+		outer,
+	)
+}

@@ -1,0 +1,122 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Figure5Config sizes the R/S/T sales schema of the paper's Figure 5.
+type Figure5Config struct {
+	Items    int // distinct items
+	RPerItem int // R tuples per item (Item is NOT a key of R)
+	SPerItem int // S tuples per item
+}
+
+// DefaultFigure5Config is a laptop-scale instance.
+func DefaultFigure5Config() Figure5Config {
+	return Figure5Config{Items: 100, RPerItem: 4, SPerItem: 5}
+}
+
+// Figure5Database builds the schema of Figure 5: R(RName, Item),
+// S(Item, Quantity), T(Item, Price). Item is a key of T only — which is
+// exactly why the aggregation can be pushed neither up nor down past R,
+// making the aggregate's equivalence node a natural articulation point.
+func Figure5Database(cfg Figure5Config) *Database {
+	cat := catalog.New()
+	st := storage.NewStore()
+	defs := []*catalog.TableDef{
+		{
+			Name: "R",
+			Schema: catalog.NewSchema(
+				catalog.Column{Qualifier: "R", Name: "RName", Type: value.String},
+				catalog.Column{Qualifier: "R", Name: "Item", Type: value.String},
+			),
+			Keys:    [][]string{{"RName"}},
+			Indexes: []catalog.IndexDef{{Name: "r_item", Columns: []string{"Item"}}},
+		},
+		{
+			Name: "S",
+			Schema: catalog.NewSchema(
+				catalog.Column{Qualifier: "S", Name: "SName", Type: value.String},
+				catalog.Column{Qualifier: "S", Name: "Item", Type: value.String},
+				catalog.Column{Qualifier: "S", Name: "Quantity", Type: value.Int},
+			),
+			Keys:    [][]string{{"SName"}},
+			Indexes: []catalog.IndexDef{{Name: "s_item", Columns: []string{"Item"}}},
+		},
+		{
+			Name: "T",
+			Schema: catalog.NewSchema(
+				catalog.Column{Qualifier: "T", Name: "Item", Type: value.String},
+				catalog.Column{Qualifier: "T", Name: "Price", Type: value.Int},
+			),
+			Keys:    [][]string{{"Item"}},
+			Indexes: []catalog.IndexDef{{Name: "t_item", Columns: []string{"Item"}}},
+		},
+	}
+	for _, def := range defs {
+		if err := cat.Add(def); err != nil {
+			panic(err)
+		}
+		if _, err := st.Create(def); err != nil {
+			panic(err)
+		}
+	}
+	r, s, tt := st.MustGet("R"), st.MustGet("S"), st.MustGet("T")
+	for i := 0; i < cfg.Items; i++ {
+		item := fmt.Sprintf("item%03d", i)
+		tt.LoadTuples([]value.Tuple{{value.NewString(item), value.NewInt(int64(10 + i%7))}})
+		for j := 0; j < cfg.RPerItem; j++ {
+			r.LoadTuples([]value.Tuple{{
+				value.NewString(fmt.Sprintf("r%03d_%d", i, j)),
+				value.NewString(item),
+			}})
+		}
+		for j := 0; j < cfg.SPerItem; j++ {
+			s.LoadTuples([]value.Tuple{{
+				value.NewString(fmt.Sprintf("s%03d_%d", i, j)),
+				value.NewString(item),
+				value.NewInt(int64(1 + (i+j)%5)),
+			}})
+		}
+	}
+	r.RefreshStats()
+	s.RefreshStats()
+	tt.RefreshStats()
+	return &Database{Catalog: cat, Store: st}
+}
+
+// Figure5View returns the expression of Figure 5 with a selection on top
+// (an assertion-style threshold, so the aggregate's parent equivalence
+// node sits strictly inside the DAG):
+//
+//	Select[Revenue > threshold](
+//	  Aggregate[SUM(S.Quantity*T.Price) AS Revenue BY T.Item](
+//	    Join[S.Item = T.Item](Join[R.Item = S.Item](R, S), T)))
+//
+// The aggregation cannot be pushed below the T join (its argument needs
+// both S.Quantity and T.Price) and Item is not a key of R, so the
+// aggregate's parent equivalence node is an articulation node.
+func (db *Database) Figure5View(threshold int64) algebra.Node {
+	r := algebra.Scan(db.Catalog.MustGet("R"))
+	s := algebra.Scan(db.Catalog.MustGet("S"))
+	t := algebra.Scan(db.Catalog.MustGet("T"))
+	rs := algebra.NewJoin([]algebra.JoinCond{{Left: "R.Item", Right: "S.Item"}}, r, s)
+	rst := algebra.NewJoin([]algebra.JoinCond{{Left: "S.Item", Right: "T.Item"}}, rs, t)
+	agg := algebra.NewAggregate(
+		[]string{"T.Item"},
+		[]algebra.AggSpec{{
+			Func: algebra.Sum,
+			Arg:  expr.Arith{Op: expr.Times, L: expr.C("S.Quantity"), R: expr.C("T.Price")},
+			As:   "Revenue",
+		}},
+		rst,
+	)
+	return algebra.NewSelect(
+		expr.Compare(expr.GT, expr.C("Revenue"), expr.IntLit(threshold)), agg)
+}

@@ -1,0 +1,79 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/delta"
+	"repro/internal/value"
+)
+
+// currentTuple reads a stored tuple by key columns without charging I/O.
+func (db *Database) currentTuple(rel string, cols []string, key value.Tuple) (value.Tuple, error) {
+	r := db.Store.MustGet(rel)
+	was := r.Resident
+	r.Resident = true
+	rows := r.Lookup(cols, key)
+	r.Resident = was
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("corpus: no %s tuple for %v", rel, key)
+	}
+	return rows[0].Tuple.Clone(), nil
+}
+
+// EmpSalaryDelta builds the >Emp transaction instance: modify the salary
+// of employee j of department i to newSalary, against the current state.
+func (db *Database) EmpSalaryDelta(i, j int, newSalary int64) (*delta.Delta, error) {
+	old, err := db.currentTuple("Emp", []string{"EName"},
+		value.Tuple{value.NewString(EmpName(i, j))})
+	if err != nil {
+		return nil, err
+	}
+	newT := old.Clone()
+	newT[2] = value.NewInt(newSalary)
+	d := delta.New(db.Store.MustGet("Emp").Def.Schema)
+	d.Modify(old, newT, 1)
+	return d, nil
+}
+
+// DeptBudgetDelta builds the >Dept transaction instance: modify the
+// budget of department i to newBudget.
+func (db *Database) DeptBudgetDelta(i int, newBudget int64) (*delta.Delta, error) {
+	old, err := db.currentTuple("Dept", []string{"DName"},
+		value.Tuple{value.NewString(DeptName(i))})
+	if err != nil {
+		return nil, err
+	}
+	newT := old.Clone()
+	newT[2] = value.NewInt(newBudget)
+	d := delta.New(db.Store.MustGet("Dept").Def.Schema)
+	d.Modify(old, newT, 1)
+	return d, nil
+}
+
+// EmpInsertDelta builds an employee insertion.
+func (db *Database) EmpInsertDelta(name, dept string, salary int64) *delta.Delta {
+	d := delta.New(db.Store.MustGet("Emp").Def.Schema)
+	d.Insert(value.Tuple{
+		value.NewString(name), value.NewString(dept), value.NewInt(salary),
+	}, 1)
+	return d
+}
+
+// EmpDeleteDelta builds an employee deletion against the current state.
+func (db *Database) EmpDeleteDelta(i, j int) (*delta.Delta, error) {
+	old, err := db.currentTuple("Emp", []string{"EName"},
+		value.Tuple{value.NewString(EmpName(i, j))})
+	if err != nil {
+		return nil, err
+	}
+	d := delta.New(db.Store.MustGet("Emp").Def.Schema)
+	d.Delete(old, 1)
+	return d, nil
+}
+
+// ADeptsInsertDelta builds an ADepts insertion.
+func (db *Database) ADeptsInsertDelta(dept string) *delta.Delta {
+	d := delta.New(db.Store.MustGet("ADepts").Def.Schema)
+	d.Insert(value.Tuple{value.NewString(dept)}, 1)
+	return d
+}

@@ -1,0 +1,92 @@
+package cost
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestPageIOPaperNumbers pins the §3.6 arithmetic: the worked numbers of
+// the paper's cost study fall directly out of the model.
+func TestPageIOPaperNumbers(t *testing.T) {
+	m := PageIO{}
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		// Indexed read of a 10-employee department: 1 index page + 10.
+		{"dept group lookup", m.Lookup(10), 11},
+		// Single Dept tuple by key: 1 + 1.
+		{"dept tuple lookup", m.Lookup(1), 2},
+		// Modify one tuple of a 1-index view: 1 + 1 read + 1 write.
+		{"N3 under >Emp", m.Update(1, 0, 0, 1, 0), 3},
+		// Modify ten tuples: 1 + 10 reads + 10 writes.
+		{"N4 under >Dept", m.Update(10, 0, 0, 1, 0), 21},
+		// Insert one tuple: index read+write... the write goes through
+		// dirtyIdx; with one dirty index: 1 + 1 + 1 page write.
+		{"single insert", m.Update(0, 1, 0, 1, 1), 3},
+		// Nothing to do costs nothing.
+		{"empty batch", m.Update(0, 0, 0, 1, 1), 0},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %g, want %g", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestModelsAreNonNegative is the monotonicity precondition: all
+// primitive costs are non-negative for non-negative inputs.
+func TestModelsAreNonNegative(t *testing.T) {
+	models := []Model{PageIO{}, Uniform{}}
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			for i := 0; i < 3; i++ {
+				args[i] = reflect.ValueOf(float64(r.Intn(1000)))
+			}
+			args[3] = reflect.ValueOf(r.Intn(4))
+			args[4] = reflect.ValueOf(r.Intn(3))
+		},
+	}
+	prop := func(a, b, c float64, nIdx, dirty int) bool {
+		for _, m := range models {
+			if m.Lookup(a) < 0 || m.Scan(a) < 0 {
+				return false
+			}
+			if m.Update(a, b, c, nIdx, dirty) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLookupMonotoneInRows: more rows never cost less.
+func TestLookupMonotoneInRows(t *testing.T) {
+	for _, m := range []Model{PageIO{}, Uniform{}} {
+		prev := -1.0
+		for rows := 0.0; rows <= 100; rows++ {
+			c := m.Lookup(rows)
+			if c < prev {
+				t.Fatalf("%T.Lookup not monotone at %g", m, rows)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestNegativeInputsClamp(t *testing.T) {
+	m := PageIO{}
+	if m.Lookup(-5) != 1 {
+		t.Errorf("Lookup(-5) = %g, want 1 (index page only)", m.Lookup(-5))
+	}
+	if m.Scan(-5) != 0 {
+		t.Errorf("Scan(-5) = %g, want 0", m.Scan(-5))
+	}
+}

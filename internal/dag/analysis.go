@@ -1,0 +1,164 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ArticulationEqs returns the equivalence nodes that are articulation
+// nodes of the DAG viewed as an undirected graph over equivalence and
+// operation nodes (the paper's Definition 4.1). At these nodes the
+// Shielding Principle (Theorem 4.1) permits local optimization.
+//
+// The root and leaves are excluded: the root trivially shields nothing
+// above it, and leaves are always materialized.
+func (d *DAG) ArticulationEqs() []*EqNode {
+	// Build an undirected adjacency over vertices: eq nodes get even
+	// handles (2*eqIdx), op nodes odd handles via a side table.
+	type vertex struct {
+		eq *EqNode
+		op *OpNode
+	}
+	var verts []vertex
+	index := map[interface{}]int{}
+	addV := func(e *EqNode, o *OpNode) int {
+		var key interface{}
+		if e != nil {
+			key = e
+		} else {
+			key = o
+		}
+		if i, ok := index[key]; ok {
+			return i
+		}
+		i := len(verts)
+		verts = append(verts, vertex{eq: e, op: o})
+		index[key] = i
+		return i
+	}
+	adj := map[int][]int{}
+	connect := func(a, b int) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for _, e := range d.eqs {
+		ei := addV(e, nil)
+		for _, op := range e.Ops {
+			oi := addV(nil, op)
+			connect(ei, oi)
+			for _, c := range op.Children {
+				connect(oi, addV(c, nil))
+			}
+		}
+	}
+	if len(verts) == 0 {
+		return nil
+	}
+	// Iterative Tarjan articulation points.
+	disc := make([]int, len(verts))
+	low := make([]int, len(verts))
+	parent := make([]int, len(verts))
+	isArt := make([]bool, len(verts))
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	timer := 0
+	type frame struct {
+		v, childIdx, childCount int
+	}
+	for start := range verts {
+		if disc[start] != -1 {
+			continue
+		}
+		stack := []frame{{v: start}}
+		disc[start] = timer
+		low[start] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.childIdx < len(adj[f.v]) {
+				u := adj[f.v][f.childIdx]
+				f.childIdx++
+				if disc[u] == -1 {
+					parent[u] = f.v
+					f.childCount++
+					disc[u] = timer
+					low[u] = timer
+					timer++
+					stack = append(stack, frame{v: u})
+				} else if u != parent[f.v] {
+					if disc[u] < low[f.v] {
+						low[f.v] = disc[u]
+					}
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				if p := parent[f.v]; p != -1 {
+					if low[f.v] < low[p] {
+						low[p] = low[f.v]
+					}
+					if parent[p] != -1 && low[f.v] >= disc[p] {
+						isArt[p] = true
+					}
+				}
+				if parent[f.v] == -1 && f.childCount > 1 {
+					isArt[f.v] = true
+				}
+			}
+		}
+	}
+	var out []*EqNode
+	for i, v := range verts {
+		if isArt[i] && v.eq != nil && !v.eq.IsLeaf() && v.eq != d.Root {
+			out = append(out, v.eq)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Descendants returns every equivalence node reachable below e
+// (including e itself).
+func (d *DAG) Descendants(e *EqNode) []*EqNode {
+	seen := map[int]bool{}
+	var out []*EqNode
+	var walk func(*EqNode)
+	walk = func(n *EqNode) {
+		if seen[n.ID] {
+			return
+		}
+		seen[n.ID] = true
+		out = append(out, n)
+		for _, op := range n.Ops {
+			for _, c := range op.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(e)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Render draws the DAG in the style of the paper's Figure 2: one line per
+// equivalence node listing its operation-node alternatives.
+func (d *DAG) Render() string {
+	var b strings.Builder
+	for _, e := range d.eqs {
+		if e.IsLeaf() {
+			fmt.Fprintf(&b, "%s  [base relation]\n", e)
+			continue
+		}
+		marker := " "
+		if e == d.Root {
+			marker = "*"
+		}
+		fmt.Fprintf(&b, "%s%s:\n", marker, e)
+		for _, op := range e.Ops {
+			fmt.Fprintf(&b, "    %s\n", op)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,534 @@
+// Package dag implements the expression DAG (memo) of rule-based
+// optimizers like Volcano, as used by the paper (Section 2.1): a
+// bipartite directed acyclic graph of equivalence nodes (algebraically
+// equivalent result sets) and operation nodes (one operator over child
+// equivalence nodes). The DAG is grown from an initial expression tree by
+// equivalence rules and compactly represents the space of equivalent
+// expression trees; its non-leaf equivalence nodes are the candidate
+// views of the paper's Definition 3.1.
+//
+// Equivalence here is strict: every operation node under an equivalence
+// node produces exactly the same schema (column names, order and types)
+// and the same bag of tuples. Rules that would change column order or
+// naming (join reordering, aggregate pushdown) wrap their result in a
+// pure projection to re-align it; the projection is a real operation node
+// with zero I/O cost.
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+)
+
+// EqNode is an equivalence node: a class of algebraically equivalent
+// expressions. Leaf equivalence nodes correspond to base relations.
+type EqNode struct {
+	// ID is stable for the lifetime of the DAG; after a merge the
+	// surviving node keeps its ID.
+	ID int
+	// Expr is the representative expression (the first tree form seen);
+	// its schema is the canonical schema of the class.
+	Expr algebra.Node
+	// Ops are the alternative operation nodes computing this class
+	// (empty for leaves).
+	Ops []*OpNode
+	// Parents are the operation nodes that consume this class.
+	Parents []*OpNode
+	// BaseRel is the relation name for leaf nodes ("" otherwise).
+	BaseRel string
+}
+
+// IsLeaf reports whether the node is a base relation.
+func (e *EqNode) IsLeaf() bool { return e.BaseRel != "" }
+
+// Schema returns the canonical output schema of the class.
+func (e *EqNode) Schema() *catalog.Schema { return e.Expr.Schema() }
+
+// String renders the node compactly.
+func (e *EqNode) String() string {
+	if e.IsLeaf() {
+		return fmt.Sprintf("N%d(%s)", e.ID, e.BaseRel)
+	}
+	return fmt.Sprintf("N%d", e.ID)
+}
+
+// OpNode is an operation node: one operator applied to child equivalence
+// nodes. Template is the algebra operator with Ref leaves standing for
+// the children; Tree() substitutes concrete child trees.
+type OpNode struct {
+	ID       int
+	Template algebra.Node
+	Children []*EqNode
+	Parent   *EqNode
+}
+
+// Kind returns the operator kind.
+func (o *OpNode) Kind() algebra.Kind { return o.Template.Kind() }
+
+// OpLabel returns the operator signature (no children).
+func (o *OpNode) OpLabel() string { return o.Template.OpLabel() }
+
+// String renders the op with its child equivalence nodes.
+func (o *OpNode) String() string {
+	kids := make([]string, len(o.Children))
+	for i, c := range o.Children {
+		kids[i] = c.String()
+	}
+	return fmt.Sprintf("E%d:%s(%s)", o.ID, o.OpLabel(), strings.Join(kids, ","))
+}
+
+// Ref is an algebra leaf standing for an equivalence node inside an
+// operation template or a rule-produced tree.
+type Ref struct{ Eq *EqNode }
+
+// Kind implements algebra.Node (Refs masquerade as base relations).
+func (r Ref) Kind() algebra.Kind { return algebra.KindRel }
+
+// Schema implements algebra.Node.
+func (r Ref) Schema() *catalog.Schema { return r.Eq.Schema() }
+
+// Children implements algebra.Node.
+func (r Ref) Children() []algebra.Node { return nil }
+
+// WithChildren implements algebra.Node.
+func (r Ref) WithChildren(children []algebra.Node) algebra.Node {
+	if len(children) != 0 {
+		panic("dag: Ref takes no children")
+	}
+	return r
+}
+
+// Label implements algebra.Node.
+func (r Ref) Label() string { return fmt.Sprintf("@%d", r.Eq.ID) }
+
+// OpLabel implements algebra.Node.
+func (r Ref) OpLabel() string { return r.Label() }
+
+// DAG is the memo: equivalence nodes, operation nodes and the indexes
+// needed to deduplicate and merge them.
+type DAG struct {
+	// Root is the equivalence node of the (primary) view being
+	// maintained.
+	Root *EqNode
+	// Roots lists every top-level view when the DAG is multi-rooted
+	// (Section 6: "the expression DAG will have to include multiple view
+	// definitions, and may therefore have multiple roots, and every view
+	// that must be materialized will be marked"). For a single view it
+	// is [Root].
+	Roots []*EqNode
+
+	eqs      []*EqNode          // all live eq nodes, creation order
+	byLabel  map[string]*EqNode // canonical expression label → eq
+	opIndex  map[string]*OpNode // op signature + child IDs → op
+	nextEq   int
+	nextOp   int
+	baseRels map[int][]string // eq ID → sorted base relations beneath
+}
+
+// New returns an empty DAG.
+func New() *DAG {
+	return &DAG{
+		byLabel:  map[string]*EqNode{},
+		opIndex:  map[string]*OpNode{},
+		baseRels: map[int][]string{},
+	}
+}
+
+// Eqs returns all live equivalence nodes in creation order.
+func (d *DAG) Eqs() []*EqNode {
+	out := make([]*EqNode, len(d.eqs))
+	copy(out, d.eqs)
+	return out
+}
+
+// NonLeafEqs returns the candidate view nodes: every non-leaf equivalence
+// node (the paper's E_V).
+func (d *DAG) NonLeafEqs() []*EqNode {
+	var out []*EqNode
+	for _, e := range d.eqs {
+		if !e.IsLeaf() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Ops returns all live operation nodes in creation order.
+func (d *DAG) Ops() []*OpNode {
+	var out []*OpNode
+	for _, e := range d.eqs {
+		out = append(out, e.Ops...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FromTree builds the initial DAG from an expression tree and sets Root.
+func FromTree(n algebra.Node) (*DAG, error) {
+	return FromTrees(n)
+}
+
+// FromTrees builds a (possibly multi-rooted) DAG from one or more view
+// expressions sharing one memo; common subexpressions across views are
+// shared. The first tree's class becomes Root.
+func FromTrees(views ...algebra.Node) (*DAG, error) {
+	if len(views) == 0 {
+		return nil, fmt.Errorf("dag: no views")
+	}
+	d := New()
+	for _, v := range views {
+		eq, err := d.Incorporate(v, nil)
+		if err != nil {
+			return nil, err
+		}
+		if !containsEq(d.Roots, eq) {
+			d.Roots = append(d.Roots, eq)
+		}
+	}
+	d.Root = d.Roots[0]
+	return d, nil
+}
+
+// IsRoot reports whether e is one of the DAG's top-level views.
+func (d *DAG) IsRoot(e *EqNode) bool { return containsEq(d.Roots, e) }
+
+func containsEq(nodes []*EqNode, e *EqNode) bool {
+	for _, n := range nodes {
+		if n == e {
+			return true
+		}
+	}
+	return false
+}
+
+// opKey builds the congruence key of an operator over child classes.
+func opKey(opLabel string, children []*EqNode) string {
+	var b strings.Builder
+	b.WriteString(opLabel)
+	b.WriteByte('(')
+	for i, c := range children {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c.ID)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// canonicalLabel renders the expression label of a tree whose Ref leaves
+// are replaced by class IDs, so that structurally identical trees over
+// the same classes collide.
+func (d *DAG) canonicalLabel(n algebra.Node) string {
+	if r, ok := n.(Ref); ok {
+		return fmt.Sprintf("@%d", r.Eq.ID)
+	}
+	children := n.Children()
+	if len(children) == 0 {
+		return n.Label()
+	}
+	parts := make([]string, len(children))
+	for i, c := range children {
+		parts[i] = d.canonicalLabel(c)
+	}
+	return n.OpLabel() + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Incorporate adds an expression tree (possibly containing Ref leaves)
+// to the DAG and returns its equivalence node. When under is non-nil the
+// tree is registered as an alternative of that class, merging classes if
+// the tree already belongs to a different one.
+func (d *DAG) Incorporate(n algebra.Node, under *EqNode) (*EqNode, error) {
+	eq, err := d.incorporate(n)
+	if err != nil {
+		return nil, err
+	}
+	if under != nil && eq != under {
+		eq = d.merge(under, eq)
+	}
+	return eq, nil
+}
+
+func (d *DAG) incorporate(n algebra.Node) (*EqNode, error) {
+	if r, ok := n.(Ref); ok {
+		return r.Eq, nil
+	}
+	if rel, ok := n.(*algebra.Rel); ok {
+		label := rel.Label()
+		if e, ok := d.byLabel[label]; ok {
+			return e, nil
+		}
+		e := d.newEq(rel)
+		e.BaseRel = rel.Def.Name
+		d.byLabel[label] = e
+		return e, nil
+	}
+	children := n.Children()
+	childEqs := make([]*EqNode, len(children))
+	for i, c := range children {
+		ce, err := d.incorporate(c)
+		if err != nil {
+			return nil, err
+		}
+		childEqs[i] = ce
+	}
+	// Template: the operator over Ref leaves.
+	refs := make([]algebra.Node, len(childEqs))
+	for i, ce := range childEqs {
+		refs[i] = Ref{Eq: ce}
+	}
+	template := n.WithChildren(refs)
+	key := opKey(template.OpLabel(), childEqs)
+	if op, ok := d.opIndex[key]; ok {
+		return op.Parent, nil
+	}
+	label := d.canonicalLabel(template)
+	eq, ok := d.byLabel[label]
+	if !ok {
+		rep := template // representative keeps Ref children; schema works through Ref
+		eq = d.newEq(rep)
+		d.byLabel[label] = eq
+	}
+	op := &OpNode{ID: d.nextOp, Template: template, Children: childEqs, Parent: eq}
+	d.nextOp++
+	eq.Ops = append(eq.Ops, op)
+	for _, ce := range childEqs {
+		ce.Parents = append(ce.Parents, op)
+	}
+	d.opIndex[key] = op
+	d.invalidate()
+	return eq, nil
+}
+
+func (d *DAG) newEq(rep algebra.Node) *EqNode {
+	e := &EqNode{ID: d.nextEq, Expr: rep}
+	d.nextEq++
+	d.eqs = append(d.eqs, e)
+	d.invalidate()
+	return e
+}
+
+// merge unifies two equivalence classes and returns the survivor,
+// cascading congruence merges (two ops that become identical force their
+// parents to merge too).
+func (d *DAG) merge(a, b *EqNode) *EqNode {
+	if a == b {
+		return a
+	}
+	// Keep the older node (smaller ID) as survivor — typically the one
+	// closer to the original expression.
+	if b.ID < a.ID {
+		a, b = b, a
+	}
+	// Move b's ops under a.
+	for _, op := range b.Ops {
+		op.Parent = a
+	}
+	a.Ops = append(a.Ops, b.Ops...)
+	b.Ops = nil
+	a.Parents = append(a.Parents, b.Parents...)
+	b.Parents = nil
+	// Remove b from the node list and label index.
+	for i, e := range d.eqs {
+		if e == b {
+			d.eqs = append(d.eqs[:i], d.eqs[i+1:]...)
+			break
+		}
+	}
+	for label, e := range d.byLabel {
+		if e == b {
+			d.byLabel[label] = a
+		}
+	}
+	if d.Root == b {
+		d.Root = a
+	}
+	for i, r := range d.Roots {
+		if r == b {
+			d.Roots[i] = a
+		}
+	}
+	d.Roots = dedupeEqs(d.Roots)
+	// Rewrite all ops that referenced b as a child, rebuilding the op
+	// index; collisions trigger cascaded merges.
+	type collision struct{ x, y *EqNode }
+	var cascades []collision
+	newIndex := make(map[string]*OpNode, len(d.opIndex))
+	for _, e := range d.eqs {
+		for _, op := range e.Ops {
+			changed := false
+			for i, c := range op.Children {
+				if c == b {
+					op.Children[i] = a
+					changed = true
+				}
+			}
+			if changed {
+				refs := make([]algebra.Node, len(op.Children))
+				for i, ce := range op.Children {
+					refs[i] = Ref{Eq: ce}
+				}
+				op.Template = op.Template.WithChildren(refs)
+			}
+			key := opKey(op.Template.OpLabel(), op.Children)
+			if prev, ok := newIndex[key]; ok {
+				if prev.Parent != op.Parent {
+					cascades = append(cascades, collision{prev.Parent, op.Parent})
+				}
+				// Keep the first op; drop the duplicate from its parent.
+				dropOp(op)
+				continue
+			}
+			newIndex[key] = op
+		}
+	}
+	d.opIndex = newIndex
+	// Deduplicate parent lists.
+	a.Parents = dedupeOps(a.Parents)
+	d.invalidate()
+	for _, c := range cascades {
+		d.merge(c.x, c.y)
+	}
+	return a
+}
+
+// dropOp removes op from its parent's op list and from its children's
+// parent lists.
+func dropOp(op *OpNode) {
+	p := op.Parent
+	for i, o := range p.Ops {
+		if o == op {
+			p.Ops = append(p.Ops[:i], p.Ops[i+1:]...)
+			break
+		}
+	}
+	for _, c := range op.Children {
+		for i, o := range c.Parents {
+			if o == op {
+				c.Parents = append(c.Parents[:i], c.Parents[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func dedupeEqs(eqs []*EqNode) []*EqNode {
+	seen := map[*EqNode]bool{}
+	out := eqs[:0]
+	for _, e := range eqs {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func dedupeOps(ops []*OpNode) []*OpNode {
+	seen := map[*OpNode]bool{}
+	out := ops[:0]
+	for _, o := range ops {
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func (d *DAG) invalidate() { d.baseRels = map[int][]string{} }
+
+// BaseRelsOf returns the sorted base relation names reachable below an
+// equivalence node.
+func (d *DAG) BaseRelsOf(e *EqNode) []string {
+	if cached, ok := d.baseRels[e.ID]; ok {
+		return cached
+	}
+	set := map[string]bool{}
+	var walk func(*EqNode)
+	visited := map[int]bool{}
+	walk = func(n *EqNode) {
+		if visited[n.ID] {
+			return
+		}
+		visited[n.ID] = true
+		if n.IsLeaf() {
+			set[n.BaseRel] = true
+			return
+		}
+		for _, op := range n.Ops {
+			for _, c := range op.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	d.baseRels[e.ID] = out
+	return out
+}
+
+// Affected reports whether e's result can change when the given base
+// relations are updated.
+func (d *DAG) Affected(e *EqNode, updated []string) bool {
+	rels := d.BaseRelsOf(e)
+	for _, u := range updated {
+		for _, r := range rels {
+			if r == u {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RepTree returns a concrete expression tree for an equivalence node by
+// recursively choosing each class's first operation node (the original
+// construction tree). For leaves it returns the base relation scan.
+func (d *DAG) RepTree(e *EqNode) algebra.Node {
+	return d.treeOf(e, map[int]bool{})
+}
+
+func (d *DAG) treeOf(e *EqNode, onPath map[int]bool) algebra.Node {
+	if e.IsLeaf() {
+		return e.Expr
+	}
+	if onPath[e.ID] {
+		panic(fmt.Sprintf("dag: cycle through %s", e))
+	}
+	onPath[e.ID] = true
+	defer delete(onPath, e.ID)
+	op := e.Ops[0]
+	children := make([]algebra.Node, len(op.Children))
+	for i, c := range op.Children {
+		children[i] = d.treeOf(c, onPath)
+	}
+	return op.Template.WithChildren(children)
+}
+
+// TreeOfOp materializes the concrete tree of one operation node using
+// each child's representative tree.
+func (d *DAG) TreeOfOp(op *OpNode) algebra.Node {
+	children := make([]algebra.Node, len(op.Children))
+	for i, c := range op.Children {
+		children[i] = d.treeOf(c, map[int]bool{})
+	}
+	return op.Template.WithChildren(children)
+}
+
+// Stats summarizes the DAG size.
+func (d *DAG) Stats() (eqNodes, opNodes int) {
+	for _, e := range d.eqs {
+		eqNodes++
+		opNodes += len(e.Ops)
+	}
+	return
+}

@@ -1,0 +1,381 @@
+package dag_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/corpus"
+	"repro/internal/dag"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/rules"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func smallDB() *corpus.Database {
+	return corpus.NewDatabase(corpus.Config{Departments: 4, EmpsPerDept: 3, ADeptsEveryN: 2})
+}
+
+func TestFromTreeStructure(t *testing.T) {
+	db := smallDB()
+	d, err := dag.FromTree(db.ProblemDept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqs, ops := d.Stats()
+	// Select, Aggregate, Join + 2 leaves.
+	if eqs != 5 || ops != 3 {
+		t.Errorf("initial DAG = %d eqs, %d ops; want 5, 3\n%s", eqs, ops, d.Render())
+	}
+	if d.Root == nil || d.Root.IsLeaf() {
+		t.Fatal("root missing")
+	}
+	if got := len(d.NonLeafEqs()); got != 3 {
+		t.Errorf("non-leaf eqs = %d, want 3", got)
+	}
+	rels := d.BaseRelsOf(d.Root)
+	if len(rels) != 2 || rels[0] != "Dept" || rels[1] != "Emp" {
+		t.Errorf("BaseRelsOf(root) = %v", rels)
+	}
+}
+
+func TestCommonSubexpressionShared(t *testing.T) {
+	db := smallDB()
+	// Join(Emp, Dept) appears twice; the memo must share it.
+	join := func() algebra.Node {
+		return algebra.NewJoin(
+			[]algebra.JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}},
+			algebra.Scan(db.Catalog.MustGet("Emp")),
+			algebra.Scan(db.Catalog.MustGet("Dept")),
+		)
+	}
+	u := algebra.NewUnion(join(), join())
+	d, err := dag.FromTree(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqs, ops := d.Stats()
+	// Union + shared join + 2 leaves = 4 eqs; Union + Join = 2 ops.
+	if eqs != 4 || ops != 2 {
+		t.Errorf("DAG = %d eqs, %d ops; want 4, 2\n%s", eqs, ops, d.Render())
+	}
+	unionOp := d.Root.Ops[0]
+	if unionOp.Children[0] != unionOp.Children[1] {
+		t.Error("identical subexpressions must map to one equivalence node")
+	}
+}
+
+func TestIncorporateMergesEquivalents(t *testing.T) {
+	db := smallDB()
+	d, err := dag.FromTree(db.ProblemDept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manually declare the alternative (Figure 1 left tree) equivalent
+	// to the root.
+	alt := db.ProblemDeptAlt()
+	eq, err := d.Incorporate(alt, d.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq != d.Root {
+		t.Error("Incorporate under root should land on root")
+	}
+	if len(d.Root.Ops) != 2 {
+		t.Errorf("root should now have 2 alternatives, has %d", len(d.Root.Ops))
+	}
+	// The SumOfSals subview must now be a node of the DAG.
+	if d.FindEq(db.SumOfSals()) == nil {
+		t.Error("SumOfSals equivalence node missing after incorporation")
+	}
+}
+
+func expandProblemDept(t *testing.T, db *corpus.Database) *dag.DAG {
+	t.Helper()
+	d, err := dag.FromTree(db.ProblemDept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Expand(rules.Default(), 200); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestExpandGeneratesFigure2 checks that the default rules grow the
+// ProblemDept DAG with the paper's alternative: an aggregate over Emp
+// alone (SumOfSals, node N3) joined with Dept.
+func TestExpandGeneratesFigure2(t *testing.T) {
+	db := smallDB()
+	d := expandProblemDept(t, db)
+	n3 := d.FindEq(db.SumOfSals())
+	if n3 == nil {
+		t.Fatalf("expansion did not produce the SumOfSals node:\n%s", d.Render())
+	}
+	// The root must have gained at least one alternative op beyond the
+	// original Select.
+	if len(d.Root.Ops) < 1 {
+		t.Fatal("root lost its ops")
+	}
+	// N3 must feed a join with Dept somewhere in the DAG.
+	foundJoin := false
+	for _, p := range n3.Parents {
+		if p.Kind() == algebra.KindJoin {
+			foundJoin = true
+		}
+	}
+	if !foundJoin {
+		t.Errorf("SumOfSals node is not joined with Dept:\n%s", d.Render())
+	}
+}
+
+// TestAllRootTreesEvaluateEqual is the semantic soundness property of the
+// rule engine: every expression tree the expanded DAG represents for the
+// root must evaluate to the same result.
+func TestAllRootTreesEvaluateEqual(t *testing.T) {
+	db := smallDB()
+	// Make the view non-empty so differences would show.
+	rel := db.Store.MustGet("Emp")
+	old := value.Tuple{
+		value.NewString(corpus.EmpName(0, 0)),
+		value.NewString(corpus.DeptName(0)),
+		value.NewInt(corpus.BaseSalary),
+	}
+	newT := old.Clone()
+	newT[2] = value.NewInt(10_000)
+	rel.ApplyBatch([]storage.Mutation{{Old: old, New: newT}})
+
+	d := expandProblemDept(t, db)
+	trees := d.Trees(d.Root, 50)
+	if len(trees) < 2 {
+		t.Fatalf("expected multiple root trees, got %d", len(trees))
+	}
+	ev := exec.NewFree(db.Store)
+	ref, err := ev.Eval(trees[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range trees[1:] {
+		res, err := ev.Eval(tr)
+		if err != nil {
+			t.Fatalf("tree %d: %v\n%s", i+1, err, algebra.Render(tr))
+		}
+		if !resultsMatch(ref, res) {
+			t.Errorf("tree %d disagrees with tree 0:\n%s", i+1, algebra.Render(tr))
+		}
+	}
+}
+
+func resultsMatch(a, b *exec.Result) bool {
+	if a.Card() != b.Card() {
+		return false
+	}
+	// Compare on the shared column set by name (column order may differ
+	// across alternatives only via projections, which realign, so direct
+	// positional comparison of sorted rows is fine here).
+	as, bs := a.Sorted(), b.Sorted()
+	for i := range as {
+		if !as[i].Tuple.Equal(bs[i].Tuple) || as[i].Count != bs[i].Count {
+			return false
+		}
+	}
+	return true
+}
+
+// TestADeptsStatusExpansionFindsV1 verifies the Figure 3 space: from the
+// query-optimal shape, the rules produce the view-maintenance shape whose
+// subview V1 joins Dept with the aggregate over Emp.
+func TestADeptsStatusExpansionFindsV1(t *testing.T) {
+	db := smallDB()
+	d, err := dag.FromTree(db.ADeptsStatus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Expand(rules.Default(), 400); err != nil {
+		t.Fatal(err)
+	}
+	// V1-like node: SumOfSals joined with Dept (either orientation).
+	sum := d.FindEq(db.SumOfSals())
+	if sum == nil {
+		t.Fatalf("SumOfSals missing from ADeptsStatus DAG:\n%s", d.Render())
+	}
+	v1 := false
+	for _, p := range sum.Parents {
+		if p.Kind() != algebra.KindJoin {
+			continue
+		}
+		for _, c := range p.Children {
+			if c.IsLeaf() && c.BaseRel == "Dept" {
+				v1 = true
+			}
+		}
+	}
+	if !v1 {
+		t.Errorf("V1 (SumOfSals ⋈ Dept) not represented:\n%s", d.Render())
+	}
+	// All root trees still agree semantically.
+	trees := d.Trees(d.Root, 30)
+	if len(trees) < 2 {
+		t.Fatalf("expected multiple ADeptsStatus trees, got %d", len(trees))
+	}
+	ev := exec.NewFree(db.Store)
+	ref, err := ev.Eval(trees[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range trees[1:] {
+		res, err := ev.Eval(tr)
+		if err != nil {
+			t.Fatalf("tree %d: %v\n%s", i+1, err, algebra.Render(tr))
+		}
+		if !resultsMatch(ref, res) {
+			t.Errorf("ADeptsStatus tree %d disagrees:\n%s", i+1, algebra.Render(tr))
+		}
+	}
+}
+
+func TestJoinAssocGeneratesAlternative(t *testing.T) {
+	db := smallDB()
+	d, err := dag.FromTree(db.ADeptsStatus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Expand(rules.Default(), 400); err != nil {
+		t.Fatal(err)
+	}
+	// Emp ⋈ ADepts must appear as a class after reassociation.
+	empAdepts := algebra.NewJoin(
+		[]algebra.JoinCond{{Left: "Emp.DName", Right: "ADepts.DName"}},
+		algebra.Scan(db.Catalog.MustGet("Emp")),
+		algebra.Scan(db.Catalog.MustGet("ADepts")),
+	)
+	if d.FindEq(empAdepts) == nil {
+		t.Errorf("join associativity did not produce Emp⋈ADepts:\n%s", d.Render())
+	}
+}
+
+func TestArticulationEqs(t *testing.T) {
+	db := smallDB()
+	d := expandProblemDept(t, db)
+	arts := d.ArticulationEqs()
+	// The SumOfSals node must NOT be an articulation node (the root can
+	// bypass it via the aggregate-over-join alternative). The DAG is
+	// small; just check articulation nodes separate the graph plausibly:
+	// every articulation node has both parents and ops.
+	for _, a := range arts {
+		if len(a.Parents) == 0 || len(a.Ops) == 0 {
+			t.Errorf("articulation node %s has no parents or ops", a)
+		}
+	}
+	// A pure chain Select(Aggregate(Emp)) has its middle node as an
+	// articulation point.
+	chain := algebra.NewSelect(
+		expr.Compare(expr.GT, expr.C("SumSal"), expr.IntLit(0)),
+		db.SumOfSals().(*algebra.Aggregate),
+	)
+	cd, err := dag.FromTree(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts = cd.ArticulationEqs()
+	if len(arts) != 1 {
+		t.Fatalf("chain articulation nodes = %v, want exactly the aggregate", arts)
+	}
+	if arts[0].Expr.Kind() != algebra.KindAggregate {
+		t.Errorf("articulation node should be the aggregate, got %v", arts[0].Expr.Kind())
+	}
+}
+
+func TestRenderMentionsAllNodes(t *testing.T) {
+	db := smallDB()
+	d := expandProblemDept(t, db)
+	out := d.Render()
+	for _, want := range []string{"Emp", "Dept", "Select[", "Aggregate[", "Join["} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTreesLimit(t *testing.T) {
+	db := smallDB()
+	d := expandProblemDept(t, db)
+	trees := d.Trees(d.Root, 2)
+	if len(trees) != 2 {
+		t.Errorf("Trees limit not honored: got %d", len(trees))
+	}
+}
+
+func TestRepTreeIsOriginal(t *testing.T) {
+	db := smallDB()
+	orig := db.ProblemDept()
+	d, err := dag.FromTree(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Expand(rules.Default(), 200); err != nil {
+		t.Fatal(err)
+	}
+	rep := d.RepTree(d.Root)
+	if rep.Label() != orig.Label() {
+		t.Errorf("RepTree changed after expansion:\n%s\nvs\n%s",
+			algebra.Render(rep), algebra.Render(orig))
+	}
+}
+
+// TestCongruenceCascade: declaring two subexpressions equivalent makes
+// their identical parents merge automatically (congruence closure).
+func TestCongruenceCascade(t *testing.T) {
+	db := smallDB()
+	emp := algebra.Scan(db.Catalog.MustGet("Emp"))
+	dept := algebra.Scan(db.Catalog.MustGet("Dept"))
+	// Two selections with different predicates; join each with Dept; a
+	// union on top keeps both reachable.
+	selA := algebra.NewSelect(expr.Compare(expr.GT, expr.C("Emp.Salary"), expr.IntLit(1)), emp)
+	selB := algebra.NewSelect(expr.Compare(expr.GE, expr.C("Emp.Salary"), expr.IntLit(2)), emp)
+	joinA := algebra.NewJoin([]algebra.JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}}, selA, dept)
+	joinB := algebra.NewJoin([]algebra.JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}}, selB, dept)
+	top := algebra.NewUnion(joinA, joinB)
+
+	d, err := dag.FromTree(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqA := d.FindEq(selA)
+	eqB := d.FindEq(selB)
+	jA := d.FindEq(joinA)
+	jB := d.FindEq(joinB)
+	if eqA == nil || eqB == nil || jA == nil || jB == nil || jA == jB {
+		t.Fatal("setup failed")
+	}
+	eqsBefore, _ := d.Stats()
+	// Declare the two selections equivalent: the joins above them have
+	// identical operators over now-identical children, so they must merge
+	// too — and the union's two children become one class.
+	if _, err := d.Incorporate(dag.Ref{Eq: eqB}, eqA); err != nil {
+		t.Fatal(err)
+	}
+	jA2 := d.FindEq(joinA)
+	jB2 := d.FindEq(joinB)
+	if jA2 != jB2 || jA2 == nil {
+		t.Errorf("parents did not merge: %v vs %v\n%s", jA2, jB2, d.Render())
+	}
+	eqsAfter, _ := d.Stats()
+	if eqsAfter >= eqsBefore {
+		t.Errorf("merge should shrink the DAG: %d -> %d", eqsBefore, eqsAfter)
+	}
+}
+
+func TestRenderDOT(t *testing.T) {
+	db := smallDB()
+	d := expandProblemDept(t, db)
+	marked := map[int]bool{d.Root.ID: true}
+	out := d.RenderDOT(marked)
+	for _, want := range []string{"digraph", "shape=box", "shape=ellipse", "(root)", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

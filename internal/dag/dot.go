@@ -1,0 +1,40 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderDOT emits the DAG in Graphviz DOT form: equivalence nodes as
+// boxes (marked ones shaded), operation nodes as ellipses, edges from
+// each equivalence node to its operation alternatives and from each
+// operation to its child classes. marked may be nil.
+func (d *DAG) RenderDOT(marked map[int]bool) string {
+	var b strings.Builder
+	b.WriteString("digraph expression_dag {\n")
+	b.WriteString("  rankdir=BT;\n")
+	b.WriteString("  node [fontsize=10];\n")
+	for _, e := range d.eqs {
+		attrs := `shape=box`
+		label := e.String()
+		if e.IsLeaf() {
+			attrs = `shape=box, style=rounded`
+		} else if marked != nil && marked[e.ID] {
+			attrs = `shape=box, style=filled, fillcolor=lightgray`
+		}
+		if d.IsRoot(e) {
+			label += " (root)"
+		}
+		fmt.Fprintf(&b, "  eq%d [%s, label=%q];\n", e.ID, attrs, label)
+		for _, op := range e.Ops {
+			fmt.Fprintf(&b, "  op%d [shape=ellipse, label=%q];\n", op.ID,
+				fmt.Sprintf("E%d: %s", op.ID, op.OpLabel()))
+			fmt.Fprintf(&b, "  op%d -> eq%d;\n", op.ID, e.ID)
+			for _, c := range op.Children {
+				fmt.Fprintf(&b, "  eq%d -> op%d;\n", c.ID, op.ID)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package dag
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+)
+
+// Rule is an equivalence rule: given an operation node, it produces zero
+// or more alternative expressions for the op's parent class. Returned
+// trees may contain Ref leaves pointing at existing equivalence nodes.
+type Rule interface {
+	Name() string
+	Apply(d *DAG, op *OpNode) []algebra.Node
+}
+
+// ExpandResult reports what an Expand call did.
+type ExpandResult struct {
+	Passes       int
+	Applications int // rule applications that produced at least one tree
+	OpLimitHit   bool
+}
+
+// Expand applies the rules to fixpoint (or until the DAG holds maxOps
+// operation nodes; 0 means no limit). Each (operation node, rule) pair is
+// applied at most once; merges may remove operation nodes, which is
+// handled by consulting liveness before applying.
+func (d *DAG) Expand(rules []Rule, maxOps int) (ExpandResult, error) {
+	var res ExpandResult
+	done := map[string]bool{}
+	for {
+		res.Passes++
+		progress := false
+		for _, op := range d.Ops() {
+			if !d.live(op) {
+				continue
+			}
+			for _, r := range rules {
+				key := fmt.Sprintf("%d/%s", op.ID, r.Name())
+				if done[key] {
+					continue
+				}
+				done[key] = true
+				trees := r.Apply(d, op)
+				if len(trees) > 0 {
+					res.Applications++
+				}
+				parent := op.Parent
+				for _, tr := range trees {
+					if _, err := d.Incorporate(tr, parent); err != nil {
+						return res, fmt.Errorf("dag: rule %s: %w", r.Name(), err)
+					}
+					progress = true
+					if maxOps > 0 {
+						if _, ops := d.Stats(); ops >= maxOps {
+							res.OpLimitHit = true
+							return res, nil
+						}
+					}
+				}
+				if !d.live(op) {
+					break // op was merged away while incorporating
+				}
+			}
+		}
+		if !progress {
+			return res, nil
+		}
+	}
+}
+
+// live reports whether the op is still attached to the DAG.
+func (d *DAG) live(op *OpNode) bool {
+	if op.Parent == nil {
+		return false
+	}
+	for _, o := range op.Parent.Ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}

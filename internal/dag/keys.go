@@ -1,0 +1,59 @@
+package dag
+
+import "repro/internal/algebra"
+
+// KeyedOn reports whether cols contain a candidate key of the equivalence
+// node's result. Exact key knowledge exists for base relations;
+// selections and duplicate elimination preserve keys. (Used by the
+// aggregate-pushdown rule and by the key-based query elimination of the
+// paper's Section 3.6, where Q3d is free because DName is a key of Dept.)
+func (d *DAG) KeyedOn(e *EqNode, cols []string) bool {
+	return d.keyedOn(e, cols, map[int]bool{})
+}
+
+func (d *DAG) keyedOn(e *EqNode, cols []string, seen map[int]bool) bool {
+	if seen[e.ID] {
+		return false
+	}
+	seen[e.ID] = true
+	if e.IsLeaf() {
+		if rel, ok := e.Expr.(*algebra.Rel); ok {
+			return rel.Def.HasKey(cols)
+		}
+		return false
+	}
+	for _, op := range e.Ops {
+		switch op.Kind() {
+		case algebra.KindSelect, algebra.KindDistinct:
+			if d.keyedOn(op.Children[0], cols, seen) {
+				return true
+			}
+		case algebra.KindAggregate:
+			// The group-by columns are a key of the aggregate output.
+			agg := op.Template.(*algebra.Aggregate)
+			set := map[string]bool{}
+			for _, c := range cols {
+				set[c] = true
+			}
+			all := true
+			for _, g := range agg.GroupBy {
+				if !set[g] {
+					all = false
+					break
+				}
+			}
+			if all && len(agg.GroupBy) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ColEquivOf builds the column-equality closure of an equivalence node's
+// representative expression.
+func (d *DAG) ColEquivOf(e *EqNode) *algebra.ColEquiv {
+	u := algebra.NewColEquiv()
+	u.Collect(d.RepTree(e))
+	return u
+}

@@ -1,0 +1,116 @@
+package dag
+
+import "repro/internal/algebra"
+
+// Trees enumerates concrete expression trees represented by an
+// equivalence node, up to limit (0 = no limit). Operation choices that
+// would revisit an equivalence node already on the current path are
+// skipped (rule application can make the memo cyclic through identity
+// rewrites; concrete trees are always acyclic).
+func (d *DAG) Trees(e *EqNode, limit int) []algebra.Node {
+	var out []algebra.Node
+	d.trees(e, map[int]bool{}, limit, &out)
+	return out
+}
+
+func (d *DAG) trees(e *EqNode, onPath map[int]bool, limit int, out *[]algebra.Node) {
+	if limit > 0 && len(*out) >= limit {
+		return
+	}
+	if e.IsLeaf() {
+		*out = append(*out, e.Expr)
+		return
+	}
+	if onPath[e.ID] {
+		return
+	}
+	onPath[e.ID] = true
+	defer delete(onPath, e.ID)
+	for _, op := range e.Ops {
+		childAlts := make([][]algebra.Node, len(op.Children))
+		ok := true
+		for i, c := range op.Children {
+			var alts []algebra.Node
+			d.trees(c, onPath, limit, &alts)
+			if len(alts) == 0 {
+				ok = false
+				break
+			}
+			childAlts[i] = alts
+		}
+		if !ok {
+			continue
+		}
+		// Cartesian product of child alternatives.
+		idx := make([]int, len(childAlts))
+		for {
+			children := make([]algebra.Node, len(childAlts))
+			for i := range childAlts {
+				children[i] = childAlts[i][idx[i]]
+			}
+			*out = append(*out, op.Template.WithChildren(children))
+			if limit > 0 && len(*out) >= limit {
+				return
+			}
+			// Advance the product counter.
+			k := len(idx) - 1
+			for k >= 0 {
+				idx[k]++
+				if idx[k] < len(childAlts[k]) {
+					break
+				}
+				idx[k] = 0
+				k--
+			}
+			if k < 0 {
+				break
+			}
+		}
+	}
+}
+
+// FindEq locates an equivalence node whose representative label matches
+// the canonical label of the given expression, or whose class contains an
+// operation with the same signature over the same children. Returns nil
+// when the expression is not represented.
+func (d *DAG) FindEq(n algebra.Node) *EqNode {
+	eq, err := d.lookup(n)
+	if err != nil {
+		return nil
+	}
+	return eq
+}
+
+// lookup is a non-mutating variant of incorporate: it resolves n to an
+// existing equivalence node without adding anything.
+func (d *DAG) lookup(n algebra.Node) (*EqNode, error) {
+	if r, ok := n.(Ref); ok {
+		return r.Eq, nil
+	}
+	if rel, ok := n.(*algebra.Rel); ok {
+		if e, ok := d.byLabel[rel.Label()]; ok {
+			return e, nil
+		}
+		return nil, errNotFound
+	}
+	children := n.Children()
+	childEqs := make([]*EqNode, len(children))
+	for i, c := range children {
+		ce, err := d.lookup(c)
+		if err != nil {
+			return nil, err
+		}
+		childEqs[i] = ce
+	}
+	key := opKey(n.OpLabel(), childEqs)
+	if op, ok := d.opIndex[key]; ok {
+		return op.Parent, nil
+	}
+	return nil, errNotFound
+}
+
+var errNotFound = errNotFoundType{}
+
+type errNotFoundType struct{}
+
+func (errNotFoundType) Error() string { return "dag: expression not represented" }

@@ -1,0 +1,343 @@
+package delta
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// OldAgg reports the pre-update state of one group of a materialized
+// aggregate view: the stored output tuple, the group's live bag count in
+// the child, and whether the group existed.
+type OldAgg func(groupKey value.Tuple) (out value.Tuple, live int64, ok bool, err error)
+
+// Decomposable reports whether the aggregate view can be maintained
+// purely from its own stored values plus the child delta, with no query
+// on the child: true when every aggregate is SUM or COUNT, or when the
+// delta is insert-only and every aggregate is SUM/COUNT/MIN/MAX.
+// (AVG and deletion-exposed MIN/MAX need the full group.)
+func Decomposable(specs []algebra.AggSpec, d *Delta) bool {
+	insertOnly := true
+	for _, c := range d.Changes {
+		if !c.IsInsert() {
+			insertOnly = false
+			break
+		}
+	}
+	for _, s := range specs {
+		switch s.Func {
+		case algebra.Sum, algebra.Count:
+		case algebra.Min, algebra.Max:
+			if !insertOnly {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// AggregateIncremental maintains an aggregate from the materialized old
+// values alone (the paper's SumOfSals trick: "adding to or subtracting
+// from the previous aggregate values"). It requires Decomposable.
+//
+// It returns the output delta and the new live counts per group key
+// (value.Tuple.Key() form), which the caller persists alongside the view
+// to detect group emptiness.
+func AggregateIncremental(a *algebra.Aggregate, d *Delta, oldAgg OldAgg) (*Delta, map[string]int64, error) {
+	if !Decomposable(a.Aggs, d) {
+		return nil, nil, fmt.Errorf("delta: aggregate %s is not decomposable for this delta", a.OpLabel())
+	}
+	in := d.Schema
+	gpos := make([]int, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		j, err := in.Resolve(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		gpos[i] = j
+	}
+	argFns := make([]func(value.Tuple) value.Value, len(a.Aggs))
+	for i, ag := range a.Aggs {
+		if ag.Arg == nil {
+			continue
+		}
+		f, err := ag.Arg.Compile(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		argFns[i] = f
+	}
+	// Accumulate signed contributions per group.
+	type acc struct {
+		key    value.Tuple
+		sums   []value.Value // signed sum contribution per agg (SUM)
+		counts []int64       // signed count contribution per agg (COUNT)
+		mins   []value.Value // inserts-only MIN/MAX candidates
+		maxs   []value.Value
+		live   int64 // signed bag-count change
+	}
+	groups := map[string]*acc{}
+	var order []string
+	get := func(k value.Tuple) *acc {
+		ks := k.Key()
+		g, ok := groups[ks]
+		if !ok {
+			g = &acc{
+				key:    k,
+				sums:   make([]value.Value, len(a.Aggs)),
+				counts: make([]int64, len(a.Aggs)),
+				mins:   make([]value.Value, len(a.Aggs)),
+				maxs:   make([]value.Value, len(a.Aggs)),
+			}
+			for i := range g.sums {
+				g.sums[i] = value.NewInt(0)
+			}
+			groups[ks] = g
+			order = append(order, ks)
+		}
+		return g
+	}
+	contribute := func(t value.Tuple, n int64) {
+		g := get(t.Project(gpos))
+		g.live += n
+		for i, ag := range a.Aggs {
+			switch ag.Func {
+			case algebra.Count:
+				if ag.Arg == nil {
+					g.counts[i] += n
+				} else if !argFns[i](t).IsNull() {
+					g.counts[i] += n
+				}
+			case algebra.Sum:
+				v := argFns[i](t)
+				if v.IsNull() {
+					continue
+				}
+				for j := int64(0); j < abs64(n); j++ {
+					if n > 0 {
+						g.sums[i] = value.Add(g.sums[i], v)
+					} else {
+						g.sums[i] = value.Sub(g.sums[i], v)
+					}
+				}
+			case algebra.Min:
+				v := argFns[i](t)
+				if v.IsNull() {
+					continue
+				}
+				if g.mins[i].IsNull() || value.Compare(v, g.mins[i]) < 0 {
+					g.mins[i] = v
+				}
+			case algebra.Max:
+				v := argFns[i](t)
+				if v.IsNull() {
+					continue
+				}
+				if g.maxs[i].IsNull() || value.Compare(v, g.maxs[i]) > 0 {
+					g.maxs[i] = v
+				}
+			}
+		}
+	}
+	for _, sr := range d.signedRows() {
+		contribute(sr.tuple, sr.count)
+	}
+	out := New(a.Schema())
+	newLive := map[string]int64{}
+	for _, ks := range order {
+		g := groups[ks]
+		oldTuple, oldLive, existed, err := oldAgg(g.key)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !existed {
+			oldLive = 0
+		}
+		live := oldLive + g.live
+		if live < 0 {
+			return nil, nil, fmt.Errorf("delta: group %v driven to negative live count %d", g.key, live)
+		}
+		newLive[ks] = live
+		// Build the new output tuple from old + contributions.
+		nAggStart := len(gpos)
+		newTuple := make(value.Tuple, 0, nAggStart+len(a.Aggs))
+		newTuple = append(newTuple, g.key...)
+		for i, ag := range a.Aggs {
+			var oldV value.Value
+			if existed {
+				oldV = oldTuple[nAggStart+i]
+			}
+			switch ag.Func {
+			case algebra.Count:
+				base := int64(0)
+				if existed {
+					base = oldV.AsInt()
+				}
+				newTuple = append(newTuple, value.NewInt(base+g.counts[i]))
+			case algebra.Sum:
+				if existed && !oldV.IsNull() {
+					newTuple = append(newTuple, value.Add(oldV, g.sums[i]))
+				} else {
+					newTuple = append(newTuple, g.sums[i])
+				}
+			case algebra.Min:
+				if existed && !oldV.IsNull() && (g.mins[i].IsNull() || value.Compare(oldV, g.mins[i]) < 0) {
+					newTuple = append(newTuple, oldV)
+				} else {
+					newTuple = append(newTuple, g.mins[i])
+				}
+			case algebra.Max:
+				if existed && !oldV.IsNull() && (g.maxs[i].IsNull() || value.Compare(oldV, g.maxs[i]) > 0) {
+					newTuple = append(newTuple, oldV)
+				} else {
+					newTuple = append(newTuple, g.maxs[i])
+				}
+			}
+		}
+		switch {
+		case !existed && live > 0:
+			out.Insert(newTuple, 1)
+		case existed && live == 0:
+			out.Delete(oldTuple, 1)
+		case existed && live > 0:
+			out.Modify(oldTuple, newTuple, 1)
+		}
+	}
+	return out, newLive, nil
+}
+
+// AggregateFull recomputes each affected group from its pre-update rows
+// (supplied by oldGroup — a query on the child, or GroupRowsFromDelta
+// when the delta covers whole groups) plus the delta.
+func AggregateFull(a *algebra.Aggregate, d *Delta, oldGroup func(value.Tuple) ([]storage.Row, error)) (*Delta, error) {
+	in := d.Schema
+	gpos := make([]int, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		j, err := in.Resolve(g)
+		if err != nil {
+			return nil, err
+		}
+		gpos[i] = j
+	}
+	keys, err := d.AffectedKeys(a.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	out := New(a.Schema())
+	for _, gk := range keys {
+		oldRows, err := oldGroup(gk)
+		if err != nil {
+			return nil, err
+		}
+		// Restrict the delta to this group.
+		sub := New(in)
+		for _, c := range d.Changes {
+			oldIn := c.Old != nil && c.Old.Project(gpos).Equal(gk)
+			newIn := c.New != nil && c.New.Project(gpos).Equal(gk)
+			switch {
+			case oldIn && newIn:
+				sub.Changes = append(sub.Changes, c)
+			case oldIn:
+				sub.Delete(c.Old, c.Count)
+			case newIn:
+				sub.Insert(c.New, c.Count)
+			}
+		}
+		newRows := ApplyTo(oldRows, sub)
+		oldTuple, oldOK, err := aggregateGroup(a, in, gk, oldRows)
+		if err != nil {
+			return nil, err
+		}
+		newTuple, newOK, err := aggregateGroup(a, in, gk, newRows)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case oldOK && newOK:
+			out.Modify(oldTuple, newTuple, 1)
+		case oldOK:
+			out.Delete(oldTuple, 1)
+		case newOK:
+			out.Insert(newTuple, 1)
+		}
+	}
+	return out, nil
+}
+
+// aggregateGroup computes the output tuple for one group over the given
+// child rows; ok is false when the group is empty.
+func aggregateGroup(a *algebra.Aggregate, in *catalog.Schema, gk value.Tuple, rows []storage.Row) (value.Tuple, bool, error) {
+	var total int64
+	for _, r := range rows {
+		total += r.Count
+	}
+	if total <= 0 {
+		return nil, false, nil
+	}
+	out := make(value.Tuple, 0, len(gk)+len(a.Aggs))
+	out = append(out, gk...)
+	for _, ag := range a.Aggs {
+		if ag.Arg == nil { // COUNT(*)
+			out = append(out, value.NewInt(total))
+			continue
+		}
+		f, err := ag.Arg.Compile(in)
+		if err != nil {
+			return nil, false, err
+		}
+		sum := value.NewInt(0)
+		var count int64
+		var minV, maxV value.Value
+		for _, r := range rows {
+			v := f(r.Tuple)
+			if v.IsNull() {
+				continue
+			}
+			for j := int64(0); j < r.Count; j++ {
+				sum = value.Add(sum, v)
+			}
+			count += r.Count
+			if minV.IsNull() || value.Compare(v, minV) < 0 {
+				minV = v
+			}
+			if maxV.IsNull() || value.Compare(v, maxV) > 0 {
+				maxV = v
+			}
+		}
+		switch ag.Func {
+		case algebra.Sum:
+			if count == 0 {
+				out = append(out, value.NewNull())
+			} else {
+				out = append(out, sum)
+			}
+		case algebra.Count:
+			out = append(out, value.NewInt(count))
+		case algebra.Avg:
+			if count == 0 {
+				out = append(out, value.NewNull())
+			} else {
+				out = append(out, value.NewFloat(sum.AsFloat()/float64(count)))
+			}
+		case algebra.Min:
+			out = append(out, minV)
+		case algebra.Max:
+			out = append(out, maxV)
+		default:
+			return nil, false, fmt.Errorf("delta: unsupported aggregate %s", ag.Func)
+		}
+	}
+	return out, true, nil
+}
+
+func abs64(n int64) int64 {
+	if n < 0 {
+		return -n
+	}
+	return n
+}

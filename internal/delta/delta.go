@@ -1,0 +1,255 @@
+// Package delta implements differential (incremental) computation over
+// the logical algebra: given changes to an operator's inputs, it derives
+// the changes to the operator's output, in the style of the counting
+// algorithm and the paper's Section 2.2 ([GMS93]/[BLT86]-style).
+//
+// Deltas carry three change shapes — insertions, deletions and in-place
+// modifications (paired old/new tuples). Modifications are first-class
+// because the paper's cost arithmetic (read old + write new) and the
+// aggregate add/subtract trick depend on keeping the pairing.
+//
+// Propagation through joins, distinct, difference and (non-covered)
+// aggregation needs access to the *pre-update* state of other inputs;
+// callers supply that state through probe callbacks, which is where the
+// paper's "queries posed on equivalence nodes" happen. The delta package
+// itself performs no I/O.
+package delta
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Change is one element of a delta. Exactly one of the three shapes:
+//
+//   - insert: New set, Old nil
+//   - delete: Old set, New nil
+//   - modify: both set
+//
+// Count is the bag multiplicity (>= 1).
+type Change struct {
+	Old   value.Tuple
+	New   value.Tuple
+	Count int64
+}
+
+// IsInsert reports whether c is an insertion.
+func (c Change) IsInsert() bool { return c.Old == nil && c.New != nil }
+
+// IsDelete reports whether c is a deletion.
+func (c Change) IsDelete() bool { return c.Old != nil && c.New == nil }
+
+// IsModify reports whether c is a modification.
+func (c Change) IsModify() bool { return c.Old != nil && c.New != nil }
+
+// String renders the change as +t, -t or old→new.
+func (c Change) String() string {
+	n := c.Count
+	if n == 0 {
+		n = 1
+	}
+	switch {
+	case c.IsInsert():
+		return fmt.Sprintf("+%v×%d", c.New, n)
+	case c.IsDelete():
+		return fmt.Sprintf("-%v×%d", c.Old, n)
+	default:
+		return fmt.Sprintf("%v→%v×%d", c.Old, c.New, n)
+	}
+}
+
+// Delta is a set of changes against a relation with the given schema.
+type Delta struct {
+	Schema  *catalog.Schema
+	Changes []Change
+}
+
+// New returns an empty delta for the schema.
+func New(s *catalog.Schema) *Delta { return &Delta{Schema: s} }
+
+// Empty reports whether the delta carries no changes.
+func (d *Delta) Empty() bool { return d == nil || len(d.Changes) == 0 }
+
+// Insert appends an insertion.
+func (d *Delta) Insert(t value.Tuple, count int64) {
+	d.Changes = append(d.Changes, Change{New: t, Count: count})
+}
+
+// Delete appends a deletion.
+func (d *Delta) Delete(t value.Tuple, count int64) {
+	d.Changes = append(d.Changes, Change{Old: t, Count: count})
+}
+
+// Modify appends a modification, dropping no-ops.
+func (d *Delta) Modify(old, new value.Tuple, count int64) {
+	if old.Equal(new) {
+		return
+	}
+	d.Changes = append(d.Changes, Change{Old: old, New: new, Count: count})
+}
+
+// Size returns the number of changes (the paper's |delta|, used for
+// update-cost accounting).
+func (d *Delta) Size() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.Changes)
+}
+
+// ToMutations converts the delta into storage mutations.
+func (d *Delta) ToMutations() []storage.Mutation {
+	out := make([]storage.Mutation, 0, len(d.Changes))
+	for _, c := range d.Changes {
+		out = append(out, storage.Mutation{Old: c.Old, New: c.New, Count: c.Count})
+	}
+	return out
+}
+
+// signedRow is a tuple with a signed multiplicity; mods expand to a
+// -old/+new pair.
+type signedRow struct {
+	tuple value.Tuple
+	count int64 // signed
+}
+
+func (d *Delta) signedRows() []signedRow {
+	var out []signedRow
+	for _, c := range d.Changes {
+		n := c.Count
+		if n == 0 {
+			n = 1
+		}
+		if c.Old != nil {
+			out = append(out, signedRow{tuple: c.Old, count: -n})
+		}
+		if c.New != nil {
+			out = append(out, signedRow{tuple: c.New, count: +n})
+		}
+	}
+	return out
+}
+
+// Normalize merges changes tuple-wise into net insertions and deletions,
+// re-pairing nothing: the result contains no modifications. Useful for
+// comparing deltas in tests and for signed composition.
+func (d *Delta) Normalize() *Delta {
+	net := map[string]*signedRow{}
+	var order []string
+	for _, sr := range d.signedRows() {
+		k := sr.tuple.Key()
+		if e, ok := net[k]; ok {
+			e.count += sr.count
+		} else {
+			cp := sr
+			net[k] = &cp
+			order = append(order, k)
+		}
+	}
+	out := New(d.Schema)
+	for _, k := range order {
+		e := net[k]
+		switch {
+		case e.count > 0:
+			out.Insert(e.tuple, e.count)
+		case e.count < 0:
+			out.Delete(e.tuple, -e.count)
+		}
+	}
+	return out
+}
+
+// AffectedKeys returns the distinct projections of all changed tuples
+// (old and new sides) onto the given columns, in first-seen order. These
+// are the probe keys for the queries posed during propagation.
+func (d *Delta) AffectedKeys(cols []string) ([]value.Tuple, error) {
+	pos := make([]int, len(cols))
+	for i, c := range cols {
+		j, err := d.Schema.Resolve(c)
+		if err != nil {
+			return nil, err
+		}
+		pos[i] = j
+	}
+	seen := map[string]bool{}
+	var out []value.Tuple
+	add := func(t value.Tuple) {
+		if t == nil {
+			return
+		}
+		k := t.Project(pos)
+		ks := k.Key()
+		if !seen[ks] {
+			seen[ks] = true
+			out = append(out, k)
+		}
+	}
+	for _, c := range d.Changes {
+		add(c.Old)
+		add(c.New)
+	}
+	return out, nil
+}
+
+// GroupCounts returns the signed change in bag cardinality per group key
+// (value.Tuple.Key() form) that the delta causes, grouping by the given
+// columns. Used to maintain the live-count sidecars of materialized
+// aggregate views.
+func (d *Delta) GroupCounts(groupCols []string) (map[string]int64, error) {
+	pos := make([]int, len(groupCols))
+	for i, c := range groupCols {
+		j, err := d.Schema.Resolve(c)
+		if err != nil {
+			return nil, err
+		}
+		pos[i] = j
+	}
+	out := map[string]int64{}
+	for _, sr := range d.signedRows() {
+		out[sr.tuple.Project(pos).Key()] += sr.count
+	}
+	return out, nil
+}
+
+// TupleCounts returns the signed change in multiplicity per full tuple
+// (for distinct-view sidecars).
+func (d *Delta) TupleCounts() map[string]int64 {
+	out := map[string]int64{}
+	for _, sr := range d.signedRows() {
+		out[sr.tuple.Key()] += sr.count
+	}
+	return out
+}
+
+// ApplyTo applies the delta to a bag of rows (pre-update), returning the
+// post-update bag. Used by the full-group aggregate path and as a test
+// oracle.
+func ApplyTo(rows []storage.Row, d *Delta) []storage.Row {
+	net := map[string]*storage.Row{}
+	var order []string
+	add := func(t value.Tuple, n int64) {
+		k := t.Key()
+		if e, ok := net[k]; ok {
+			e.Count += n
+		} else {
+			net[k] = &storage.Row{Tuple: t, Count: n}
+			order = append(order, k)
+		}
+	}
+	for _, r := range rows {
+		add(r.Tuple, r.Count)
+	}
+	for _, sr := range d.signedRows() {
+		add(sr.tuple, sr.count)
+	}
+	var out []storage.Row
+	for _, k := range order {
+		if e := net[k]; e.Count > 0 {
+			out = append(out, *e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,408 @@
+package delta
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Probe answers a point query on a pre-update input: all rows whose key
+// columns equal jk. The caller decides how the probe is served (index
+// lookup on a materialized view, recursive evaluation, ...), which is
+// where the paper's query costs arise.
+type Probe func(jk value.Tuple) ([]storage.Row, error)
+
+// CountProbe answers "what is the pre-update multiplicity of t".
+type CountProbe func(t value.Tuple) (int64, error)
+
+// Select propagates d through a selection: changes whose tuples fail the
+// predicate are dropped or downgraded (a modification that crosses the
+// predicate boundary becomes an insertion or deletion).
+func Select(sel *algebra.Select, d *Delta) (*Delta, error) {
+	f, err := sel.Pred.Compile(d.Schema)
+	if err != nil {
+		return nil, err
+	}
+	out := New(d.Schema)
+	for _, c := range d.Changes {
+		oldIn := c.Old != nil && f(c.Old).Truth()
+		newIn := c.New != nil && f(c.New).Truth()
+		switch {
+		case oldIn && newIn:
+			out.Modify(c.Old, c.New, c.Count)
+		case oldIn:
+			out.Delete(c.Old, c.Count)
+		case newIn:
+			out.Insert(c.New, c.Count)
+		}
+	}
+	return out, nil
+}
+
+// Project propagates d through a projection. Modifications whose old and
+// new tuples collapse to the same projected tuple are dropped.
+func Project(p *algebra.Project, d *Delta) (*Delta, error) {
+	fs := make([]func(value.Tuple) value.Value, len(p.Items))
+	for i, it := range p.Items {
+		f, err := it.E.Compile(d.Schema)
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	apply := func(t value.Tuple) value.Tuple {
+		if t == nil {
+			return nil
+		}
+		out := make(value.Tuple, len(fs))
+		for i, f := range fs {
+			out[i] = f(t)
+		}
+		return out
+	}
+	out := New(p.Schema())
+	for _, c := range d.Changes {
+		o, n := apply(c.Old), apply(c.New)
+		switch {
+		case o != nil && n != nil:
+			out.Modify(o, n, c.Count)
+		case o != nil:
+			out.Delete(o, c.Count)
+		case n != nil:
+			out.Insert(n, c.Count)
+		}
+	}
+	return out, nil
+}
+
+// JoinSide propagates a delta arriving on one side of an equijoin.
+// side 0 means d is against j.L, side 1 against j.R. probe returns the
+// pre-update matching rows of the *other* side for a join-key value.
+//
+// A modification that preserves the join key stays a modification (paired
+// with each matching row); one that moves the tuple across join keys
+// becomes a deletion of the old matches plus an insertion of the new.
+func JoinSide(j *algebra.Join, d *Delta, side int, probe Probe) (*Delta, error) {
+	var myCols []string
+	if side == 0 {
+		myCols = j.LeftCols()
+	} else {
+		myCols = j.RightCols()
+	}
+	pos := make([]int, len(myCols))
+	for i, c := range myCols {
+		k, err := d.Schema.Resolve(c)
+		if err != nil {
+			return nil, err
+		}
+		pos[i] = k
+	}
+	outSchema := j.Schema()
+	var residual func(value.Tuple) value.Value
+	if j.Residual != nil {
+		f, err := j.Residual.Compile(outSchema)
+		if err != nil {
+			return nil, err
+		}
+		residual = f
+	}
+	concat := func(mine, other value.Tuple) value.Tuple {
+		t := make(value.Tuple, 0, len(mine)+len(other))
+		if side == 0 {
+			t = append(append(t, mine...), other...)
+		} else {
+			t = append(append(t, other...), mine...)
+		}
+		return t
+	}
+	keep := func(t value.Tuple) bool {
+		return residual == nil || residual(t).Truth()
+	}
+	// Cache probes per join-key to mirror the one-query-per-key cost
+	// model (and avoid re-reading).
+	cache := map[string][]storage.Row{}
+	matches := func(jk value.Tuple) ([]storage.Row, error) {
+		k := jk.Key()
+		if rows, ok := cache[k]; ok {
+			return rows, nil
+		}
+		rows, err := probe(jk)
+		if err != nil {
+			return nil, err
+		}
+		cache[k] = rows
+		return rows, nil
+	}
+	out := New(outSchema)
+	for _, c := range d.Changes {
+		switch {
+		case c.IsInsert():
+			rows, err := matches(c.New.Project(pos))
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rows {
+				if t := concat(c.New, r.Tuple); keep(t) {
+					out.Insert(t, c.Count*r.Count)
+				}
+			}
+		case c.IsDelete():
+			rows, err := matches(c.Old.Project(pos))
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rows {
+				if t := concat(c.Old, r.Tuple); keep(t) {
+					out.Delete(t, c.Count*r.Count)
+				}
+			}
+		default: // modify
+			oldKey, newKey := c.Old.Project(pos), c.New.Project(pos)
+			if oldKey.Equal(newKey) {
+				rows, err := matches(oldKey)
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range rows {
+					ot, nt := concat(c.Old, r.Tuple), concat(c.New, r.Tuple)
+					oin, nin := keep(ot), keep(nt)
+					switch {
+					case oin && nin:
+						out.Modify(ot, nt, c.Count*r.Count)
+					case oin:
+						out.Delete(ot, c.Count*r.Count)
+					case nin:
+						out.Insert(nt, c.Count*r.Count)
+					}
+				}
+			} else {
+				oldRows, err := matches(oldKey)
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range oldRows {
+					if t := concat(c.Old, r.Tuple); keep(t) {
+						out.Delete(t, c.Count*r.Count)
+					}
+				}
+				newRows, err := matches(newKey)
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range newRows {
+					if t := concat(c.New, r.Tuple); keep(t) {
+						out.Insert(t, c.Count*r.Count)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// JoinBoth combines the three terms of the bag-join differential when
+// both inputs changed in the same transaction:
+//
+//	Δ(L⋈R) = ΔL⋈R_old ∪ L_old⋈ΔR ∪ ΔL⋈ΔR
+//
+// probeR and probeL answer against the pre-update states. The ΔL⋈ΔR term
+// is computed in memory over signed rows (modifications expand to
+// -old/+new), so re-pairing of modifications is not preserved across this
+// term — the result is returned normalized.
+func JoinBoth(j *algebra.Join, dl, dr *Delta, probeL, probeR Probe) (*Delta, error) {
+	a, err := JoinSide(j, dl, 0, probeR)
+	if err != nil {
+		return nil, err
+	}
+	b, err := JoinSide(j, dr, 1, probeL)
+	if err != nil {
+		return nil, err
+	}
+	c, err := joinDeltaDelta(j, dl, dr)
+	if err != nil {
+		return nil, err
+	}
+	out := New(j.Schema())
+	out.Changes = append(out.Changes, a.Changes...)
+	out.Changes = append(out.Changes, b.Changes...)
+	out.Changes = append(out.Changes, c.Changes...)
+	return out.Normalize(), nil
+}
+
+// joinDeltaDelta computes the signed join ΔL⋈ΔR.
+func joinDeltaDelta(j *algebra.Join, dl, dr *Delta) (*Delta, error) {
+	lpos := make([]int, len(j.On))
+	rpos := make([]int, len(j.On))
+	for i, c := range j.On {
+		li, err := dl.Schema.Resolve(c.Left)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := dr.Schema.Resolve(c.Right)
+		if err != nil {
+			return nil, err
+		}
+		lpos[i], rpos[i] = li, ri
+	}
+	outSchema := j.Schema()
+	var residual func(value.Tuple) value.Value
+	if j.Residual != nil {
+		f, err := j.Residual.Compile(outSchema)
+		if err != nil {
+			return nil, err
+		}
+		residual = f
+	}
+	build := map[string][]signedRow{}
+	for _, sr := range dr.signedRows() {
+		k := sr.tuple.Project(rpos).Key()
+		build[k] = append(build[k], sr)
+	}
+	out := New(outSchema)
+	for _, lsr := range dl.signedRows() {
+		k := lsr.tuple.Project(lpos).Key()
+		for _, rsr := range build[k] {
+			t := make(value.Tuple, 0, len(lsr.tuple)+len(rsr.tuple))
+			t = append(append(t, lsr.tuple...), rsr.tuple...)
+			if residual != nil && !residual(t).Truth() {
+				continue
+			}
+			n := lsr.count * rsr.count
+			switch {
+			case n > 0:
+				out.Insert(t, n)
+			case n < 0:
+				out.Delete(t, -n)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Distinct propagates d through duplicate elimination. countOf reports
+// the pre-update bag multiplicity of a tuple in the child.
+func Distinct(dis *algebra.Distinct, d *Delta, countOf CountProbe) (*Delta, error) {
+	// Work on the normalized (signed) form: distinct output changes only
+	// when a tuple's count crosses 0.
+	net := d.Normalize()
+	out := New(d.Schema)
+	for _, c := range net.Changes {
+		switch {
+		case c.IsInsert():
+			before, err := countOf(c.New)
+			if err != nil {
+				return nil, err
+			}
+			if before == 0 {
+				out.Insert(c.New, 1)
+			}
+		case c.IsDelete():
+			before, err := countOf(c.Old)
+			if err != nil {
+				return nil, err
+			}
+			if before-c.Count <= 0 && before > 0 {
+				out.Delete(c.Old, 1)
+			}
+		}
+	}
+	return out, nil
+}
+
+// UnionSide propagates a delta through bag union: changes pass through
+// unchanged (counts add across sides, so any change on one side is a
+// change of the result).
+func UnionSide(u *algebra.Union, d *Delta) *Delta {
+	out := New(u.Schema())
+	out.Changes = append(out.Changes, d.Changes...)
+	return out
+}
+
+// DiffSide propagates a delta through bag difference L − R (counts floor
+// at zero). side 0 means d is against L. countL and countR report
+// pre-update multiplicities.
+func DiffSide(diff *algebra.Diff, d *Delta, side int, countL, countR CountProbe) (*Delta, error) {
+	net := d.Normalize()
+	// Net signed change per tuple on the changed side.
+	type affected struct {
+		tuple value.Tuple
+		delta int64
+	}
+	var all []affected
+	for _, c := range net.Changes {
+		n := c.Count
+		if n == 0 {
+			n = 1
+		}
+		switch {
+		case c.IsInsert():
+			all = append(all, affected{c.New, +n})
+		case c.IsDelete():
+			all = append(all, affected{c.Old, -n})
+		}
+	}
+	out := New(diff.Schema())
+	for _, a := range all {
+		l, err := countL(a.tuple)
+		if err != nil {
+			return nil, err
+		}
+		r, err := countR(a.tuple)
+		if err != nil {
+			return nil, err
+		}
+		oldOut := maxInt64(0, l-r)
+		var newOut int64
+		if side == 0 {
+			newOut = maxInt64(0, l+a.delta-r)
+		} else {
+			newOut = maxInt64(0, l-(r+a.delta))
+		}
+		switch {
+		case newOut > oldOut:
+			out.Insert(a.tuple, newOut-oldOut)
+		case newOut < oldOut:
+			out.Delete(a.tuple, oldOut-newOut)
+		}
+	}
+	return out, nil
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GroupRowsFromDelta extracts, per group key, the OLD rows present in the
+// delta itself. It serves as the oldGroup probe when the delta is known
+// to cover entire groups (the paper's key-based optimization that makes
+// query Q3d free: "the result propagated up along E5 and N4 contains all
+// the tuples in the group").
+func GroupRowsFromDelta(d *Delta, groupCols []string) (func(value.Tuple) ([]storage.Row, error), error) {
+	pos := make([]int, len(groupCols))
+	for i, c := range groupCols {
+		j, err := d.Schema.Resolve(c)
+		if err != nil {
+			return nil, err
+		}
+		pos[i] = j
+	}
+	byGroup := map[string][]storage.Row{}
+	for _, c := range d.Changes {
+		if c.Old == nil {
+			continue
+		}
+		n := c.Count
+		if n == 0 {
+			n = 1
+		}
+		k := c.Old.Project(pos).Key()
+		byGroup[k] = append(byGroup[k], storage.Row{Tuple: c.Old, Count: n})
+	}
+	return func(gk value.Tuple) ([]storage.Row, error) {
+		return byGroup[gk.Key()], nil
+	}, nil
+}
+

@@ -1,0 +1,160 @@
+package ic_test
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/cost"
+	"repro/internal/dag"
+	"repro/internal/delta"
+	"repro/internal/ic"
+	"repro/internal/maintain"
+	"repro/internal/rules"
+	"repro/internal/tracks"
+	"repro/internal/txn"
+)
+
+func checkerFixture(t *testing.T, mode ic.Mode) (*corpus.Database, *ic.Checker) {
+	t.Helper()
+	db := corpus.NewDatabase(corpus.Config{Departments: 8, EmpsPerDept: 4})
+	d, err := dag.FromTree(db.ProblemDept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Expand(rules.Default(), 200); err != nil {
+		t.Fatal(err)
+	}
+	vs := tracks.RootSet(d)
+	if n3 := d.FindEq(db.SumOfSals()); n3 != nil {
+		vs[n3.ID] = true
+	}
+	m, err := maintain.New(d, db.Store, cost.PageIO{}, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := ic.New(m, mode, ic.Assertion{Name: "DeptConstraint", View: d.Root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, checker
+}
+
+func TestCleanTransactionPasses(t *testing.T) {
+	db, c := checkerFixture(t, ic.Reject)
+	d, err := db.EmpSalaryDelta(0, 0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Execute(txn.PaperTypes()[0], map[string]*delta.Delta{"Emp": d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() || out.RolledBack {
+		t.Errorf("clean transaction flagged: %+v", out.Violations)
+	}
+}
+
+func TestViolationRejectedAndRolledBack(t *testing.T) {
+	db, c := checkerFixture(t, ic.Reject)
+	d, err := db.EmpSalaryDelta(3, 1, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Execute(txn.PaperTypes()[0], map[string]*delta.Delta{"Emp": d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OK() || !out.RolledBack {
+		t.Fatalf("violation not rejected: %+v", out)
+	}
+	if out.Violations[0].Assertion != "DeptConstraint" {
+		t.Errorf("violation name = %q", out.Violations[0].Assertion)
+	}
+	// State must be as before: re-running a clean transaction passes and
+	// the assertion view is empty.
+	d, err = db.EmpSalaryDelta(3, 1, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = c.Execute(txn.PaperTypes()[0], map[string]*delta.Delta{"Emp": d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Errorf("post-rollback transaction flagged: %+v", out.Violations)
+	}
+}
+
+func TestReportModeKeepsViolation(t *testing.T) {
+	db, c := checkerFixture(t, ic.Report)
+	d, err := db.EmpSalaryDelta(2, 2, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Execute(txn.PaperTypes()[0], map[string]*delta.Delta{"Emp": d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OK() || out.RolledBack {
+		t.Fatalf("report mode should flag but keep: %+v", out)
+	}
+	// The violation persists (deferred-style): a later unrelated
+	// transaction still sees it.
+	d2, err := db.DeptBudgetDelta(5, 99_999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = c.Execute(txn.PaperTypes()[1], map[string]*delta.Delta{"Dept": d2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OK() {
+		t.Error("pre-existing violation should still be visible")
+	}
+}
+
+func TestBudgetRaiseCuresViolation(t *testing.T) {
+	db, c := checkerFixture(t, ic.Report)
+	d, err := db.EmpSalaryDelta(1, 0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(txn.PaperTypes()[0], map[string]*delta.Delta{"Emp": d}); err != nil {
+		t.Fatal(err)
+	}
+	// Raising the department's budget above the new sum cures it.
+	d2, err := db.DeptBudgetDelta(1, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Execute(txn.PaperTypes()[1], map[string]*delta.Delta{"Dept": d2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Errorf("budget raise should cure the violation: %+v", out.Violations)
+	}
+}
+
+func TestAssertionMustBeMaterialized(t *testing.T) {
+	db := corpus.NewDatabase(corpus.Config{Departments: 2, EmpsPerDept: 2})
+	d, err := dag.FromTree(db.ProblemDept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := maintain.New(d, db.Store, cost.PageIO{}, tracks.RootSet(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A non-materialized node cannot back an assertion.
+	var nonRoot *dag.EqNode
+	for _, e := range d.NonLeafEqs() {
+		if !d.IsRoot(e) {
+			nonRoot = e
+			break
+		}
+	}
+	if _, err := ic.New(m, ic.Reject, ic.Assertion{Name: "bad", View: nonRoot}); err == nil {
+		t.Error("assertion over unmaterialized view should be rejected")
+	}
+}

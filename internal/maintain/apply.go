@@ -1,0 +1,324 @@
+package maintain
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/dag"
+	"repro/internal/delta"
+	"repro/internal/exec"
+	"repro/internal/storage"
+	"repro/internal/tracks"
+	"repro/internal/value"
+)
+
+// opDelta computes the delta of one equivalence node through its chosen
+// operation node, posing charged queries where the cost model charged
+// them. The decision logic (which queries an operator needs) mirrors
+// tracks.opFlow: joins probe the unaffected side; aggregates skip their
+// group query when the parent is materialized with decomposable
+// aggregates, or when the delta covers whole groups.
+func (m *Maintainer) opDelta(e *dag.EqNode, op *dag.OpNode, deltas map[int]*delta.Delta, tr *tracks.Track, cache map[string][]storage.Row) (*delta.Delta, error) {
+	childDelta := func(i int) *delta.Delta { return deltas[op.Children[i].ID] }
+	switch t := op.Template.(type) {
+	case *algebra.Select:
+		return delta.Select(t, childDelta(0))
+
+	case *algebra.Project:
+		return delta.Project(t, childDelta(0))
+
+	case *algebra.Join:
+		dl, dr := childDelta(0), childDelta(1)
+		probeL := m.probe(op.Children[0], t.LeftCols(), cache)
+		probeR := m.probe(op.Children[1], t.RightCols(), cache)
+		switch {
+		case !dl.Empty() && !dr.Empty():
+			return delta.JoinBoth(t, dl, dr, probeL, probeR)
+		case !dl.Empty():
+			return delta.JoinSide(t, dl, 0, probeR)
+		case !dr.Empty():
+			return delta.JoinSide(t, dr, 1, probeL)
+		default:
+			return delta.New(t.Schema()), nil
+		}
+
+	case *algebra.Aggregate:
+		return m.aggregateDelta(e, op, t, deltas, tr, cache)
+
+	case *algebra.Distinct:
+		cd := childDelta(0)
+		countOf, err := m.countProbe(e, op.Children[0], cache)
+		if err != nil {
+			return nil, err
+		}
+		return delta.Distinct(t, cd, countOf)
+
+	case *algebra.Union:
+		out := delta.New(t.Schema())
+		for i := range op.Children {
+			if cd := childDelta(i); !cd.Empty() {
+				out.Changes = append(out.Changes, cd.Changes...)
+			}
+		}
+		return out, nil
+
+	case *algebra.Diff:
+		countL, err := m.countProbe(e, op.Children[0], cache)
+		if err != nil {
+			return nil, err
+		}
+		countR, err := m.countProbe(e, op.Children[1], cache)
+		if err != nil {
+			return nil, err
+		}
+		out := delta.New(t.Schema())
+		for i := range op.Children {
+			cd := childDelta(i)
+			if cd.Empty() {
+				continue
+			}
+			part, err := delta.DiffSide(t, cd, i, countL, countR)
+			if err != nil {
+				return nil, err
+			}
+			out.Changes = append(out.Changes, part.Changes...)
+		}
+		return out.Normalize(), nil
+
+	default:
+		return nil, fmt.Errorf("maintain: unsupported operator %s", op.OpLabel())
+	}
+}
+
+// aggregateDelta picks between the incremental (materialized parent,
+// decomposable), covered (key-based, query-free) and full-group (queried)
+// aggregate maintenance strategies — the same three-way decision the cost
+// estimator prices.
+func (m *Maintainer) aggregateDelta(e *dag.EqNode, op *dag.OpNode, agg *algebra.Aggregate, deltas map[int]*delta.Delta, tr *tracks.Track, cache map[string][]storage.Row) (*delta.Delta, error) {
+	child := op.Children[0]
+	cd := deltas[child.ID]
+	if cd.Empty() {
+		return delta.New(agg.Schema()), nil
+	}
+	v := m.views[e.ID]
+	gc := map[string]int64{}
+	if v != nil && v.aggOp == op {
+		var err error
+		gc, err = cd.GroupCounts(agg.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+	}
+	staleTouched := false
+	for k := range gc {
+		if v.stale[k] {
+			staleTouched = true
+			break
+		}
+	}
+	if v != nil && v.aggOp == op && !staleTouched && delta.Decomposable(agg.Aggs, cd) {
+		out, live, err := delta.AggregateIncremental(agg, cd, m.oldAggProbe(v, agg))
+		if err != nil {
+			return nil, err
+		}
+		v.pending = live
+		return out, nil
+	}
+	childOp := tr.Choice[child.ID]
+	deltaSide := -1
+	if childOp != nil {
+		for i, ch := range childOp.Children {
+			if d, ok := deltas[ch.ID]; ok && !d.Empty() {
+				if deltaSide >= 0 {
+					deltaSide = -2
+					break
+				}
+				deltaSide = i
+			}
+		}
+	}
+	var oldGroup func(value.Tuple) ([]storage.Row, error)
+	if tracks.CoversGroups(m.D, agg, child, childOp, deltaSide) {
+		fromDelta, err := delta.GroupRowsFromDelta(cd, agg.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		oldGroup = fromDelta
+	} else {
+		// Full-group recomputation with a charged query per affected
+		// group (cached within the transaction).
+		oldGroup = func(gk value.Tuple) ([]storage.Row, error) {
+			return m.answerQuery(child, agg.GroupBy, gk, cache)
+		}
+	}
+	out, err := delta.AggregateFull(agg, cd, oldGroup)
+	if err != nil {
+		return nil, err
+	}
+	// Resync the sidecar for the groups this path recomputed: the
+	// pre-update group rows are known, so the post-update live counts
+	// are too — this also heals staleness.
+	if v != nil && v.aggOp == op {
+		keys, err := cd.AffectedKeys(agg.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		pending := map[string]int64{}
+		for _, gk := range keys {
+			rows, err := oldGroup(gk)
+			if err != nil {
+				return nil, err
+			}
+			var oldLive int64
+			for _, r := range rows {
+				oldLive += r.Count
+			}
+			k := gk.Key()
+			pending[k] = oldLive + gc[k]
+		}
+		v.pending = pending
+	}
+	return out, nil
+}
+
+// oldAggProbe reads a group's stored output tuple and live count without
+// charging I/O: the paper folds the old-value read into the view's update
+// cost (read old + write new), which ApplyBatch charges.
+func (m *Maintainer) oldAggProbe(v *View, agg *algebra.Aggregate) delta.OldAgg {
+	nGroup := len(agg.GroupBy)
+	cols := make([]string, nGroup)
+	copy(cols, v.Eq.Schema().ColumnNames()[:nGroup])
+	return func(gk value.Tuple) (value.Tuple, int64, bool, error) {
+		was := v.Rel.Resident
+		v.Rel.Resident = true
+		rows := v.Rel.Lookup(cols, gk)
+		v.Rel.Resident = was
+		if len(rows) == 0 {
+			return nil, 0, false, nil
+		}
+		return rows[0].Tuple, v.live[gk.Key()], true, nil
+	}
+}
+
+// probe builds a join probe answering from the pre-update state of an
+// equivalence node, charged.
+func (m *Maintainer) probe(target *dag.EqNode, cols []string, cache map[string][]storage.Row) delta.Probe {
+	return func(jk value.Tuple) ([]storage.Row, error) {
+		return m.answerQuery(target, cols, jk, cache)
+	}
+}
+
+// countProbe answers multiplicity questions for Distinct/Diff: from the
+// sidecar when this node's view tracks them, else by a charged point
+// query on the child.
+func (m *Maintainer) countProbe(parent *dag.EqNode, child *dag.EqNode, cache map[string][]storage.Row) (delta.CountProbe, error) {
+	cols := child.Schema().ColumnNames()
+	query := func(t value.Tuple) (int64, error) {
+		rows, err := m.answerQuery(child, cols, t, cache)
+		if err != nil {
+			return 0, err
+		}
+		var n int64
+		for _, r := range rows {
+			n += r.Count
+		}
+		return n, nil
+	}
+	if v := m.views[parent.ID]; v != nil && (v.distinctOp != nil || v.aggOp != nil) {
+		return func(t value.Tuple) (int64, error) {
+			k := t.Key()
+			if v.stale[k] {
+				// Liveness unknown (the view was last maintained through
+				// another operation alternative): query and heal.
+				n, err := query(t)
+				if err != nil {
+					return 0, err
+				}
+				v.live[k] = n
+				delete(v.stale, k)
+				return n, nil
+			}
+			return v.live[k], nil
+		}, nil
+	}
+	return query, nil
+}
+
+// answerQuery answers σ[cols = key](target) against the pre-update
+// database, charged, using the materialized view set: a materialized
+// target is probed through its index; otherwise the cheapest
+// view-aware expression tree is evaluated with the filter pushed down.
+// Results are cached per (target, cols, key) within one transaction —
+// the runtime counterpart of the track-level multi-query optimization.
+func (m *Maintainer) answerQuery(target *dag.EqNode, cols []string, key value.Tuple, cache map[string][]storage.Row) ([]storage.Row, error) {
+	ck := fmt.Sprintf("%d|%s|%s", target.ID, strings.Join(cols, ","), key.Key())
+	if rows, ok := cache[ck]; ok {
+		return rows, nil
+	}
+	var rows []storage.Row
+	if target.IsLeaf() {
+		rel, ok := m.Store.Get(target.BaseRel)
+		if !ok {
+			return nil, fmt.Errorf("maintain: relation %q not stored", target.BaseRel)
+		}
+		rows = rel.Lookup(cols, key)
+	} else if v := m.views[target.ID]; v != nil {
+		rows = v.Rel.Lookup(cols, key)
+	} else {
+		tree := m.queryTree(target)
+		res, err := exec.New(m.Store).EvalFiltered(tree, cols, key)
+		if err != nil {
+			return nil, err
+		}
+		rows = res.Rows
+	}
+	cache[ck] = rows
+	return rows, nil
+}
+
+// queryTree builds (and memoizes) the cheapest view-aware evaluation tree
+// for a non-materialized equivalence node: materialized descendants
+// become scans of their backing stores; below that, each class picks the
+// operation minimizing estimated full-evaluation cost.
+func (m *Maintainer) queryTree(e *dag.EqNode) algebra.Node {
+	if t, ok := m.trees[e.ID]; ok {
+		return t
+	}
+	t := m.buildQueryTree(e, map[int]bool{})
+	m.trees[e.ID] = t
+	return t
+}
+
+func (m *Maintainer) buildQueryTree(e *dag.EqNode, onPath map[int]bool) algebra.Node {
+	if e.IsLeaf() {
+		return e.Expr
+	}
+	if v := m.views[e.ID]; v != nil {
+		return algebra.Scan(v.Rel.Def)
+	}
+	if onPath[e.ID] {
+		// Cycle through rewrites; fall back to the representative op.
+		onPath = map[int]bool{}
+	}
+	onPath[e.ID] = true
+	defer delete(onPath, e.ID)
+	var best *dag.OpNode
+	bestCost := math.Inf(1)
+	for _, op := range e.Ops {
+		var sum float64
+		for _, ch := range op.Children {
+			sum += m.Cost.EvalCost(ch, m.VS)
+		}
+		if sum < bestCost {
+			bestCost = sum
+			best = op
+		}
+	}
+	children := make([]algebra.Node, len(best.Children))
+	for i, ch := range best.Children {
+		children[i] = m.buildQueryTree(ch, onPath)
+	}
+	return best.Template.WithChildren(children)
+}

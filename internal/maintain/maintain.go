@@ -1,0 +1,470 @@
+// Package maintain is the runtime incremental-maintenance engine: it
+// materializes a chosen view set into the storage engine and, for each
+// transaction, computes deltas along the cost-chosen update track —
+// posing exactly the queries the cost model predicted — and applies them,
+// with real page-I/O accounting. Running it next to the estimator lets
+// the benchmarks report measured page I/Os beside estimated ones.
+package maintain
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/dag"
+	"repro/internal/delta"
+	"repro/internal/exec"
+	"repro/internal/storage"
+	"repro/internal/tracks"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// View is one materialized equivalence node with its backing store and
+// (for aggregates and duplicate elimination) the live-count sidecar that
+// detects group birth and death. The sidecar plays the role of the
+// counting algorithm's hidden duplicate counts; it rides on the view's
+// pages and is not charged separately.
+type View struct {
+	Eq  *dag.EqNode
+	Rel *storage.Relation
+	// aggOp is the aggregate operation under Eq whose child the live
+	// counts refer to (nil when Eq has no aggregate alternative).
+	aggOp *dag.OpNode
+	// distinctOp likewise for duplicate elimination.
+	distinctOp *dag.OpNode
+	// live maps a group key (aggregates) or tuple key (distinct) to the
+	// bag multiplicity in the relevant child expression.
+	live map[string]int64
+	// stale marks keys whose live count is unknown: the view's delta was
+	// computed through an operation other than aggOp/distinctOp, so the
+	// tracked child's delta never materialized. Stale groups force the
+	// full-group (queried) maintenance path until resynced.
+	stale map[string]bool
+	// pending carries post-transaction live counts computed by
+	// aggregateDelta (incremental or full-group), applied by
+	// updateSidecar; it also clears staleness for those keys.
+	pending map[string]int64
+}
+
+// Maintainer owns a view set over a store and keeps it incrementally
+// maintained.
+type Maintainer struct {
+	D     *dag.DAG
+	Store *storage.Store
+	Cost  *tracks.Costing
+	VS    tracks.ViewSet
+
+	views map[int]*View
+	plans map[string]*tracks.Track
+	trees map[int]algebra.Node // memoized query trees per eq node
+}
+
+// ViewName is the storage name of a materialized equivalence node.
+func ViewName(e *dag.EqNode) string { return fmt.Sprintf("view_N%d", e.ID) }
+
+// New materializes the view set (initial materialization is not charged,
+// matching the paper) and returns a ready maintainer.
+func New(d *dag.DAG, st *storage.Store, model cost.Model, vs tracks.ViewSet) (*Maintainer, error) {
+	m := &Maintainer{
+		D:     d,
+		Store: st,
+		Cost:  tracks.NewCosting(d, model),
+		VS:    vs,
+		views: map[int]*View{},
+		plans: map[string]*tracks.Track{},
+		trees: map[int]algebra.Node{},
+	}
+	free := exec.NewFree(st)
+	for _, e := range d.NonLeafEqs() {
+		if !vs[e.ID] {
+			continue
+		}
+		schema := catalog.NewSchema(append([]catalog.Column{}, e.Schema().Cols...)...)
+		def := &catalog.TableDef{Name: ViewName(e), Schema: schema}
+		if ix := qualifyIndexCols(schema, tracks.ViewIndexCols(d, e)); len(ix) > 0 {
+			def.Indexes = []catalog.IndexDef{{Name: def.Name + "_ix", Columns: ix}}
+		}
+		rel, err := st.Create(def)
+		if err != nil {
+			return nil, err
+		}
+		res, err := free.Eval(d.RepTree(e))
+		if err != nil {
+			return nil, fmt.Errorf("maintain: materializing %s: %w", e, err)
+		}
+		rel.Load(res.Rows)
+		rel.RefreshStats()
+		v := &View{Eq: e, Rel: rel, live: map[string]int64{}, stale: map[string]bool{}}
+		for _, op := range e.Ops {
+			switch op.Kind() {
+			case algebra.KindAggregate:
+				if v.aggOp == nil {
+					v.aggOp = op
+				}
+			case algebra.KindDistinct:
+				if v.distinctOp == nil {
+					v.distinctOp = op
+				}
+			}
+		}
+		if err := m.initSidecar(v, free); err != nil {
+			return nil, err
+		}
+		m.views[e.ID] = v
+	}
+	return m, nil
+}
+
+// qualifyIndexCols maps bare index column names onto concrete schema
+// columns (the first bare-name match): join-view schemas can carry the
+// same bare name on both sides, whose values the equijoin makes equal, so
+// any match indexes the same key.
+func qualifyIndexCols(s *catalog.Schema, bare []string) []string {
+	out := make([]string, 0, len(bare))
+	for _, b := range bare {
+		found := ""
+		for _, c := range s.Cols {
+			if c.Name == b {
+				found = c.QName()
+				break
+			}
+		}
+		if found == "" {
+			return nil
+		}
+		out = append(out, found)
+	}
+	return out
+}
+
+// initSidecar seeds live counts from the current child contents.
+func (m *Maintainer) initSidecar(v *View, free *exec.Evaluator) error {
+	if v.aggOp != nil {
+		agg := v.aggOp.Template.(*algebra.Aggregate)
+		child := v.aggOp.Children[0]
+		res, err := free.Eval(m.D.RepTree(child))
+		if err != nil {
+			return err
+		}
+		pos := make([]int, len(agg.GroupBy))
+		for i, g := range agg.GroupBy {
+			j, err := res.Schema.Resolve(g)
+			if err != nil {
+				return err
+			}
+			pos[i] = j
+		}
+		for _, row := range res.Rows {
+			v.live[row.Tuple.Project(pos).Key()] += row.Count
+		}
+	}
+	if v.distinctOp != nil {
+		child := v.distinctOp.Children[0]
+		res, err := free.Eval(m.D.RepTree(child))
+		if err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			v.live[row.Tuple.Key()] += row.Count
+		}
+	}
+	return nil
+}
+
+// ViewRel returns the backing relation of a materialized node.
+func (m *Maintainer) ViewRel(e *dag.EqNode) (*storage.Relation, bool) {
+	v, ok := m.views[e.ID]
+	if !ok {
+		return nil, false
+	}
+	return v.Rel, true
+}
+
+// Contents returns the current rows of a materialized node, uncharged.
+func (m *Maintainer) Contents(e *dag.EqNode) []storage.Row {
+	v, ok := m.views[e.ID]
+	if !ok {
+		return nil
+	}
+	return v.Rel.ScanFree()
+}
+
+// Report describes one maintained transaction, with page I/O split the
+// way the paper accounts it: queries posed during delta computation,
+// updates to the additional materialized views, updates to the top-level
+// view(s), and updates to the base relations (the last two are excluded
+// from the paper's §3.6 totals).
+type Report struct {
+	Txn     string
+	Track   *tracks.Track
+	QueryIO storage.IOCounter
+	ViewIO  storage.IOCounter
+	RootIO  storage.IOCounter
+	BaseIO  storage.IOCounter
+	// Deltas holds the computed change at every affected node.
+	Deltas map[int]*delta.Delta
+}
+
+// PaperTotal is the quantity §3.6 reports: query I/O plus additional-view
+// maintenance I/O.
+func (r *Report) PaperTotal() int64 { return r.QueryIO.Total() + r.ViewIO.Total() }
+
+// Apply maintains the view set under one transaction: updates maps base
+// relation names to their deltas. The deltas are computed against the
+// pre-update state (queries see old contents), then applied to the views
+// and finally to the base relations, as in the paper's differential
+// formalism (R_old, V_old).
+func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Report, error) {
+	tr := m.plans[t.Name]
+	if tr == nil {
+		best, _ := m.Cost.CostViewSet(m.VS, t)
+		tr = best.Track
+		if tr == nil {
+			tr = &tracks.Track{Choice: map[int]*dag.OpNode{}}
+		}
+		m.plans[t.Name] = tr
+	}
+	rep := &Report{Txn: t.Name, Track: tr, Deltas: map[int]*delta.Delta{}}
+
+	// Seed leaf deltas.
+	for _, e := range m.D.Eqs() {
+		if e.IsLeaf() {
+			if du, ok := updates[e.BaseRel]; ok && !du.Empty() {
+				rep.Deltas[e.ID] = du
+			}
+		}
+	}
+
+	// Compute deltas bottom-up along the track, charging queries.
+	probeCache := map[string][]storage.Row{}
+	io0 := *m.Store.IO
+	for _, e := range tr.Order {
+		op := tr.Choice[e.ID]
+		d, err := m.opDelta(e, op, rep.Deltas, tr, probeCache)
+		if err != nil {
+			return nil, fmt.Errorf("maintain: %s at %s: %w", t.Name, e, err)
+		}
+		rep.Deltas[e.ID] = d
+	}
+	rep.QueryIO = m.Store.IO.Sub(io0)
+
+	// Apply deltas to materialized views (sidecars first need the child
+	// deltas, which are all computed by now).
+	for _, e := range tr.Order {
+		v, ok := m.views[e.ID]
+		if !ok {
+			continue
+		}
+		if d := rep.Deltas[e.ID]; !d.Empty() {
+			before := *m.Store.IO
+			v.Rel.ApplyBatch(d.ToMutations())
+			used := m.Store.IO.Sub(before)
+			if m.D.IsRoot(e) {
+				rep.RootIO = addIO(rep.RootIO, used)
+			} else {
+				rep.ViewIO = addIO(rep.ViewIO, used)
+			}
+		}
+		// The sidecar tracks the CHILD's multiplicities, which can change
+		// even when the view's own delta is empty (a duplicate's count
+		// dropping from 2 to 1 leaves a distinct view untouched but must
+		// still be recorded, or the eventual drop to 0 is missed).
+		if err := m.updateSidecar(v, rep.Deltas, tr); err != nil {
+			return nil, err
+		}
+	}
+
+	// Finally apply the base relation updates.
+	before := *m.Store.IO
+	for rel, du := range updates {
+		r, ok := m.Store.Get(rel)
+		if !ok {
+			return nil, fmt.Errorf("maintain: unknown relation %q", rel)
+		}
+		r.ApplyBatch(du.ToMutations())
+	}
+	rep.BaseIO = m.Store.IO.Sub(before)
+	return rep, nil
+}
+
+func addIO(a, b storage.IOCounter) storage.IOCounter {
+	return storage.IOCounter{
+		IndexReads:  a.IndexReads + b.IndexReads,
+		IndexWrites: a.IndexWrites + b.IndexWrites,
+		PageReads:   a.PageReads + b.PageReads,
+		PageWrites:  a.PageWrites + b.PageWrites,
+	}
+}
+
+// updateSidecar folds the transaction's effects into a view's live
+// counts. Three cases, in precedence order:
+//
+//  1. aggregateDelta left pending post-update counts (it went through
+//     aggOp): apply them and clear staleness.
+//  2. the tracked child's delta is available (the track passed through
+//     it for any reason): fold the signed group counts, skipping keys
+//     already stale.
+//  3. only the view's own delta exists (computed through another
+//     operation alternative): the affected keys' liveness is now
+//     unknown — mark them stale so future maintenance recomputes them.
+func (m *Maintainer) updateSidecar(v *View, deltas map[int]*delta.Delta, tr *tracks.Track) error {
+	switch {
+	case v.aggOp != nil:
+		agg := v.aggOp.Template.(*algebra.Aggregate)
+		if len(v.pending) > 0 {
+			for k, n := range v.pending {
+				v.live[k] = n
+				delete(v.stale, k)
+			}
+			v.pending = nil
+			return nil
+		}
+		child := v.aggOp.Children[0]
+		cd := deltas[child.ID]
+		if !cd.Empty() {
+			gc, err := cd.GroupCounts(agg.GroupBy)
+			if err != nil {
+				return err
+			}
+			for k, n := range gc {
+				if !v.stale[k] {
+					v.live[k] += n
+				}
+			}
+			return nil
+		}
+		if own := deltas[v.Eq.ID]; !own.Empty() {
+			markStaleGroups(v, own, len(agg.GroupBy))
+		}
+	case v.distinctOp != nil:
+		child := v.distinctOp.Children[0]
+		cd := deltas[child.ID]
+		if !cd.Empty() {
+			for k, n := range cd.TupleCounts() {
+				if !v.stale[k] {
+					v.live[k] += n
+				}
+			}
+			return nil
+		}
+		if own := deltas[v.Eq.ID]; !own.Empty() {
+			markStaleGroups(v, own, -1)
+		}
+	}
+	return nil
+}
+
+// markStaleGroups invalidates the live counts of every key the view's own
+// delta touches; nGroupCols < 0 means the whole tuple is the key.
+func markStaleGroups(v *View, own *delta.Delta, nGroupCols int) {
+	mark := func(t value.Tuple) {
+		if t == nil {
+			return
+		}
+		key := t
+		if nGroupCols >= 0 && nGroupCols <= len(t) {
+			key = t[:nGroupCols]
+		}
+		k := key.Key()
+		v.stale[k] = true
+		delete(v.live, k)
+	}
+	for _, c := range own.Changes {
+		mark(c.Old)
+		mark(c.New)
+	}
+}
+
+// Rollback applies the inverse of a report's deltas (views, sidecars and
+// base relations), uncharged; used by assertion checking to reject a
+// violating transaction.
+func (m *Maintainer) Rollback(rep *Report, updates map[string]*delta.Delta) error {
+	unchargedBatch := func(rel *storage.Relation, d *delta.Delta) {
+		was := rel.Resident
+		rel.Resident = true
+		rel.ApplyBatch(inverse(d).ToMutations())
+		rel.Resident = was
+	}
+	for rel, du := range updates {
+		r, ok := m.Store.Get(rel)
+		if !ok {
+			return fmt.Errorf("maintain: unknown relation %q", rel)
+		}
+		unchargedBatch(r, du)
+	}
+	for id, d := range rep.Deltas {
+		v, ok := m.views[id]
+		if !ok || d.Empty() {
+			continue
+		}
+		unchargedBatch(v.Rel, d)
+		inv := inverse(d)
+		switch {
+		case v.aggOp != nil:
+			agg := v.aggOp.Template.(*algebra.Aggregate)
+			child := v.aggOp.Children[0]
+			if cd := rep.Deltas[child.ID]; !cd.Empty() {
+				gc, err := inverse(cd).GroupCounts(agg.GroupBy)
+				if err != nil {
+					return err
+				}
+				for k, n := range gc {
+					v.live[k] += n
+				}
+			}
+		case v.distinctOp != nil:
+			child := v.distinctOp.Children[0]
+			if cd := rep.Deltas[child.ID]; !cd.Empty() {
+				for k, n := range inverse(cd).TupleCounts() {
+					v.live[k] += n
+				}
+			}
+		}
+		_ = inv
+	}
+	return nil
+}
+
+// inverse swaps insertions and deletions and reverses modifications.
+func inverse(d *delta.Delta) *delta.Delta {
+	out := delta.New(d.Schema)
+	for _, c := range d.Changes {
+		out.Changes = append(out.Changes, delta.Change{Old: c.New, New: c.Old, Count: c.Count})
+	}
+	return out
+}
+
+// Oracle recomputes a materialized node from scratch (uncharged) — the
+// correctness baseline for tests.
+func (m *Maintainer) Oracle(e *dag.EqNode) (*exec.Result, error) {
+	return exec.NewFree(m.Store).Eval(m.D.RepTree(e))
+}
+
+// Drift compares a materialized view against full recomputation and
+// returns a description of any mismatch ("" when consistent).
+func (m *Maintainer) Drift(e *dag.EqNode) (string, error) {
+	v, ok := m.views[e.ID]
+	if !ok {
+		return "", fmt.Errorf("maintain: %s is not materialized", e)
+	}
+	want, err := m.Oracle(e)
+	if err != nil {
+		return "", err
+	}
+	stored := map[string]int64{}
+	for _, row := range v.Rel.ScanFree() {
+		stored[row.Tuple.Key()] += row.Count
+	}
+	for _, row := range want.Rows {
+		stored[row.Tuple.Key()] -= row.Count
+	}
+	for k, n := range stored {
+		if n != 0 {
+			return fmt.Sprintf("tuple %x off by %d", k, n), nil
+		}
+	}
+	return "", nil
+}
+

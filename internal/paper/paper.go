@@ -1,0 +1,237 @@
+// Package paper regenerates every table and figure of the paper's
+// evaluation: the four cost tables of Section 3.6 (estimated from the
+// cost model and measured by running the storage engine), the expression
+// trees and DAG of Figures 1–2, the query-optimization-vs-view-maintenance
+// divergence of Figure 3/Example 3.1, and the articulation-node shielding
+// of Figure 5. It also provides the ablation sweeps recorded in
+// EXPERIMENTS.md.
+//
+// Each experiment returns a plain-text report; cmd/mvbench prints them
+// and the root benchmarks re-run them under go test -bench.
+package paper
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/cost"
+	"repro/internal/dag"
+	"repro/internal/rules"
+	"repro/internal/tracks"
+	"repro/internal/txn"
+)
+
+// Fixture is the expanded ProblemDept scenario with handles to the nodes
+// of Figure 2.
+type Fixture struct {
+	DB     *corpus.Database
+	D      *dag.DAG
+	Cost   *tracks.Costing
+	N3, N4 *dag.EqNode
+	Emp    *dag.EqNode
+	Dept   *dag.EqNode
+	Types  []*txn.Type
+
+	Empty, SetN3, SetN4 tracks.ViewSet
+}
+
+// NewFixture builds the scenario at the paper's scale (1000 departments,
+// 10 employees each) or any other corpus configuration.
+func NewFixture(cfg corpus.Config) (*Fixture, error) {
+	db := corpus.NewDatabase(cfg)
+	d, err := dag.FromTree(db.ProblemDept())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.Expand(rules.Default(), 200); err != nil {
+		return nil, err
+	}
+	f := &Fixture{DB: db, D: d, Cost: tracks.NewCosting(d, cost.PageIO{}), Types: txn.PaperTypes()}
+	f.N3 = d.FindEq(db.SumOfSals())
+	join := algebra.NewJoin(
+		[]algebra.JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}},
+		algebra.Scan(db.Catalog.MustGet("Emp")),
+		algebra.Scan(db.Catalog.MustGet("Dept")),
+	)
+	f.N4 = d.FindEq(join)
+	if f.N3 == nil || f.N4 == nil {
+		return nil, fmt.Errorf("paper: N3/N4 missing from DAG")
+	}
+	for _, e := range d.Eqs() {
+		switch e.BaseRel {
+		case "Emp":
+			f.Emp = e
+		case "Dept":
+			f.Dept = e
+		}
+	}
+	f.Empty = tracks.RootSet(d)
+	f.SetN3 = tracks.RootSet(d)
+	f.SetN3[f.N3.ID] = true
+	f.SetN4 = tracks.RootSet(d)
+	f.SetN4[f.N4.ID] = true
+	return f, nil
+}
+
+// sets returns the three §3.6 view sets in presentation order.
+func (f *Fixture) sets() []struct {
+	Name string
+	VS   tracks.ViewSet
+} {
+	return []struct {
+		Name string
+		VS   tracks.ViewSet
+	}{
+		{"{}", f.Empty},
+		{"{N3}", f.SetN3},
+		{"{N4}", f.SetN4},
+	}
+}
+
+// Table1 regenerates the first §3.6 table: per-query page-I/O costs of
+// the Example 3.2 queries under each view set. Cells marked "-" in the
+// paper (query not posed under that view set) are still priced here for
+// completeness; the track tables show which are actually posed.
+func (f *Fixture) Table1() string {
+	type q struct {
+		name   string
+		target *dag.EqNode
+		bind   []string
+	}
+	queries := []q{
+		{"Q2Ld", f.N3, []string{"Emp.DName"}},
+		{"Q2Re", f.Dept, []string{"Dept.DName"}},
+		{"Q3e", f.N4, []string{"Dept.DName", "Dept.Budget"}},
+		{"Q4e", f.Emp, []string{"Emp.DName"}},
+		{"Q5Ld", f.Emp, []string{"Emp.DName"}},
+		{"Q5Re", f.Dept, []string{"Dept.DName"}},
+	}
+	var b strings.Builder
+	b.WriteString("Table 1 (§3.6): query costs in page I/Os\n")
+	fmt.Fprintf(&b, "%-6s %8s %8s %8s\n", "query", "{}", "{N3}", "{N4}")
+	for _, query := range queries {
+		fmt.Fprintf(&b, "%-6s", query.name)
+		for _, set := range f.sets() {
+			c := f.Cost.QueryCost(query.target, query.bind, 1, set.VS)
+			fmt.Fprintf(&b, " %8.4g", c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table2 regenerates the second §3.6 table: the cost of maintaining each
+// additional view under each transaction type.
+func (f *Fixture) Table2() string {
+	var b strings.Builder
+	b.WriteString("Table 2 (§3.6): view maintenance costs in page I/Os\n")
+	fmt.Fprintf(&b, "%-14s %8s %8s\n", "view", ">Emp", ">Dept")
+	rows := []struct {
+		name string
+		vs   tracks.ViewSet
+	}{
+		{"N3 (SumOfSals)", f.SetN3},
+		{"N4 (Emp⋈Dept)", f.SetN4},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.name)
+		for _, ty := range f.Types {
+			best, _ := f.Cost.CostViewSet(r.vs, ty)
+			fmt.Fprintf(&b, " %8.4g", best.UpdateCost)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TrackName classifies a track by the operation computing the class below
+// the root selection, in the paper's labels: the E3 path aggregates over
+// the Emp⋈Dept join; the E2 path joins SumOfSals with Dept.
+func (f *Fixture) TrackName(tc tracks.TrackCost) string {
+	rootOp := f.D.Root.Ops[0]
+	below := rootOp.Children[0]
+	op := tc.Track.Choice[below.ID]
+	if op == nil {
+		return "(none)"
+	}
+	switch op.Template.(type) {
+	case *algebra.Aggregate:
+		return "via E3 (aggregate over Emp⋈Dept)"
+	case *algebra.Project:
+		return "via E2 (SumOfSals ⋈ Dept)"
+	default:
+		return op.OpLabel()
+	}
+}
+
+// Table3 regenerates the third §3.6 table: query cost per update track.
+func (f *Fixture) Table3() string {
+	var b strings.Builder
+	b.WriteString("Table 3 (§3.6): per-track query costs in page I/Os\n")
+	for _, ty := range f.Types {
+		for _, set := range f.sets() {
+			_, all := f.Cost.CostViewSet(set.VS, ty)
+			for _, tc := range all {
+				fmt.Fprintf(&b, "%-6s %-6s %-34s q=%-8.4g (+u=%.4g)\n",
+					ty.Name, set.Name, f.TrackName(tc), tc.QueryCost, tc.UpdateCost)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Table4 regenerates the fourth §3.6 table and the headline: combined
+// minimum costs per transaction type, weighted averages, and the ~30%
+// ratio for {N3}.
+func (f *Fixture) Table4() string {
+	var b strings.Builder
+	b.WriteString("Table 4 (§3.6): combined minimum costs in page I/Os\n")
+	fmt.Fprintf(&b, "%-6s %8s %8s %10s\n", "set", ">Emp", ">Dept", "weighted")
+	var weighted []float64
+	for _, set := range f.sets() {
+		fmt.Fprintf(&b, "%-6s", set.Name)
+		for _, ty := range f.Types {
+			best, _ := f.Cost.CostViewSet(set.VS, ty)
+			fmt.Fprintf(&b, " %8.4g", best.Total())
+		}
+		w, _ := f.Cost.WeightedCost(set.VS, f.Types)
+		weighted = append(weighted, w)
+		fmt.Fprintf(&b, " %10.4g\n", w)
+	}
+	fmt.Fprintf(&b, "headline: {N3} averages %.4g vs %.4g for {} — %.1f%% of the baseline (paper: \"about 30%%\", ~3x)\n",
+		weighted[1], weighted[0], 100*weighted[1]/weighted[0])
+	return b.String()
+}
+
+// Figure1 renders the two expression trees of Figure 1, extracted from
+// the expanded DAG.
+func (f *Fixture) Figure1() string {
+	var b strings.Builder
+	b.WriteString("Figure 1: two expression trees for ProblemDept\n")
+	trees := f.D.Trees(f.D.Root, 8)
+	shown := 0
+	for _, tr := range trees {
+		if shown >= 2 {
+			break
+		}
+		b.WriteString(algebra.Render(tr))
+		b.WriteString("\n")
+		shown++
+	}
+	return b.String()
+}
+
+// Figure2 renders the expression DAG of Figure 2.
+func (f *Fixture) Figure2() string {
+	return "Figure 2: expression DAG for ProblemDept\n" + f.D.Render()
+}
+
+// Optimum runs Algorithm OptimalViewSet over the fixture and reports the
+// chosen set (the paper's bottom line for Example 1.1).
+func (f *Fixture) Optimum() (*core.Result, error) {
+	opt := core.New(f.D, cost.PageIO{}, f.Types)
+	return opt.Exhaustive()
+}

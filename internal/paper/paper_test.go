@@ -1,0 +1,261 @@
+package paper_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/paper"
+)
+
+func fixture(t *testing.T) *paper.Fixture {
+	t.Helper()
+	f, err := paper.NewFixture(corpus.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestTablesRender(t *testing.T) {
+	f := fixture(t)
+	t1 := f.Table1()
+	for _, want := range []string{"Q2Ld", "Q3e", "11", "13", "2"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := f.Table2()
+	for _, want := range []string{"N3", "N4", "21", "3"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, t2)
+		}
+	}
+	t3 := f.Table3()
+	if !strings.Contains(t3, "via E2") || !strings.Contains(t3, "via E3") {
+		t.Errorf("Table3 missing track labels:\n%s", t3)
+	}
+	t4 := f.Table4()
+	for _, want := range []string{"3.5", "12", "24", "about 30%"} {
+		if !strings.Contains(t4, want) {
+			t.Errorf("Table4 missing %q:\n%s", want, t4)
+		}
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	f := fixture(t)
+	f1 := f.Figure1()
+	if !strings.Contains(f1, "Aggregate[") || !strings.Contains(f1, "Join[") {
+		t.Errorf("Figure1:\n%s", f1)
+	}
+	f2 := f.Figure2()
+	if !strings.Contains(f2, "base relation") {
+		t.Errorf("Figure2:\n%s", f2)
+	}
+}
+
+func TestOptimumIsN3(t *testing.T) {
+	f := fixture(t)
+	res, err := f.Optimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := res.AdditionalViews(f.D)
+	if len(views) != 1 || views[0] != f.N3 {
+		t.Errorf("optimum = %v, want {N3}", views)
+	}
+}
+
+func TestMeasuredParityAllMatch(t *testing.T) {
+	rows, report, err := paper.MeasuredParity(corpus.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if float64(r.Measured) != r.Estimated {
+			t.Errorf("%s %s: measured %d != estimated %g\n%s",
+				r.Set, r.Txn, r.Measured, r.Estimated, report)
+		}
+	}
+	// Spot-check the paper's numbers.
+	want := map[string]float64{
+		"{}/>Emp": 13, "{}/>Dept": 11,
+		"{N3}/>Emp": 5, "{N3}/>Dept": 2,
+		"{N4}/>Emp": 16, "{N4}/>Dept": 32,
+	}
+	for _, r := range rows {
+		if w := want[r.Set+"/"+r.Txn]; r.Estimated != w {
+			t.Errorf("%s %s = %g, want %g", r.Set, r.Txn, r.Estimated, w)
+		}
+	}
+}
+
+func TestFigure3Report(t *testing.T) {
+	out, err := paper.Figure3(corpus.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"13", "2", "V1", "Dept Emp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure5Report(t *testing.T) {
+	rep, out, err := paper.Figure5(corpus.DefaultFigure5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ArticulationNodes == 0 {
+		t.Error("no articulation nodes found")
+	}
+	if rep.ShieldedBest != rep.ExhaustiveBest {
+		t.Errorf("shielded %g != exhaustive %g\n%s", rep.ShieldedBest, rep.ExhaustiveBest, out)
+	}
+	if rep.ShieldedExplored >= rep.ExhaustiveExplored {
+		t.Errorf("no search reduction: %d vs %d", rep.ShieldedExplored, rep.ExhaustiveExplored)
+	}
+}
+
+func TestSweepFanoutShape(t *testing.T) {
+	rows, _, err := paper.SweepFanout(100, []int{1, 2, 10, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The advantage of {N3} grows with fan-out: ratio decreases.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Ratio > rows[i-1].Ratio+1e-9 {
+			t.Errorf("ratio not monotone: %v", rows)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.Ratio > 0.2 {
+		t.Errorf("at fan-out 50 the ratio should be far below 1, got %g", last.Ratio)
+	}
+}
+
+func TestSweepWeightsAlwaysN3(t *testing.T) {
+	rows, _, err := paper.SweepWeights(corpus.PaperConfig(), []float64{0.01, 1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Chosen != rows[0].Chosen {
+			t.Errorf("chosen set should be weight-independent on the paper example: %v", rows)
+		}
+	}
+}
+
+func TestSweepOptimizersQuality(t *testing.T) {
+	rows, _, err := paper.SweepOptimizers([]int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := map[int]float64{}
+	for _, r := range rows {
+		if r.Method == "exhaustive" {
+			best[r.Chain] = r.Best
+		}
+	}
+	for _, r := range rows {
+		// Where exhaustive ran, nothing may beat it (it is exact), and
+		// greedy must explore fewer sets.
+		exh, ranExh := best[r.Chain]
+		if !ranExh {
+			continue
+		}
+		if r.Best < exh-1e-9 {
+			t.Errorf("%s on chain %d beat exhaustive: %g < %g", r.Method, r.Chain, r.Best, exh)
+		}
+		if r.Method == "greedy" && r.Explored >= exploredOf(rows, r.Chain, "exhaustive") {
+			t.Errorf("greedy explored %d >= exhaustive on chain %d", r.Explored, r.Chain)
+		}
+	}
+}
+
+func exploredOf(rows []paper.SweepOptimizersRow, chain int, method string) int {
+	for _, r := range rows {
+		if r.Chain == chain && r.Method == method {
+			return r.Explored
+		}
+	}
+	return 0
+}
+
+func TestMeasuredWorkload(t *testing.T) {
+	cfg := corpus.Config{Departments: 20, EmpsPerDept: 5}
+	with, err := paper.MeasuredWorkload(cfg, true, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := paper.MeasuredWorkload(cfg, false, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with >= without {
+		t.Errorf("maintaining SumOfSals should reduce total I/O: %d vs %d", with, without)
+	}
+}
+
+// TestSweepBufferShape: I/O per transaction decreases monotonically (up
+// to noise-free determinism, exactly) with buffer capacity, and a
+// zero-capacity buffer reproduces the cold-model estimate on the uniform
+// part of the stream.
+func TestSweepBufferShape(t *testing.T) {
+	cfg := corpus.Config{Departments: 50, EmpsPerDept: 5}
+	rows, out, err := paper.SweepBuffer(cfg, []int{0, 16, 128, 1024}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].PerTxn > rows[i-1].PerTxn+1e-9 {
+			t.Errorf("I/O per txn not monotone in buffer capacity:\n%s", out)
+		}
+	}
+	if rows[0].HitRate != 0 {
+		t.Error("cold run should have no hits")
+	}
+	last := rows[len(rows)-1]
+	if last.PerTxn >= rows[0].PerTxn {
+		t.Errorf("large buffer should reduce I/O: %g vs %g", last.PerTxn, rows[0].PerTxn)
+	}
+	if last.HitRate <= 0.3 {
+		t.Errorf("hot working set should hit often, got %.2f", last.HitRate)
+	}
+}
+
+// TestSweepBatchAmortizes: same-department batches amortize (per-tuple
+// I/O declines and the batch beats singletons), cross-department batches
+// have nothing to share and stay linear.
+func TestSweepBatchAmortizes(t *testing.T) {
+	rows, out, err := paper.SweepBatch(corpus.Config{Departments: 100, EmpsPerDept: 50}, []int{1, 2, 10, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].PerTuple > rows[i-1].PerTuple+1e-9 {
+			t.Errorf("per-tuple I/O not monotone:\n%s", out)
+		}
+	}
+	for _, r := range rows {
+		if r.SameDeptIO > r.SingletonsIO {
+			t.Errorf("batch of %d (%d I/O) costs more than singletons (%d)\n%s",
+				r.BatchSize, r.SameDeptIO, r.SingletonsIO, out)
+		}
+		if r.SameDeptIO > r.CrossDeptIO {
+			t.Errorf("same-department batch should not cost more than cross-department\n%s", out)
+		}
+	}
+	if rows[0].SameDeptIO != rows[0].SingletonsIO {
+		t.Error("k=1 batch and singleton must agree")
+	}
+	last := rows[len(rows)-1]
+	if last.PerTuple > 1 {
+		t.Errorf("large same-department batch should amortize below 1 I/O per tuple, got %g", last.PerTuple)
+	}
+}

@@ -1,0 +1,138 @@
+package rules
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/dag"
+	"repro/internal/expr"
+)
+
+// AggJoinPush pushes grouping/aggregation below one side of a child join
+// (eager aggregation, in the style of Yan and Larson, whom the paper
+// credits for generating Figure 1's trees):
+//
+//	γ[G; aggs](A ⋈ B)  ⇒  π[G, aggs](γ[jcA ∪ (G∩A); aggs](A) ⋈ B)
+//
+// Preconditions for pushing into side A (symmetrically B):
+//
+//  1. every aggregate argument references only A's columns;
+//  2. B's join columns form a candidate key of B (each A tuple matches at
+//     most one B tuple, so multiplicities are preserved — the paper's
+//     Figure 5 discussion: "If Item is not a key for relation R, then the
+//     aggregation cannot be pushed up ... because the multiplicities
+//     would change");
+//  3. the original grouping G determines A's join columns under the
+//     column-equality closure of the expression (so each original group
+//     maps to a single join-key value).
+//
+// The realignment projection keeps memo equivalence strict.
+type AggJoinPush struct{}
+
+// Name implements dag.Rule.
+func (AggJoinPush) Name() string { return "agg-join-push" }
+
+// Apply implements dag.Rule.
+func (AggJoinPush) Apply(d *dag.DAG, op *dag.OpNode) []algebra.Node {
+	agg, ok := op.Template.(*algebra.Aggregate)
+	if !ok {
+		return nil
+	}
+	child := op.Children[0]
+	var out []algebra.Node
+	for _, childOp := range child.Ops {
+		join, ok := childOp.Template.(*algebra.Join)
+		if !ok || join.Residual != nil {
+			continue
+		}
+		for side := 0; side <= 1; side++ {
+			if tree := tryPush(d, agg, join, childOp, side); tree != nil {
+				out = append(out, tree)
+			}
+		}
+	}
+	return out
+}
+
+// tryPush attempts to push agg into the given side of the join op.
+func tryPush(d *dag.DAG, agg *algebra.Aggregate, join *algebra.Join, joinOp *dag.OpNode, side int) algebra.Node {
+	target := joinOp.Children[side]
+	other := joinOp.Children[1-side]
+	var targetJoinCols, otherJoinCols []string
+	if side == 0 {
+		targetJoinCols, otherJoinCols = join.LeftCols(), join.RightCols()
+	} else {
+		targetJoinCols, otherJoinCols = join.RightCols(), join.LeftCols()
+	}
+	ts := target.Schema()
+
+	// 1. Aggregate arguments confined to the target side.
+	for _, a := range agg.Aggs {
+		switch a.Func {
+		case algebra.Sum, algebra.Count, algebra.Avg, algebra.Min, algebra.Max:
+		default:
+			return nil
+		}
+		if a.Arg != nil && !expr.RefersOnly(a.Arg, ts) {
+			return nil
+		}
+	}
+
+	// 2. Other side keyed on its join columns.
+	if !d.KeyedOn(other, otherJoinCols) {
+		return nil
+	}
+
+	// 3. G determines the target join columns under column equalities.
+	uf := algebra.NewColEquiv()
+	for _, c := range join.On {
+		uf.Union(c.Left, c.Right)
+	}
+	uf.Collect(d.RepTree(target))
+	uf.Collect(d.RepTree(other))
+	for _, jc := range targetJoinCols {
+		if !uf.SameAsAny(jc, agg.GroupBy) {
+			return nil
+		}
+	}
+
+	// Build the pushed aggregate: group by the target join columns plus
+	// whatever original group columns live on the target side.
+	pushedGroup := append([]string{}, targetJoinCols...)
+	for _, g := range agg.GroupBy {
+		if ts.Has(g) && !contains(pushedGroup, g) {
+			pushedGroup = append(pushedGroup, g)
+		}
+	}
+	// Group columns from the other side must resolve there, or the
+	// realignment projection cannot be built.
+	os := other.Schema()
+	for _, g := range agg.GroupBy {
+		if !ts.Has(g) && !os.Has(g) {
+			return nil
+		}
+	}
+	pushed := algebra.NewAggregate(pushedGroup, agg.Aggs, refOf(target))
+	var l, r algebra.Node
+	if side == 0 {
+		l, r = algebra.Node(pushed), refOf(other)
+	} else {
+		l, r = refOf(other), algebra.Node(pushed)
+	}
+	newJoin := &algebra.Join{On: join.On, L: l, R: r}
+	items := make([]algebra.ProjectItem, 0, len(agg.GroupBy)+len(agg.Aggs))
+	for _, g := range agg.GroupBy {
+		items = append(items, algebra.ProjectItem{E: expr.C(g)})
+	}
+	for _, a := range agg.Aggs {
+		items = append(items, algebra.ProjectItem{E: expr.C(a.As)})
+	}
+	return algebra.NewProject(items, newJoin)
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,200 @@
+package rules_test
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/dag"
+	"repro/internal/expr"
+	"repro/internal/rules"
+	"repro/internal/value"
+)
+
+// schema helpers: A(K, X) keyed on K; B(K, Y) NOT keyed on K; C(K, Z)
+// keyed on K.
+func tableDef(name string, keyed bool) *catalog.TableDef {
+	def := &catalog.TableDef{
+		Name: name,
+		Schema: catalog.NewSchema(
+			catalog.Column{Qualifier: name, Name: "K", Type: value.Int},
+			catalog.Column{Qualifier: name, Name: "V", Type: value.Int},
+		),
+		Indexes: []catalog.IndexDef{{Name: name + "_k", Columns: []string{"K"}}},
+	}
+	if keyed {
+		def.Keys = [][]string{{"K"}}
+	}
+	return def
+}
+
+func expand(t *testing.T, tree algebra.Node) *dag.DAG {
+	t.Helper()
+	d, err := dag.FromTree(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Expand(rules.Default(), 300); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestAggPushRequiresKeyOnOtherSide: pushing the aggregate below the
+// join is legal only when the other side's join columns form a key
+// (otherwise multiplicities would change — the paper's Figure 5 point).
+func TestAggPushRequiresKeyOnOtherSide(t *testing.T) {
+	build := func(keyed bool) algebra.Node {
+		a := algebra.Scan(tableDef("A", false))
+		b := algebra.Scan(tableDef("B", keyed))
+		join := algebra.NewJoin([]algebra.JoinCond{{Left: "A.K", Right: "B.K"}}, a, b)
+		return algebra.NewAggregate(
+			[]string{"A.K"},
+			[]algebra.AggSpec{{Func: algebra.Sum, Arg: expr.C("A.V"), As: "S"}},
+			join,
+		)
+	}
+	// Keyed: the pushed aggregate over A alone must appear.
+	d := expand(t, build(true))
+	pushed := algebra.NewAggregate(
+		[]string{"A.K"},
+		[]algebra.AggSpec{{Func: algebra.Sum, Arg: expr.C("A.V"), As: "S"}},
+		algebra.Scan(tableDef("A", false)),
+	)
+	if d.FindEq(pushed) == nil {
+		t.Errorf("keyed other side: aggregate should push down\n%s", d.Render())
+	}
+	// Unkeyed: it must not.
+	d = expand(t, build(false))
+	if d.FindEq(pushed) != nil {
+		t.Errorf("unkeyed other side: aggregate must NOT push down\n%s", d.Render())
+	}
+}
+
+// TestAggPushRequiresArgsOneSide: an aggregate whose argument spans both
+// join sides (Figure 5's SUM(S.Quantity*T.Price)) cannot push.
+func TestAggPushRequiresArgsOneSide(t *testing.T) {
+	a := algebra.Scan(tableDef("A", true))
+	b := algebra.Scan(tableDef("B", true))
+	join := algebra.NewJoin([]algebra.JoinCond{{Left: "A.K", Right: "B.K"}}, a, b)
+	agg := algebra.NewAggregate(
+		[]string{"A.K"},
+		[]algebra.AggSpec{{
+			Func: algebra.Sum,
+			Arg:  expr.Arith{Op: expr.Times, L: expr.C("A.V"), R: expr.C("B.V")},
+			As:   "S",
+		}},
+		join,
+	)
+	d := expand(t, agg)
+	// No aggregate over A alone or B alone may appear.
+	for _, e := range d.NonLeafEqs() {
+		for _, op := range e.Ops {
+			if op.Kind() != algebra.KindAggregate {
+				continue
+			}
+			if op.Children[0].IsLeaf() {
+				t.Errorf("cross-side aggregate pushed below the join:\n%s", d.Render())
+			}
+		}
+	}
+}
+
+// TestSelectPushJoinSplitsConjuncts: single-side conjuncts sink; the
+// cross-side one stays above.
+func TestSelectPushJoinSplitsConjuncts(t *testing.T) {
+	a := algebra.Scan(tableDef("A", true))
+	b := algebra.Scan(tableDef("B", true))
+	join := algebra.NewJoin([]algebra.JoinCond{{Left: "A.K", Right: "B.K"}}, a, b)
+	sel := algebra.NewSelect(expr.AndOf(
+		expr.Compare(expr.GT, expr.C("A.V"), expr.IntLit(5)),
+		expr.Compare(expr.LT, expr.C("B.V"), expr.C("A.V")),
+	), join)
+	d := expand(t, sel)
+	pushed := algebra.NewSelect(
+		expr.Compare(expr.GT, expr.C("A.V"), expr.IntLit(5)),
+		algebra.Scan(tableDef("A", true)),
+	)
+	if d.FindEq(pushed) == nil {
+		t.Errorf("A-side conjunct should have been pushed:\n%s", d.Render())
+	}
+}
+
+// TestSelectPushAggregateGroupColsOnly: predicates on group columns sink
+// below the aggregation; predicates on aggregate outputs do not.
+func TestSelectPushAggregateGroupColsOnly(t *testing.T) {
+	a := algebra.Scan(tableDef("A", true))
+	agg := algebra.NewAggregate(
+		[]string{"A.K"},
+		[]algebra.AggSpec{{Func: algebra.Sum, Arg: expr.C("A.V"), As: "S"}},
+		a,
+	)
+	sel := algebra.NewSelect(expr.Compare(expr.EQ, expr.C("A.K"), expr.IntLit(7)), agg)
+	d := expand(t, sel)
+	pushed := algebra.NewAggregate(
+		[]string{"A.K"},
+		[]algebra.AggSpec{{Func: algebra.Sum, Arg: expr.C("A.V"), As: "S"}},
+		algebra.NewSelect(expr.Compare(expr.EQ, expr.C("A.K"), expr.IntLit(7)),
+			algebra.Scan(tableDef("A", true))),
+	)
+	if d.FindEq(pushed) == nil {
+		t.Errorf("group-column select should push below the aggregate:\n%s", d.Render())
+	}
+
+	// HAVING-style predicate on the aggregate output must not push.
+	selAgg := algebra.NewSelect(expr.Compare(expr.GT, expr.C("S"), expr.IntLit(0)), agg)
+	d2 := expand(t, selAgg)
+	for _, e := range d2.NonLeafEqs() {
+		for _, op := range e.Ops {
+			if s, ok := op.Template.(*algebra.Select); ok {
+				if op.Children[0].IsLeaf() && s.Pred.String() != "" {
+					for _, c := range expr.ColumnsOf(s.Pred) {
+						if c == "S" {
+							t.Errorf("aggregate-output predicate pushed below aggregation:\n%s", d2.Render())
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJoinAssocBothDirections: a three-way chain reassociates and reaches
+// fixpoint with both shapes present.
+func TestJoinAssocBothDirections(t *testing.T) {
+	a := algebra.Scan(tableDef("A", true))
+	b := algebra.Scan(tableDef("B", true))
+	c := algebra.Scan(tableDef("C", true))
+	leftNested := algebra.NewJoin(
+		[]algebra.JoinCond{{Left: "B.V", Right: "C.K"}},
+		algebra.NewJoin([]algebra.JoinCond{{Left: "A.K", Right: "B.K"}}, a, b),
+		c,
+	)
+	d := expand(t, leftNested)
+	rightNested := algebra.NewJoin(
+		[]algebra.JoinCond{{Left: "A.K", Right: "B.K"}},
+		algebra.Scan(tableDef("A", true)),
+		algebra.NewJoin([]algebra.JoinCond{{Left: "B.V", Right: "C.K"}},
+			algebra.Scan(tableDef("B", true)),
+			algebra.Scan(tableDef("C", true))),
+	)
+	if d.FindEq(rightNested) == nil {
+		t.Errorf("right-nested shape missing after expansion:\n%s", d.Render())
+	}
+	// And both nestings share the same root class.
+	if d.FindEq(leftNested) != d.FindEq(rightNested) {
+		t.Error("the two nestings must be one equivalence class")
+	}
+}
+
+// TestRuleNamesAreStable: the engine deduplicates rule applications by
+// name; names must be distinct.
+func TestRuleNamesAreStable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range rules.Default() {
+		if seen[r.Name()] {
+			t.Errorf("duplicate rule name %q", r.Name())
+		}
+		seen[r.Name()] = true
+	}
+}

@@ -1,0 +1,143 @@
+package sqlparser
+
+import "repro/internal/value"
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColumnDef is one column of CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       value.Kind
+	PrimaryKey bool
+}
+
+// CreateTable is CREATE TABLE name (cols... [, PRIMARY KEY (cols)]).
+type CreateTable struct {
+	Name       string
+	Columns    []ColumnDef
+	PrimaryKey []string
+}
+
+func (*CreateTable) stmt() {}
+
+// CreateIndex is CREATE INDEX name ON table (cols).
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+}
+
+func (*CreateIndex) stmt() {}
+
+// CreateView is CREATE VIEW name [(cols)] AS select.
+type CreateView struct {
+	Name    string
+	Columns []string
+	Select  *SelectStmt
+}
+
+func (*CreateView) stmt() {}
+
+// CreateAssertion is CREATE ASSERTION name CHECK (NOT EXISTS (select)).
+type CreateAssertion struct {
+	Name   string
+	Select *SelectStmt
+}
+
+func (*CreateAssertion) stmt() {}
+
+// SelectItem is one output of a SELECT list.
+type SelectItem struct {
+	Expr Scalar
+	As   string
+	Star bool // SELECT *
+}
+
+// TableRef is one FROM entry: a table or view name with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// SelectStmt is a SELECT block, optionally combined with further blocks
+// by UNION ALL / EXCEPT ALL (bag union and difference).
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Scalar // nil when absent
+	GroupBy  []ColRef
+	Having   Scalar // nil when absent
+
+	// Compound tail: this block combined with Next by Op.
+	Op   string      // "", "UNION ALL", "EXCEPT ALL"
+	Next *SelectStmt // nil when Op is ""
+}
+
+func (*SelectStmt) stmt() {}
+
+// Insert is INSERT INTO table VALUES (...), (...).
+type Insert struct {
+	Table string
+	Rows  [][]value.Value
+}
+
+func (*Insert) stmt() {}
+
+// Delete is DELETE FROM table [WHERE pred].
+type Delete struct {
+	Table string
+	Where Scalar
+}
+
+func (*Delete) stmt() {}
+
+// Update is UPDATE table SET col=expr,... [WHERE pred].
+type Update struct {
+	Table string
+	Set   []SetClause
+	Where Scalar
+}
+
+func (*Update) stmt() {}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Column string
+	Expr   Scalar
+}
+
+// Scalar is a parsed scalar expression (pre-resolution).
+type Scalar interface{ scalar() }
+
+// ColRef references a possibly qualified column.
+type ColRef struct{ Name string }
+
+func (ColRef) scalar() {}
+
+// Literal is a constant.
+type Literal struct{ V value.Value }
+
+func (Literal) scalar() {}
+
+// BinExpr is a binary operation: comparison, arithmetic, AND, OR.
+type BinExpr struct {
+	Op   string // "=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/", "AND", "OR"
+	L, R Scalar
+}
+
+func (BinExpr) scalar() {}
+
+// NotExpr is logical negation.
+type NotExpr struct{ E Scalar }
+
+func (NotExpr) scalar() {}
+
+// AggExpr is FUNC(arg) or COUNT(*).
+type AggExpr struct {
+	Func string // SUM, COUNT, AVG, MIN, MAX
+	Arg  Scalar // nil for COUNT(*)
+}
+
+func (AggExpr) scalar() {}

@@ -1,0 +1,516 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/expr"
+)
+
+// Translator resolves SELECT blocks into logical algebra against a
+// catalog. Previously defined views can be referenced in FROM through the
+// Views map (their definitions are inlined, so the expression DAG sees
+// the full tree).
+type Translator struct {
+	Cat   *catalog.Catalog
+	Views map[string]algebra.Node
+}
+
+// NewTranslator returns a translator over the catalog.
+func NewTranslator(cat *catalog.Catalog) *Translator {
+	return &Translator{Cat: cat, Views: map[string]algebra.Node{}}
+}
+
+// TranslateView translates CREATE VIEW, applying the optional output
+// column renames, and registers the view for later FROM references.
+func (tr *Translator) TranslateView(cv *CreateView) (algebra.Node, error) {
+	n, err := tr.TranslateSelect(cv.Select)
+	if err != nil {
+		return nil, fmt.Errorf("sql: view %s: %w", cv.Name, err)
+	}
+	if len(cv.Columns) > 0 {
+		s := n.Schema()
+		if len(cv.Columns) != s.Len() {
+			return nil, fmt.Errorf("sql: view %s declares %d columns, select produces %d",
+				cv.Name, len(cv.Columns), s.Len())
+		}
+		items := make([]algebra.ProjectItem, len(cv.Columns))
+		renamed := false
+		for i, want := range cv.Columns {
+			have := s.Cols[i]
+			items[i] = algebra.ProjectItem{E: expr.C(have.QName()), As: want}
+			if have.Name != want {
+				renamed = true
+			}
+		}
+		if renamed {
+			n = algebra.NewProject(items, n)
+		}
+	}
+	tr.Views[cv.Name] = n
+	return n, nil
+}
+
+// TranslateAssertion translates CREATE ASSERTION ... CHECK (NOT EXISTS
+// (select)) into the view that must remain empty.
+func (tr *Translator) TranslateAssertion(ca *CreateAssertion) (algebra.Node, error) {
+	n, err := tr.TranslateSelect(ca.Select)
+	if err != nil {
+		return nil, fmt.Errorf("sql: assertion %s: %w", ca.Name, err)
+	}
+	return n, nil
+}
+
+// TranslateSelect resolves a SELECT block (and any UNION ALL / EXCEPT
+// ALL tail): FROM relations joined on the equality conjuncts of WHERE (no
+// cross products), residual WHERE conjuncts as selections, GROUP
+// BY/HAVING as aggregation plus a post-selection, DISTINCT as duplicate
+// elimination, and the select list as the final projection.
+func (tr *Translator) TranslateSelect(s *SelectStmt) (algebra.Node, error) {
+	left, err := tr.translateBlock(s)
+	if err != nil {
+		return nil, err
+	}
+	if s.Op == "" {
+		return left, nil
+	}
+	right, err := tr.TranslateSelect(s.Next)
+	if err != nil {
+		return nil, err
+	}
+	ls, rs := left.Schema(), right.Schema()
+	if ls.Len() != rs.Len() {
+		return nil, fmt.Errorf("sql: %s arms have %d and %d columns", s.Op, ls.Len(), rs.Len())
+	}
+	switch s.Op {
+	case "UNION ALL":
+		return algebra.NewUnion(left, right), nil
+	case "EXCEPT ALL":
+		return algebra.NewDiff(left, right), nil
+	default:
+		return nil, fmt.Errorf("sql: unknown compound operator %q", s.Op)
+	}
+}
+
+// translateBlock resolves one SELECT block, ignoring any compound tail.
+func (tr *Translator) translateBlock(s *SelectStmt) (algebra.Node, error) {
+	if len(s.From) == 0 {
+		return nil, fmt.Errorf("sql: FROM is required")
+	}
+	inputs := make([]algebra.Node, len(s.From))
+	for i, ref := range s.From {
+		if ref.Alias != ref.Name {
+			return nil, fmt.Errorf("sql: table aliases are not supported (%s %s)", ref.Name, ref.Alias)
+		}
+		if v, ok := tr.Views[ref.Name]; ok {
+			inputs[i] = v
+			continue
+		}
+		def, ok := tr.Cat.Get(ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown relation %q", ref.Name)
+		}
+		inputs[i] = algebra.Scan(def)
+	}
+
+	// Split WHERE into equijoin conditions and residual selections.
+	var joinConds []joinCond
+	var residuals []expr.Expr
+	if s.Where != nil {
+		for _, c := range conjuncts(s.Where) {
+			if jc, ok := tr.asJoinCond(c, inputs); ok {
+				joinConds = append(joinConds, jc)
+				continue
+			}
+			e, err := tr.scalarExpr(c, false)
+			if err != nil {
+				return nil, err
+			}
+			residuals = append(residuals, e)
+		}
+	}
+
+	tree, err := joinInputs(inputs, joinConds)
+	if err != nil {
+		return nil, err
+	}
+	if len(residuals) > 0 {
+		tree = algebra.NewSelect(expr.AndOf(residuals...), tree)
+	}
+
+	// Aggregation.
+	aggNames := map[string]string{} // canonical AggExpr -> output name
+	var aggSpecs []algebra.AggSpec
+	collect := func(e Scalar, preferred string) error {
+		return walkAggs(e, func(a AggExpr) error {
+			key := aggKey(a)
+			if _, ok := aggNames[key]; ok {
+				return nil
+			}
+			name := preferred
+			if name == "" || nameTaken(aggSpecs, name) {
+				name = genAggName(a, len(aggSpecs))
+			}
+			var arg expr.Expr
+			if a.Arg != nil {
+				var err error
+				arg, err = tr.scalarExpr(a.Arg, false)
+				if err != nil {
+					return err
+				}
+			}
+			aggNames[key] = name
+			aggSpecs = append(aggSpecs, algebra.AggSpec{
+				Func: algebra.AggFunc(a.Func), Arg: arg, As: name,
+			})
+			return nil
+		})
+	}
+	for _, it := range s.Items {
+		if it.Star {
+			continue
+		}
+		if err := collect(it.Expr, it.As); err != nil {
+			return nil, err
+		}
+	}
+	if s.Having != nil {
+		if err := collect(s.Having, ""); err != nil {
+			return nil, err
+		}
+	}
+
+	grouped := len(s.GroupBy) > 0 || len(aggSpecs) > 0
+	if grouped {
+		groupBy := make([]string, len(s.GroupBy))
+		treeSchema := tree.Schema()
+		for i, g := range s.GroupBy {
+			j, err := treeSchema.Resolve(g.Name)
+			if err != nil {
+				return nil, err
+			}
+			groupBy[i] = treeSchema.Cols[j].QName()
+		}
+		tree = algebra.NewAggregate(groupBy, aggSpecs, tree)
+		if s.Having != nil {
+			h, err := tr.havingExpr(s.Having, aggNames)
+			if err != nil {
+				return nil, err
+			}
+			tree = algebra.NewSelect(h, tree)
+		}
+	} else if s.Having != nil {
+		return nil, fmt.Errorf("sql: HAVING without aggregation")
+	}
+
+	// Final projection (skipped for SELECT *).
+	star := false
+	for _, it := range s.Items {
+		if it.Star {
+			star = true
+		}
+	}
+	if !star {
+		items := make([]algebra.ProjectItem, 0, len(s.Items))
+		outSchema := tree.Schema()
+		for _, it := range s.Items {
+			if a, ok := it.Expr.(AggExpr); ok {
+				items = append(items, algebra.ProjectItem{E: expr.C(aggNames[aggKey(a)])})
+				continue
+			}
+			e, err := tr.scalarExpr(it.Expr, false)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, algebra.ProjectItem{E: e, As: it.As})
+		}
+		if !identityProjection(items, outSchema) {
+			tree = algebra.NewProject(items, tree)
+		}
+	}
+	if s.Distinct {
+		tree = algebra.NewDistinct(tree)
+	}
+	return tree, nil
+}
+
+type joinCond struct {
+	left, right string
+	li, ri      int // input indexes
+}
+
+// asJoinCond recognizes col = col conjuncts whose sides resolve in two
+// different FROM inputs.
+func (tr *Translator) asJoinCond(c Scalar, inputs []algebra.Node) (joinCond, bool) {
+	b, ok := c.(BinExpr)
+	if !ok || b.Op != "=" {
+		return joinCond{}, false
+	}
+	lc, lok := b.L.(ColRef)
+	rc, rok := b.R.(ColRef)
+	if !lok || !rok {
+		return joinCond{}, false
+	}
+	li, ri := -1, -1
+	for i, in := range inputs {
+		if in.Schema().Has(lc.Name) {
+			li = i
+		}
+		if in.Schema().Has(rc.Name) {
+			ri = i
+		}
+	}
+	if li < 0 || ri < 0 || li == ri {
+		return joinCond{}, false
+	}
+	return joinCond{left: lc.Name, right: rc.Name, li: li, ri: ri}, true
+}
+
+// joinInputs connects the FROM inputs with the join conditions, greedily
+// attaching any input connected to the current tree. Cross products are
+// rejected.
+func joinInputs(inputs []algebra.Node, conds []joinCond) (algebra.Node, error) {
+	if len(inputs) == 1 {
+		if len(conds) > 0 {
+			return nil, fmt.Errorf("sql: join condition over a single relation")
+		}
+		return inputs[0], nil
+	}
+	attached := map[int]bool{0: true}
+	tree := inputs[0]
+	used := make([]bool, len(conds))
+	for len(attached) < len(inputs) {
+		progressed := false
+		for next := range inputs {
+			if attached[next] {
+				continue
+			}
+			var on []algebra.JoinCond
+			for k, c := range conds {
+				if used[k] {
+					continue
+				}
+				switch {
+				case attached[c.li] && c.ri == next:
+					on = append(on, algebra.JoinCond{Left: c.left, Right: c.right})
+					used[k] = true
+				case attached[c.ri] && c.li == next:
+					on = append(on, algebra.JoinCond{Left: c.right, Right: c.left})
+					used[k] = true
+				}
+			}
+			if len(on) == 0 {
+				continue
+			}
+			tree = algebra.NewJoin(on, tree, inputs[next])
+			attached[next] = true
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("sql: FROM relations are not connected by join conditions (cross products unsupported)")
+		}
+	}
+	// Leftover conditions between already-attached inputs become
+	// residual selections on the join tree.
+	var residual []expr.Expr
+	for k, c := range conds {
+		if !used[k] {
+			residual = append(residual, expr.Compare(expr.EQ, expr.C(c.left), expr.C(c.right)))
+		}
+	}
+	if len(residual) > 0 {
+		return algebra.NewSelect(expr.AndOf(residual...), tree), nil
+	}
+	return tree, nil
+}
+
+// scalarExpr converts a parsed scalar into an algebra expression.
+// Aggregates are rejected unless allowAgg (they are lifted separately).
+func (tr *Translator) scalarExpr(s Scalar, allowAgg bool) (expr.Expr, error) {
+	switch t := s.(type) {
+	case ColRef:
+		return expr.C(t.Name), nil
+	case Literal:
+		return expr.Lit{V: t.V}, nil
+	case NotExpr:
+		e, err := tr.scalarExpr(t.E, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not{E: e}, nil
+	case AggExpr:
+		return nil, fmt.Errorf("sql: aggregate %s used outside SELECT/HAVING", t.Func)
+	case BinExpr:
+		l, err := tr.scalarExpr(t.L, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.scalarExpr(t.R, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Op {
+		case "AND":
+			return expr.AndOf(l, r), nil
+		case "OR":
+			return expr.Or{L: l, R: r}, nil
+		case "=", "<>", "<", "<=", ">", ">=":
+			return expr.Compare(expr.CmpOp(t.Op), l, r), nil
+		case "+":
+			return expr.Arith{Op: expr.Plus, L: l, R: r}, nil
+		case "-":
+			return expr.Arith{Op: expr.Minus, L: l, R: r}, nil
+		case "*":
+			return expr.Arith{Op: expr.Times, L: l, R: r}, nil
+		case "/":
+			return expr.Arith{Op: expr.Over, L: l, R: r}, nil
+		}
+		return nil, fmt.Errorf("sql: unknown operator %q", t.Op)
+	default:
+		return nil, fmt.Errorf("sql: unsupported expression %T", s)
+	}
+}
+
+// havingExpr converts a HAVING predicate, replacing aggregates with
+// references to their lifted output columns.
+func (tr *Translator) havingExpr(s Scalar, aggNames map[string]string) (expr.Expr, error) {
+	switch t := s.(type) {
+	case AggExpr:
+		name, ok := aggNames[aggKey(t)]
+		if !ok {
+			return nil, fmt.Errorf("sql: unlifted aggregate in HAVING")
+		}
+		return expr.C(name), nil
+	case BinExpr:
+		l, err := tr.havingExpr(t.L, aggNames)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.havingExpr(t.R, aggNames)
+		if err != nil {
+			return nil, err
+		}
+		return tr.scalarFromParts(t.Op, l, r)
+	case NotExpr:
+		e, err := tr.havingExpr(t.E, aggNames)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not{E: e}, nil
+	default:
+		return tr.scalarExpr(s, false)
+	}
+}
+
+func (tr *Translator) scalarFromParts(op string, l, r expr.Expr) (expr.Expr, error) {
+	switch op {
+	case "AND":
+		return expr.AndOf(l, r), nil
+	case "OR":
+		return expr.Or{L: l, R: r}, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		return expr.Compare(expr.CmpOp(op), l, r), nil
+	case "+":
+		return expr.Arith{Op: expr.Plus, L: l, R: r}, nil
+	case "-":
+		return expr.Arith{Op: expr.Minus, L: l, R: r}, nil
+	case "*":
+		return expr.Arith{Op: expr.Times, L: l, R: r}, nil
+	case "/":
+		return expr.Arith{Op: expr.Over, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("sql: unknown operator %q", op)
+	}
+}
+
+func conjuncts(s Scalar) []Scalar {
+	if b, ok := s.(BinExpr); ok && b.Op == "AND" {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []Scalar{s}
+}
+
+// walkAggs visits every aggregate expression in s.
+func walkAggs(s Scalar, f func(AggExpr) error) error {
+	switch t := s.(type) {
+	case AggExpr:
+		return f(t)
+	case BinExpr:
+		if err := walkAggs(t.L, f); err != nil {
+			return err
+		}
+		return walkAggs(t.R, f)
+	case NotExpr:
+		return walkAggs(t.E, f)
+	default:
+		return nil
+	}
+}
+
+func aggKey(a AggExpr) string {
+	if a.Arg == nil {
+		return a.Func + "(*)"
+	}
+	return fmt.Sprintf("%s(%v)", a.Func, a.Arg)
+}
+
+func nameTaken(specs []algebra.AggSpec, name string) bool {
+	for _, s := range specs {
+		if s.As == name {
+			return true
+		}
+	}
+	return false
+}
+
+func genAggName(a AggExpr, i int) string {
+	base := strings.ToLower(a.Func)
+	if c, ok := a.Arg.(ColRef); ok {
+		parts := strings.Split(c.Name, ".")
+		base += "_" + strings.ToLower(parts[len(parts)-1])
+	} else if i > 0 {
+		base = fmt.Sprintf("%s_%d", base, i)
+	}
+	return base
+}
+
+// identityProjection reports whether the items reproduce the schema
+// exactly (same columns, same order, no renames).
+func identityProjection(items []algebra.ProjectItem, s *catalog.Schema) bool {
+	if len(items) != s.Len() {
+		return false
+	}
+	for i, it := range items {
+		c, ok := it.E.(expr.Col)
+		if !ok || it.As != "" {
+			return false
+		}
+		j, err := s.Resolve(c.Name)
+		if err != nil || j != i {
+			return false
+		}
+	}
+	return true
+}
+
+// TableDefFrom builds a catalog definition from CREATE TABLE.
+func TableDefFrom(ct *CreateTable) *catalog.TableDef {
+	cols := make([]catalog.Column, len(ct.Columns))
+	var keys [][]string
+	for i, c := range ct.Columns {
+		cols[i] = catalog.Column{Qualifier: ct.Name, Name: c.Name, Type: c.Type}
+		if c.PrimaryKey {
+			keys = append(keys, []string{c.Name})
+		}
+	}
+	if len(ct.PrimaryKey) > 0 {
+		keys = append(keys, ct.PrimaryKey)
+	}
+	return &catalog.TableDef{
+		Name:   ct.Name,
+		Schema: catalog.NewSchema(cols...),
+		Keys:   keys,
+	}
+}

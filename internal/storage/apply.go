@@ -1,0 +1,105 @@
+package storage
+
+import "repro/internal/value"
+
+// Mutation is one element of a batch update to a stored relation.
+// Exactly one of the three shapes is used:
+//
+//   - insert: New set, Old nil
+//   - delete: Old set, New nil
+//   - modify: both set (Old is replaced by New)
+//
+// Count is the bag multiplicity affected (defaults to 1).
+type Mutation struct {
+	Old   value.Tuple
+	New   value.Tuple
+	Count int64
+}
+
+// IsInsert reports whether m is an insertion.
+func (m Mutation) IsInsert() bool { return m.Old == nil && m.New != nil }
+
+// IsDelete reports whether m is a deletion.
+func (m Mutation) IsDelete() bool { return m.Old != nil && m.New == nil }
+
+// IsModify reports whether m is an in-place modification.
+func (m Mutation) IsModify() bool { return m.Old != nil && m.New != nil }
+
+// ApplyBatch applies a batch of mutations with the paper's I/O charges:
+//
+//   - per index, one index-page read per distinct hash bucket the batch
+//     touches (the paper's single-bucket batches charge exactly one),
+//     plus one index-page write per bucket whose entries change
+//     (inserts, deletes, or modifications that move the indexed key);
+//   - one relation-page read per modified or deleted tuple;
+//   - one relation-page write per modified or inserted tuple.
+//
+// An empty batch charges nothing.
+func (r *Relation) ApplyBatch(batch []Mutation) {
+	if len(batch) == 0 {
+		return
+	}
+	// Index page charges, per distinct touched bucket.
+	for _, ix := range r.indexes {
+		touched := map[string]bool{} // bucket -> dirty
+		order := []string{}
+		note := func(bucket string, dirty bool) {
+			if _, ok := touched[bucket]; !ok {
+				touched[bucket] = dirty
+				order = append(order, bucket)
+			} else if dirty {
+				touched[bucket] = true
+			}
+		}
+		for _, m := range batch {
+			switch {
+			case m.IsInsert():
+				note(ix.keyOf(m.New), true)
+			case m.IsDelete():
+				note(ix.keyOf(m.Old), true)
+			case m.IsModify():
+				ob, nb := ix.keyOf(m.Old), ix.keyOf(m.New)
+				if ob == nb {
+					note(ob, false)
+				} else {
+					note(ob, true)
+					note(nb, true)
+				}
+			}
+		}
+		for _, bucket := range order {
+			id := r.indexPageID(ix.def.Name, bucket)
+			r.chargeIndexRead(id)
+			if touched[bucket] {
+				r.chargeIndexWrite(id)
+			}
+		}
+	}
+	for _, m := range batch {
+		count := m.Count
+		if count == 0 {
+			count = 1
+		}
+		switch {
+		case m.IsInsert():
+			r.chargePageWrite(r.tuplePageID(m.New.Key()))
+			r.insertRaw(m.New, count)
+		case m.IsDelete():
+			k := m.Old.Key()
+			r.chargePageRead(r.tuplePageID(k))
+			r.deleteRaw(m.Old, count)
+			if r.GetCount(m.Old) == 0 {
+				r.dropPage(r.tuplePageID(k))
+			}
+		case m.IsModify():
+			oldID := r.tuplePageID(m.Old.Key())
+			r.chargePageRead(oldID)
+			r.deleteRaw(m.Old, count)
+			if r.GetCount(m.Old) == 0 && m.Old.Key() != m.New.Key() {
+				r.dropPage(oldID)
+			}
+			r.chargePageWrite(r.tuplePageID(m.New.Key()))
+			r.insertRaw(m.New, count)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package storage
+
+import "container/list"
+
+// Buffer is an LRU page cache. The paper's Section 3.6 assumes "none of
+// the data is memory-resident initially" and charges every page touch;
+// attaching a Buffer to a Store relaxes that assumption so the effect of
+// residency on the paper's numbers can be measured (ablation A5). Reads
+// of buffered pages are free; writes are write-through (always charged)
+// and leave the page resident.
+//
+// Page identities follow the engine's unclustered model: every stored
+// tuple is its own page, and every hash-index bucket is its own page.
+type Buffer struct {
+	capacity int
+	lru      *list.List // front = most recently used; values are page ids
+	index    map[string]*list.Element
+
+	// Hits and Misses count read probes (writes are not counted).
+	Hits, Misses int64
+}
+
+// NewBuffer returns an LRU buffer holding up to capacity pages.
+// A nil *Buffer (or capacity <= 0) disables buffering.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Buffer{
+		capacity: capacity,
+		lru:      list.New(),
+		index:    map[string]*list.Element{},
+	}
+}
+
+// Len returns the number of resident pages.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return b.lru.Len()
+}
+
+// read probes the buffer for a page: on a hit the page moves to the MRU
+// position and no I/O is due; on a miss the page is admitted (evicting
+// the LRU page if full) and the caller charges the read.
+func (b *Buffer) read(id string) (hit bool) {
+	if b == nil {
+		return false
+	}
+	if el, ok := b.index[id]; ok {
+		b.lru.MoveToFront(el)
+		b.Hits++
+		return true
+	}
+	b.Misses++
+	b.admit(id)
+	return false
+}
+
+// write admits a page after a write-through (the write itself is always
+// charged by the caller).
+func (b *Buffer) write(id string) {
+	if b == nil {
+		return
+	}
+	if el, ok := b.index[id]; ok {
+		b.lru.MoveToFront(el)
+		return
+	}
+	b.admit(id)
+}
+
+func (b *Buffer) admit(id string) {
+	for b.lru.Len() >= b.capacity {
+		back := b.lru.Back()
+		b.lru.Remove(back)
+		delete(b.index, back.Value.(string))
+	}
+	b.index[id] = b.lru.PushFront(id)
+}
+
+// drop evicts a page (a deleted tuple's page is gone).
+func (b *Buffer) drop(id string) {
+	if b == nil {
+		return
+	}
+	if el, ok := b.index[id]; ok {
+		b.lru.Remove(el)
+		delete(b.index, id)
+	}
+}

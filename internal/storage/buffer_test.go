@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestBufferMakesRepeatedLookupsFree(t *testing.T) {
+	st, rel := newEmpRel(t)
+	st.Buffer = NewBuffer(64)
+	for j := 0; j < 10; j++ {
+		rel.LoadTuples([]value.Tuple{emp(string(rune('a'+j)), "d1", 100)})
+	}
+	st.IO.Reset()
+	rel.Lookup([]string{"DName"}, value.Tuple{value.NewString("d1")})
+	if got := st.IO.Total(); got != 11 {
+		t.Fatalf("cold lookup = %d, want 11", got)
+	}
+	st.IO.Reset()
+	rel.Lookup([]string{"DName"}, value.Tuple{value.NewString("d1")})
+	if got := st.IO.Total(); got != 0 {
+		t.Errorf("warm lookup = %d, want 0 (%v)", got, st.IO)
+	}
+	if st.Buffer.Hits == 0 {
+		t.Error("buffer hits not counted")
+	}
+}
+
+func TestBufferEvictsLRU(t *testing.T) {
+	st, rel := newEmpRel(t)
+	// Two pages of capacity: the index bucket page plus one tuple.
+	st.Buffer = NewBuffer(2)
+	rel.LoadTuples([]value.Tuple{
+		emp("e1", "d1", 100),
+		emp("e2", "d2", 100),
+	})
+	rel.Lookup([]string{"DName"}, value.Tuple{value.NewString("d1")}) // caches d1 bucket + e1
+	st.IO.Reset()
+	rel.Lookup([]string{"DName"}, value.Tuple{value.NewString("d2")}) // evicts d1 entries
+	if st.IO.Total() != 2 {
+		t.Fatalf("second cold lookup = %d, want 2", st.IO.Total())
+	}
+	st.IO.Reset()
+	rel.Lookup([]string{"DName"}, value.Tuple{value.NewString("d1")})
+	if st.IO.Total() != 2 {
+		t.Errorf("evicted lookup should be cold again, charged %d", st.IO.Total())
+	}
+}
+
+func TestBufferWriteThrough(t *testing.T) {
+	st, rel := newEmpRel(t)
+	st.Buffer = NewBuffer(16)
+	rel.LoadTuples([]value.Tuple{emp("e1", "d1", 100)})
+	st.IO.Reset()
+	// A modification writes through (charged) and leaves the page hot.
+	rel.ApplyBatch([]Mutation{{Old: emp("e1", "d1", 100), New: emp("e1", "d1", 150)}})
+	if st.IO.PageWrites != 1 {
+		t.Errorf("write-through must charge the write: %v", st.IO)
+	}
+	st.IO.Reset()
+	rel.Lookup([]string{"DName"}, value.Tuple{value.NewString("d1")})
+	if st.IO.Total() != 0 {
+		t.Errorf("post-write read should be buffered, charged %v", st.IO)
+	}
+}
+
+func TestBufferDropsDeletedTuplePages(t *testing.T) {
+	st, rel := newEmpRel(t)
+	st.Buffer = NewBuffer(16)
+	rel.LoadTuples([]value.Tuple{emp("e1", "d1", 100)})
+	rel.Lookup([]string{"DName"}, value.Tuple{value.NewString("d1")})
+	resident := st.Buffer.Len()
+	rel.ApplyBatch([]Mutation{{Old: emp("e1", "d1", 100)}})
+	if st.Buffer.Len() >= resident+1 {
+		t.Errorf("deleted tuple's page should leave the buffer: %d -> %d", resident, st.Buffer.Len())
+	}
+}
+
+func TestNilBufferIsCold(t *testing.T) {
+	if NewBuffer(0) != nil {
+		t.Error("capacity 0 should disable buffering")
+	}
+	var b *Buffer
+	if b.read("x") || b.Len() != 0 {
+		t.Error("nil buffer must behave as always-miss")
+	}
+	b.write("x") // must not panic
+	b.drop("x")
+}
+
+// TestPaperNumbersUnchangedWithoutBuffer re-checks a headline charge with
+// buffering explicitly disabled (regression guard for the refactor).
+func TestPaperNumbersUnchangedWithoutBuffer(t *testing.T) {
+	st, rel := newEmpRel(t)
+	for j := 0; j < 10; j++ {
+		rel.LoadTuples([]value.Tuple{emp(string(rune('a'+j)), "d1", 100)})
+	}
+	st.IO.Reset()
+	var batch []Mutation
+	for j := 0; j < 10; j++ {
+		name := string(rune('a' + j))
+		batch = append(batch, Mutation{
+			Old: emp(name, "d1", 100),
+			New: emp(name, "d1", 107),
+		})
+	}
+	rel.ApplyBatch(batch)
+	if got := st.IO.Total(); got != 21 {
+		t.Errorf("batch of 10 modifies = %d, want 21", got)
+	}
+	// Repeating it is just as expensive without a buffer.
+	st.IO.Reset()
+	var batch2 []Mutation
+	for j := 0; j < 10; j++ {
+		name := string(rune('a' + j))
+		batch2 = append(batch2, Mutation{
+			Old: emp(name, "d1", 107),
+			New: emp(name, "d1", 114),
+		})
+	}
+	rel.ApplyBatch(batch2)
+	if got := st.IO.Total(); got != 21 {
+		t.Errorf("repeat batch = %d, want 21 (no residual caching)", got)
+	}
+}

@@ -1,0 +1,511 @@
+// Package storage implements the physical substrate: stored multiset
+// relations with hash indexes and page-I/O accounting that follows the
+// cost conventions of the paper's Section 3.6 exactly:
+//
+//   - all indexes are hash indexes with no overflow pages;
+//   - tuples are not clustered, so every tuple touched by an indexed read
+//     costs one relation-page read;
+//   - an indexed lookup costs one index-page read plus one relation-page
+//     read per tuple returned;
+//   - applying a batch of updates costs one index-page read per index
+//     (plus one index-page write when the indexed columns change), one
+//     relation-page read per modified or deleted tuple, and one
+//     relation-page write per modified or inserted tuple;
+//   - nothing is memory-resident unless a relation is explicitly marked
+//     Resident, in which case touching it is free (used for ablations).
+//
+// The engine is in-memory — only the accounting is "paged" — which keeps
+// experiments deterministic and laptop-scale while reporting the same
+// quantity the paper does: page I/Os.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/value"
+)
+
+// IOCounter accumulates page I/O charges.
+type IOCounter struct {
+	IndexReads  int64
+	IndexWrites int64
+	PageReads   int64
+	PageWrites  int64
+}
+
+// Total returns the total number of page I/Os.
+func (c *IOCounter) Total() int64 {
+	return c.IndexReads + c.IndexWrites + c.PageReads + c.PageWrites
+}
+
+// Reset zeroes the counter.
+func (c *IOCounter) Reset() { *c = IOCounter{} }
+
+// Sub returns the difference c - o (I/Os charged since snapshot o).
+func (c IOCounter) Sub(o IOCounter) IOCounter {
+	return IOCounter{
+		IndexReads:  c.IndexReads - o.IndexReads,
+		IndexWrites: c.IndexWrites - o.IndexWrites,
+		PageReads:   c.PageReads - o.PageReads,
+		PageWrites:  c.PageWrites - o.PageWrites,
+	}
+}
+
+// String renders the counter compactly.
+func (c IOCounter) String() string {
+	return fmt.Sprintf("total=%d (idxR=%d idxW=%d pageR=%d pageW=%d)",
+		c.Total(), c.IndexReads, c.IndexWrites, c.PageReads, c.PageWrites)
+}
+
+// Row is a stored tuple with its bag multiplicity.
+type Row struct {
+	Tuple value.Tuple
+	Count int64
+}
+
+type entry struct {
+	tuple value.Tuple
+	count int64
+}
+
+type hashIndex struct {
+	def     catalog.IndexDef
+	colPos  []int
+	buckets map[string][]string // projected-key → tuple keys
+}
+
+func (ix *hashIndex) keyOf(t value.Tuple) string {
+	return t.Project(ix.colPos).Key()
+}
+
+// Relation is a stored multiset relation with hash indexes.
+type Relation struct {
+	Def *catalog.TableDef
+	// Resident marks the relation memory-resident: no I/O is charged for
+	// touching it. Off by default, matching the paper's assumption.
+	Resident bool
+
+	rows    map[string]*entry
+	order   []string // tuple keys in first-insertion order
+	indexes []*hashIndex
+	io      *IOCounter
+	store   *Store
+	// liveTuples counts distinct live tuples so Card is O(1) and
+	// cardinality statistics stay fresh between full refreshes.
+	liveTuples int
+}
+
+// Store is a collection of named relations sharing one I/O counter and,
+// optionally, an LRU page buffer (nil reproduces the paper's cold-cache
+// assumption).
+type Store struct {
+	IO     *IOCounter
+	Buffer *Buffer
+	rels   map[string]*Relation
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{IO: &IOCounter{}, rels: map[string]*Relation{}}
+}
+
+// Create allocates an empty relation for def, building its declared
+// indexes. It replaces any existing relation with the same name.
+func (s *Store) Create(def *catalog.TableDef) (*Relation, error) {
+	r := &Relation{
+		Def:   def,
+		rows:  map[string]*entry{},
+		io:    s.IO,
+		store: s,
+	}
+	for _, ixd := range def.Indexes {
+		pos := make([]int, len(ixd.Columns))
+		for i, col := range ixd.Columns {
+			j, err := def.Schema.Resolve(col)
+			if err != nil {
+				return nil, fmt.Errorf("storage: index %s: %w", ixd.Name, err)
+			}
+			pos[i] = j
+		}
+		r.indexes = append(r.indexes, &hashIndex{
+			def:     ixd,
+			colPos:  pos,
+			buckets: map[string][]string{},
+		})
+	}
+	s.rels[def.Name] = r
+	return r, nil
+}
+
+// Get returns the named relation.
+func (s *Store) Get(name string) (*Relation, bool) {
+	r, ok := s.rels[name]
+	return r, ok
+}
+
+// MustGet returns the named relation, panicking if absent.
+func (s *Store) MustGet(name string) *Relation {
+	r, ok := s.rels[name]
+	if !ok {
+		panic(fmt.Sprintf("storage: unknown relation %q", name))
+	}
+	return r
+}
+
+// Drop removes a relation from the store.
+func (s *Store) Drop(name string) { delete(s.rels, name) }
+
+// Names returns the stored relation names, sorted.
+func (s *Store) Names() []string {
+	out := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Card returns the number of distinct tuples currently stored.
+func (r *Relation) Card() int { return r.liveTuples }
+
+// Page identities: every stored tuple is its own page and every hash
+// bucket is its own index page (the unclustered model of §3.6).
+func (r *Relation) tuplePageID(tupleKey string) string {
+	return "t:" + r.Def.Name + "/" + tupleKey
+}
+
+func (r *Relation) indexPageID(indexName, bucketKey string) string {
+	return "i:" + r.Def.Name + "/" + indexName + "/" + bucketKey
+}
+
+// chargeIndexRead charges one index-page read (unless resident or
+// buffered).
+func (r *Relation) chargeIndexRead(pageID string) {
+	if r.Resident {
+		return
+	}
+	if r.store != nil && r.store.Buffer.read(pageID) {
+		return
+	}
+	r.io.IndexReads++
+}
+
+func (r *Relation) chargeIndexWrite(pageID string) {
+	if r.Resident {
+		return
+	}
+	r.io.IndexWrites++
+	if r.store != nil {
+		r.store.Buffer.write(pageID)
+	}
+}
+
+func (r *Relation) chargePageRead(pageID string) {
+	if r.Resident {
+		return
+	}
+	if r.store != nil && r.store.Buffer.read(pageID) {
+		return
+	}
+	r.io.PageReads++
+}
+
+func (r *Relation) chargePageWrite(pageID string) {
+	if r.Resident {
+		return
+	}
+	r.io.PageWrites++
+	if r.store != nil {
+		r.store.Buffer.write(pageID)
+	}
+}
+
+func (r *Relation) dropPage(pageID string) {
+	if r.store != nil {
+		r.store.Buffer.drop(pageID)
+	}
+}
+
+// Scan returns all rows in first-insertion order, charging one page read
+// per tuple (unclustered storage).
+func (r *Relation) Scan() []Row {
+	out := make([]Row, 0, len(r.rows))
+	for _, k := range r.order {
+		e := r.rows[k]
+		if e != nil && e.count > 0 {
+			out = append(out, Row{Tuple: e.tuple, Count: e.count})
+			r.chargePageRead(r.tuplePageID(k))
+		}
+	}
+	return out
+}
+
+// ScanFree is Scan without I/O accounting; used for statistics refresh,
+// snapshots and result assembly that the paper's cost model does not
+// charge for.
+func (r *Relation) ScanFree() []Row {
+	out := make([]Row, 0, len(r.rows))
+	for _, k := range r.order {
+		e := r.rows[k]
+		if e != nil && e.count > 0 {
+			out = append(out, Row{Tuple: e.tuple, Count: e.count})
+		}
+	}
+	return out
+}
+
+func (r *Relation) findIndex(cols []string) *hashIndex {
+	want := make([]string, len(cols))
+	copy(want, cols)
+	for i := range want {
+		want[i] = bareName(want[i])
+	}
+	sort.Strings(want)
+	for _, ix := range r.indexes {
+		have := make([]string, len(ix.def.Columns))
+		for i, c := range ix.def.Columns {
+			have[i] = bareName(c)
+		}
+		sort.Strings(have)
+		if eqStrings(have, want) {
+			return ix
+		}
+	}
+	return nil
+}
+
+func bareName(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasIndexOn reports whether the relation has a hash index on exactly the
+// given columns.
+func (r *Relation) HasIndexOn(cols []string) bool { return r.findIndex(cols) != nil }
+
+// Lookup probes a hash index with the given key values and returns
+// matching rows, charging one index-page read plus one page read per
+// tuple touched. An index is usable when its columns are a subset of
+// cols: the probe uses the indexed part and the remaining equalities are
+// checked on the fetched tuples (each touched tuple costs its page read
+// whether or not it survives the residual filter, per the paper's
+// unclustered-storage convention). Falls back to a full scan (charged)
+// when no usable index exists.
+func (r *Relation) Lookup(cols []string, key value.Tuple) []Row {
+	ix, keyPos := r.findUsableIndex(cols)
+	if ix == nil {
+		return r.scanMatch(cols, key)
+	}
+	subKey := make(value.Tuple, len(keyPos))
+	for i, p := range keyPos {
+		subKey[i] = key[p]
+	}
+	bucket := subKey.Key()
+	r.chargeIndexRead(r.indexPageID(ix.def.Name, bucket))
+	pos := make([]int, len(cols))
+	for i, c := range cols {
+		pos[i] = r.Def.Schema.MustResolve(c)
+	}
+	var out []Row
+	for _, tk := range ix.buckets[bucket] {
+		e := r.rows[tk]
+		if e == nil || e.count <= 0 {
+			continue
+		}
+		r.chargePageRead(r.tuplePageID(tk))
+		if e.tuple.Project(pos).Equal(key) {
+			out = append(out, Row{Tuple: e.tuple, Count: e.count})
+		}
+	}
+	return out
+}
+
+// findUsableIndex returns the largest index whose columns are a subset of
+// cols (bare-name comparison), plus the positions in cols supplying each
+// indexed column's probe value.
+func (r *Relation) findUsableIndex(cols []string) (*hashIndex, []int) {
+	bare := make([]string, len(cols))
+	for i, c := range cols {
+		bare[i] = bareName(c)
+	}
+	var best *hashIndex
+	var bestPos []int
+	for _, ix := range r.indexes {
+		pos := make([]int, 0, len(ix.def.Columns))
+		ok := true
+		for _, ic := range ix.def.Columns {
+			found := -1
+			for j, b := range bare {
+				if b == bareName(ic) {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				ok = false
+				break
+			}
+			pos = append(pos, found)
+		}
+		if ok && (best == nil || len(ix.def.Columns) > len(best.def.Columns)) {
+			best = ix
+			bestPos = pos
+		}
+	}
+	return best, bestPos
+}
+
+// scanMatch scans the relation for tuples matching key on cols.
+func (r *Relation) scanMatch(cols []string, key value.Tuple) []Row {
+	pos := make([]int, len(cols))
+	for i, c := range cols {
+		pos[i] = r.Def.Schema.MustResolve(c)
+	}
+	var out []Row
+	for _, k := range r.order {
+		e := r.rows[k]
+		if e == nil || e.count <= 0 {
+			continue
+		}
+		// A scan touches every live tuple's page.
+		r.chargePageRead(r.tuplePageID(k))
+		if e.tuple.Project(pos).Equal(key) {
+			out = append(out, Row{Tuple: e.tuple, Count: e.count})
+		}
+	}
+	return out
+}
+
+// GetCount returns the stored multiplicity of a tuple without charging
+// I/O (bookkeeping use only).
+func (r *Relation) GetCount(t value.Tuple) int64 {
+	if e, ok := r.rows[t.Key()]; ok {
+		return e.count
+	}
+	return 0
+}
+
+func (r *Relation) indexInsert(t value.Tuple, tk string) {
+	for _, ix := range r.indexes {
+		bk := ix.keyOf(t)
+		ix.buckets[bk] = append(ix.buckets[bk], tk)
+	}
+}
+
+func (r *Relation) indexDelete(t value.Tuple, tk string) {
+	for _, ix := range r.indexes {
+		bk := ix.keyOf(t)
+		bucket := ix.buckets[bk]
+		for i, k := range bucket {
+			if k == tk {
+				ix.buckets[bk] = append(bucket[:i:i], bucket[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// insertRaw adds count copies of t with no I/O accounting.
+func (r *Relation) insertRaw(t value.Tuple, count int64) {
+	tk := t.Key()
+	if e, ok := r.rows[tk]; ok {
+		if e.count == 0 {
+			r.indexInsert(t, tk)
+			r.liveTuples++
+		}
+		e.count += count
+		return
+	}
+	r.rows[tk] = &entry{tuple: t.Clone(), count: count}
+	r.order = append(r.order, tk)
+	r.indexInsert(t, tk)
+	r.liveTuples++
+}
+
+// deleteRaw removes count copies of t with no I/O accounting. Counts
+// floor at zero; a tuple whose count reaches zero leaves the indexes.
+func (r *Relation) deleteRaw(t value.Tuple, count int64) {
+	tk := t.Key()
+	e, ok := r.rows[tk]
+	if !ok || e.count == 0 {
+		return
+	}
+	e.count -= count
+	if e.count <= 0 {
+		e.count = 0
+		r.indexDelete(t, tk)
+		r.liveTuples--
+	}
+}
+
+// Load bulk-inserts rows without I/O accounting (initial population; the
+// paper's costs never include initial materialization I/O).
+func (r *Relation) Load(rows []Row) {
+	for _, row := range rows {
+		if row.Count == 0 {
+			row.Count = 1
+		}
+		r.insertRaw(row.Tuple, row.Count)
+	}
+}
+
+// LoadTuples bulk-inserts tuples with count 1, without I/O accounting.
+func (r *Relation) LoadTuples(tuples []value.Tuple) {
+	for _, t := range tuples {
+		r.insertRaw(t, 1)
+	}
+}
+
+// RefreshStats recomputes Card and per-column distinct counts into the
+// relation's table definition.
+func (r *Relation) RefreshStats() {
+	rows := r.ScanFree()
+	distinct := map[string]float64{}
+	for ci, col := range r.Def.Schema.Cols {
+		seen := map[string]bool{}
+		for _, row := range rows {
+			seen[value.Tuple{row.Tuple[ci]}.Key()] = true
+		}
+		distinct[col.Name] = float64(len(seen))
+	}
+	r.Def.Stats = catalog.Stats{Card: float64(len(rows)), Distinct: distinct}
+}
+
+// Snapshot captures the current contents for later restore.
+func (r *Relation) Snapshot() []Row {
+	rows := r.ScanFree()
+	out := make([]Row, len(rows))
+	for i, row := range rows {
+		out[i] = Row{Tuple: row.Tuple.Clone(), Count: row.Count}
+	}
+	return out
+}
+
+// Restore replaces the contents with a snapshot, without I/O accounting.
+func (r *Relation) Restore(rows []Row) {
+	r.rows = map[string]*entry{}
+	r.order = nil
+	r.liveTuples = 0
+	for _, ix := range r.indexes {
+		ix.buckets = map[string][]string{}
+	}
+	r.Load(rows)
+}

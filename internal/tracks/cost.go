@@ -1,0 +1,493 @@
+package tracks
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/dag"
+	"repro/internal/expr"
+	"repro/internal/txn"
+)
+
+// Costing estimates query and update costs for view sets under a cost
+// model (the inner loops of Algorithm OptimalViewSet, Figure 4).
+type Costing struct {
+	D     *dag.DAG
+	Est   *Estimator
+	Model cost.Model
+	// CountRootUpdate includes the root view's own update cost in
+	// maintenance costs. The paper's Section 3.6 excludes it ("We do not
+	// count the cost of updating the database relations, or the
+	// top-level view"), so the default is false.
+	CountRootUpdate bool
+
+	// Transient per-track state consulted by coversGroups.
+	trackChoice map[int]*dag.OpNode
+	trackFlows  map[int]Flow
+
+	// Per-view-set memoization of query and evaluation costs: the same
+	// point query is priced across many tracks and view-set candidates,
+	// and the recursion over operation alternatives is exponential
+	// without it.
+	memoVS string
+	qmemo  map[string]float64
+	ememo  map[int]float64
+}
+
+// ensureMemo resets the cost memos when the view set changes.
+func (c *Costing) ensureMemo(vs ViewSet) {
+	k := vs.Key()
+	if k != c.memoVS || c.qmemo == nil {
+		c.memoVS = k
+		c.qmemo = map[string]float64{}
+		c.ememo = map[int]float64{}
+	}
+}
+
+// NewCosting returns a coster over the DAG with the given model.
+func NewCosting(d *dag.DAG, m cost.Model) *Costing {
+	return &Costing{D: d, Est: NewEstimator(d), Model: m}
+}
+
+// TrackCost is the costed outcome of propagating one transaction type
+// along one update track.
+type TrackCost struct {
+	Track      *Track
+	Queries    []QueryCharge
+	QueryCost  float64
+	UpdateCost float64
+	// Flows records the estimated delta at each affected node.
+	Flows map[int]Flow
+}
+
+// Total is the paper's q_j + m_j.
+func (tc TrackCost) Total() float64 { return tc.QueryCost + tc.UpdateCost }
+
+// CostTrack prices one track for one transaction type under a view set:
+// the multi-query-optimized cost of the queries posed along the track
+// plus the cost of applying deltas to every affected materialized view.
+func (c *Costing) CostTrack(tr *Track, vs ViewSet, t *txn.Type) TrackCost {
+	flows := map[int]Flow{}
+	// Seed the flows at updated base relations.
+	for _, e := range c.D.Eqs() {
+		if !e.IsLeaf() {
+			continue
+		}
+		if u, ok := t.UpdateOf(e.BaseRel); ok {
+			flows[e.ID] = leafFlow(u)
+		}
+	}
+	c.trackChoice = tr.Choice
+	c.trackFlows = flows
+	defer func() { c.trackChoice, c.trackFlows = nil, nil }()
+
+	var queries []QueryCharge
+	for _, e := range tr.Order {
+		op := tr.Choice[e.ID]
+		f, qs := c.opFlow(e, op, flows, vs)
+		flows[e.ID] = f
+		queries = append(queries, qs...)
+	}
+	queries = MQO(queries)
+	var qcost float64
+	for i := range queries {
+		queries[i].Cost = c.QueryCost(queries[i].Target, queries[i].Bind, queries[i].Keys, vs)
+		qcost += queries[i].Cost
+	}
+	var ucost float64
+	for _, e := range tr.Order {
+		if !vs[e.ID] {
+			continue
+		}
+		if c.D.IsRoot(e) && !c.CountRootUpdate {
+			continue
+		}
+		f := flows[e.ID]
+		dirty := 0
+		if f.modsTouch(c.ViewIndexCols(e)) {
+			dirty = 1
+		}
+		ucost += c.Model.Update(f.Mods, f.Ins, f.Dels, 1, dirty)
+	}
+	return TrackCost{Track: tr, Queries: queries, QueryCost: qcost, UpdateCost: ucost, Flows: flows}
+}
+
+// CostViewSet prices a view set for a transaction type: the cheapest
+// update track (the paper's C(V, T_i)), along with every candidate track
+// for reporting.
+func (c *Costing) CostViewSet(vs ViewSet, t *txn.Type) (TrackCost, []TrackCost) {
+	trs := Enumerate(c.D, vs, t.UpdatedRels())
+	all := make([]TrackCost, 0, len(trs))
+	best := TrackCost{QueryCost: math.Inf(1)}
+	for _, tr := range trs {
+		tc := c.CostTrack(tr, vs, t)
+		all = append(all, tc)
+		if tc.Total() < best.Total() {
+			best = tc
+		}
+	}
+	return best, all
+}
+
+// WeightedCost prices a view set across all transaction types:
+// Σ C(V,T_i)·f_i / Σ f_i.
+func (c *Costing) WeightedCost(vs ViewSet, types []*txn.Type) (float64, map[string]TrackCost) {
+	per := map[string]TrackCost{}
+	var num, den float64
+	for _, t := range types {
+		best, _ := c.CostViewSet(vs, t)
+		per[t.Name] = best
+		num += best.Total() * t.Weight
+		den += t.Weight
+	}
+	if den == 0 {
+		return 0, per
+	}
+	return num / den, per
+}
+
+// MQO merges identical queries posed along one track (the simplest form
+// of the multi-query optimization the paper applies across a track's
+// query set): two queries on the same target with the same binding
+// columns share one evaluation.
+func MQO(queries []QueryCharge) []QueryCharge {
+	type key struct {
+		id   int
+		bind string
+	}
+	index := map[key]int{}
+	var out []QueryCharge
+	for _, q := range queries {
+		k := key{q.Target.ID, strings.Join(q.Bind, ",")}
+		if i, ok := index[k]; ok {
+			if q.Keys > out[i].Keys {
+				out[i].Keys = q.Keys
+			}
+			out[i].Origin += "+" + q.Origin
+			continue
+		}
+		index[k] = len(out)
+		out = append(out, q)
+	}
+	return out
+}
+
+// QueryCost estimates the cost of answering a point query bound on the
+// given columns against an equivalence node, for keys distinct probe
+// values, in the presence of the materialized views vs (the paper's
+// "determining the cost of evaluating a query Q on an equivalence node
+// ... in the presence of the materialized views", per Chaudhuri et al.).
+func (c *Costing) QueryCost(e *dag.EqNode, bind []string, keys float64, vs ViewSet) float64 {
+	if keys <= 0 {
+		return 0
+	}
+	c.ensureMemo(vs)
+	mk := fmt.Sprintf("%d|%s|%g", e.ID, strings.Join(bind, ","), keys)
+	if v, ok := c.qmemo[mk]; ok {
+		return v
+	}
+	v := c.queryCost(e, bind, keys, vs, map[int]bool{})
+	c.qmemo[mk] = v
+	return v
+}
+
+func (c *Costing) queryCost(e *dag.EqNode, bind []string, keys float64, vs ViewSet, visiting map[int]bool) float64 {
+	if vs.Has(e) {
+		return c.lookupCost(e, bind, keys)
+	}
+	if visiting[e.ID] {
+		return math.Inf(1)
+	}
+	visiting[e.ID] = true
+	defer delete(visiting, e.ID)
+	best := math.Inf(1)
+	for _, op := range e.Ops {
+		if c2 := c.opQueryCost(op, bind, keys, vs, visiting); c2 < best {
+			best = c2
+		}
+	}
+	if math.IsInf(best, 1) {
+		// No pushable plan: evaluate the expression once and filter.
+		return c.EvalCost(e, vs)
+	}
+	return best
+}
+
+// lookupCost prices probing a stored relation or materialized view.
+func (c *Costing) lookupCost(e *dag.EqNode, bind []string, keys float64) float64 {
+	st := c.Est.StatsOf(e)
+	ix := c.indexSubset(e, bind)
+	if ix == nil {
+		return keys * c.Model.Scan(st.Card)
+	}
+	rows := math.Max(1, st.Card/distinctOfCols(st, ix))
+	return keys * c.Model.Lookup(rows)
+}
+
+func (c *Costing) opQueryCost(op *dag.OpNode, bind []string, keys float64, vs ViewSet, visiting map[int]bool) float64 {
+	switch t := op.Template.(type) {
+	case *algebra.Select:
+		return c.queryCost(op.Children[0], bind, keys, vs, visiting)
+	case *algebra.Project:
+		// Pass-through columns only.
+		childBind := make([]string, len(bind))
+		out := t.Schema()
+		for i, b := range bind {
+			j, err := out.Resolve(b)
+			if err != nil {
+				return math.Inf(1)
+			}
+			cc, isCol := t.Items[j].E.(expr.Col)
+			if !isCol {
+				return math.Inf(1)
+			}
+			childBind[i] = cc.Name
+		}
+		return c.queryCost(op.Children[0], childBind, keys, vs, visiting)
+	case *algebra.Join:
+		return c.joinQueryCost(t, op, bind, keys, vs, visiting)
+	case *algebra.Aggregate:
+		out := t.Schema()
+		childBind := make([]string, len(bind))
+		for i, b := range bind {
+			j, err := out.Resolve(b)
+			if err != nil || j >= len(t.GroupBy) {
+				return math.Inf(1)
+			}
+			childBind[i] = t.GroupBy[j]
+		}
+		return c.queryCost(op.Children[0], childBind, keys, vs, visiting)
+	case *algebra.Distinct:
+		return c.queryCost(op.Children[0], bind, keys, vs, visiting)
+	case *algebra.Union, *algebra.Diff:
+		a := c.queryCost(op.Children[0], bind, keys, vs, visiting)
+		b := c.queryCost(op.Children[1], bind, keys, vs, visiting)
+		return a + b
+	default:
+		return math.Inf(1)
+	}
+}
+
+func (c *Costing) joinQueryCost(j *algebra.Join, op *dag.OpNode, bind []string, keys float64, vs ViewSet, visiting map[int]bool) float64 {
+	l, r := op.Children[0], op.Children[1]
+	ls, rs := l.Schema(), r.Schema()
+	var lbind, rbind []string
+	for _, b := range bind {
+		switch {
+		case ls.Has(b):
+			lbind = append(lbind, b)
+		case rs.Has(b):
+			rbind = append(rbind, b)
+		default:
+			return math.Inf(1)
+		}
+	}
+	// Transfer join-column binds across the equality.
+	for _, b := range lbind {
+		for _, cond := range j.On {
+			if sameSchemaCol(ls, cond.Left, b) && !containsStr(rbind, cond.Right) {
+				rbind = append(rbind, cond.Right)
+			}
+		}
+	}
+	for _, b := range rbind {
+		for _, cond := range j.On {
+			if sameSchemaCol(rs, cond.Right, b) && !containsStr(lbind, cond.Left) {
+				lbind = append(lbind, cond.Left)
+			}
+		}
+	}
+	switch {
+	case len(lbind) > 0 && len(rbind) > 0:
+		return c.queryCost(l, lbind, keys, vs, visiting) +
+			c.queryCost(r, rbind, keys, vs, visiting)
+	case len(lbind) > 0:
+		drive := c.queryCost(l, lbind, keys, vs, visiting)
+		lst := c.Est.StatsOf(l)
+		bound := math.Max(1, lst.Card/distinctOfCols(lst, lbind))
+		return drive + c.queryCost(r, j.RightCols(), keys*bound, vs, visiting)
+	case len(rbind) > 0:
+		drive := c.queryCost(r, rbind, keys, vs, visiting)
+		rst := c.Est.StatsOf(r)
+		bound := math.Max(1, rst.Card/distinctOfCols(rst, rbind))
+		return drive + c.queryCost(l, j.LeftCols(), keys*bound, vs, visiting)
+	default:
+		return math.Inf(1)
+	}
+}
+
+func sameSchemaCol(s *catalog.Schema, a, b string) bool {
+	ia, ea := s.Resolve(a)
+	ib, eb := s.Resolve(b)
+	return ea == nil && eb == nil && ia == ib
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalCost estimates fully evaluating an equivalence node (used as the
+// fallback when no filtered plan exists, and by the single-tree
+// heuristic's query-optimality check).
+func (c *Costing) EvalCost(e *dag.EqNode, vs ViewSet) float64 {
+	c.ensureMemo(vs)
+	if v, ok := c.ememo[e.ID]; ok {
+		return v
+	}
+	v := c.evalCost(e, vs, map[int]bool{})
+	c.ememo[e.ID] = v
+	return v
+}
+
+func (c *Costing) evalCost(e *dag.EqNode, vs ViewSet, visiting map[int]bool) float64 {
+	if vs.Has(e) {
+		return c.Model.Scan(c.Est.StatsOf(e).Card)
+	}
+	if visiting[e.ID] {
+		return math.Inf(1)
+	}
+	visiting[e.ID] = true
+	defer delete(visiting, e.ID)
+	best := math.Inf(1)
+	for _, op := range e.Ops {
+		var sum float64
+		for _, ch := range op.Children {
+			sum += c.evalCost(ch, vs, visiting)
+		}
+		if sum < best {
+			best = sum
+		}
+	}
+	if math.IsInf(best, 1) {
+		return c.Model.Scan(c.Est.StatsOf(e).Card)
+	}
+	return best
+}
+
+// ViewIndexCols returns the (bare) columns the single hash index of a
+// materialized view is built on, mirroring the paper's "assuming that
+// each of the materializations has a single index on DName": the first
+// grouping column for aggregates, the first join column for joins, the
+// child's choice through selections/projections/distinct, the first
+// declared index for base relations.
+func (c *Costing) ViewIndexCols(e *dag.EqNode) []string {
+	return viewIndexCols(c.D, e, map[int]bool{})
+}
+
+// ViewIndexCols is the package-level form used by the maintenance runtime
+// so the physical index matches the costed one.
+func ViewIndexCols(d *dag.DAG, e *dag.EqNode) []string {
+	return viewIndexCols(d, e, map[int]bool{})
+}
+
+func viewIndexCols(d *dag.DAG, e *dag.EqNode, seen map[int]bool) []string {
+	if seen[e.ID] {
+		return nil
+	}
+	seen[e.ID] = true
+	if e.IsLeaf() {
+		if rel, ok := e.Expr.(*algebra.Rel); ok && len(rel.Def.Indexes) > 0 {
+			return bareAll(rel.Def.Indexes[0].Columns)
+		}
+		return nil
+	}
+	op := e.Ops[0]
+	switch t := op.Template.(type) {
+	case *algebra.Aggregate:
+		if len(t.GroupBy) > 0 {
+			return bareAll(t.GroupBy[:1])
+		}
+	case *algebra.Join:
+		if len(t.On) > 0 {
+			return bareAll([]string{t.On[0].Left})
+		}
+	case *algebra.Select, *algebra.Distinct:
+		return viewIndexCols(d, op.Children[0], seen)
+	case *algebra.Project:
+		cols := viewIndexCols(d, op.Children[0], seen)
+		for _, col := range cols {
+			if !schemaHasBare(e.Schema(), col) {
+				return nil
+			}
+		}
+		return cols
+	}
+	return nil
+}
+
+func schemaHasBare(s *catalog.Schema, bare string) bool {
+	for _, c := range s.Cols {
+		if c.Name == bare {
+			return true
+		}
+	}
+	return false
+}
+
+func bareAll(cols []string) []string {
+	out := make([]string, 0, len(cols))
+	for _, c := range cols {
+		b := bareOf(c)
+		if !containsStr(out, b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// indexSubset returns the indexed columns usable for a bind, or nil.
+// A hash index is usable when its columns are a subset of the bind
+// columns (probe with the indexed part, filter the rest for free).
+func (c *Costing) indexSubset(e *dag.EqNode, bind []string) []string {
+	bareBind := bareAll(bind)
+	isSubset := func(cols []string) bool {
+		for _, col := range cols {
+			if !containsStr(bareBind, bareOf(col)) {
+				return false
+			}
+		}
+		return len(cols) > 0
+	}
+	if e.IsLeaf() {
+		if rel, ok := e.Expr.(*algebra.Rel); ok {
+			// Prefer the most selective usable index (largest column set).
+			var best []string
+			for _, ix := range rel.Def.Indexes {
+				if isSubset(bareAll(ix.Columns)) {
+					if len(ix.Columns) > len(best) {
+						best = bareAll(ix.Columns)
+					}
+				}
+			}
+			return best
+		}
+		return nil
+	}
+	ix := c.ViewIndexCols(e)
+	if isSubset(ix) {
+		return ix
+	}
+	return nil
+}
+
+// FormatQueries renders query charges for reports, sorted by origin.
+func FormatQueries(qs []QueryCharge) string {
+	sorted := append([]QueryCharge{}, qs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Origin < sorted[j].Origin })
+	var b strings.Builder
+	for _, q := range sorted {
+		fmt.Fprintf(&b, "  on %s bind(%s) keys=%g cost=%g  [%s]\n",
+			q.Target, strings.Join(q.Bind, ","), q.Keys, q.Cost, q.Origin)
+	}
+	return b.String()
+}

@@ -1,0 +1,370 @@
+package tracks
+
+import (
+	"math"
+
+	"repro/internal/algebra"
+	"repro/internal/dag"
+	"repro/internal/expr"
+	"repro/internal/txn"
+)
+
+// Flow is the estimated delta arriving at a node: expected numbers of
+// modified, inserted and deleted tuples, the number of distinct source
+// entities driving them (Keys — the probe-key count for queries), and the
+// bare names of the columns a modification changes.
+type Flow struct {
+	Mods, Ins, Dels float64
+	Keys            float64
+	ModCols         []string
+}
+
+// Total returns the expected delta size (the paper's |delta|).
+func (f Flow) Total() float64 { return f.Mods + f.Ins + f.Dels }
+
+// Empty reports whether no change flows.
+func (f Flow) Empty() bool { return f.Total() <= 0 }
+
+func (f Flow) scale(sel float64) Flow {
+	return Flow{
+		Mods: f.Mods * sel, Ins: f.Ins * sel, Dels: f.Dels * sel,
+		Keys: math.Min(f.Keys, f.Keys*sel+1), ModCols: f.ModCols,
+	}
+}
+
+// modsTouch reports whether the modification columns intersect cols
+// (bare-name comparison).
+func (f Flow) modsTouch(cols []string) bool {
+	for _, m := range f.ModCols {
+		mb := bareOf(m)
+		for _, c := range cols {
+			if bareOf(c) == mb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// leafFlow builds the flow entering the DAG at an updated base relation.
+func leafFlow(u txn.RelUpdate) Flow {
+	f := Flow{Keys: u.Size}
+	switch u.Kind {
+	case txn.Insert:
+		f.Ins = u.Size
+	case txn.Delete:
+		f.Dels = u.Size
+	default:
+		f.Mods = u.Size
+		f.ModCols = append([]string{}, u.Cols...)
+	}
+	return f
+}
+
+// QueryCharge is one query posed on an equivalence node while propagating
+// a delta (the paper's Q2Ld, Q2Re, ... of Example 3.2).
+type QueryCharge struct {
+	// Target is the equivalence node the query is posed on.
+	Target *dag.EqNode
+	// Bind are the equality columns the query binds.
+	Bind []string
+	// Keys is the expected number of distinct probe keys.
+	Keys float64
+	// Origin identifies the operation node and input that generated the
+	// query (e.g. "E4.L").
+	Origin string
+	// Cost is the estimated cost, filled in by the coster.
+	Cost float64
+}
+
+// opFlow derives the output flow of an operation node from its children's
+// flows, and the queries the delta computation must pose. childFlows maps
+// equivalence-node IDs to flows (absent = unaffected input). matParent
+// says whether the op's parent class is materialized under the view set.
+func (c *Costing) opFlow(e *dag.EqNode, op *dag.OpNode, childFlows map[int]Flow, vs ViewSet) (Flow, []QueryCharge) {
+	switch t := op.Template.(type) {
+	case *algebra.Select:
+		f := childFlows[op.Children[0].ID]
+		sel := Selectivity(t.Pred, c.Est.StatsOf(op.Children[0]))
+		return f.scale(sel), nil
+
+	case *algebra.Project:
+		f := childFlows[op.Children[0].ID]
+		// Remap modification columns through the projection: pass-through
+		// columns keep their bare name; computed items that read a
+		// modified column yield a modified output column.
+		var mc []string
+		for _, it := range t.Items {
+			cols := expr.ColumnsOf(it.E)
+			if !f.modsTouch(cols) {
+				continue
+			}
+			name := it.As
+			if name == "" {
+				if col, ok := it.E.(expr.Col); ok {
+					name = col.Name
+				}
+			}
+			if name != "" {
+				mc = append(mc, bareOf(name))
+			}
+		}
+		out := f
+		out.ModCols = mc
+		return out, nil
+
+	case *algebra.Join:
+		return c.joinFlow(t, op, childFlows)
+
+	case *algebra.Aggregate:
+		return c.aggFlow(t, e, op, childFlows, vs)
+
+	case *algebra.Distinct:
+		f := childFlows[op.Children[0].ID]
+		if vs.Has(e) {
+			// Multiplicity sidecar rides with the materialized view.
+			return f, nil
+		}
+		child := op.Children[0]
+		q := QueryCharge{
+			Target: child,
+			Bind:   child.Schema().ColumnNames(),
+			Keys:   f.Total(),
+			Origin: originOf(op, ""),
+		}
+		return f, []QueryCharge{q}
+
+	case *algebra.Union:
+		out := Flow{}
+		for _, ch := range op.Children {
+			if f, ok := childFlows[ch.ID]; ok {
+				out = addFlows(out, f)
+			}
+		}
+		return out, nil
+
+	case *algebra.Diff:
+		out := Flow{}
+		var queries []QueryCharge
+		for i, ch := range op.Children {
+			f, ok := childFlows[ch.ID]
+			if !ok {
+				continue
+			}
+			out = addFlows(out, f)
+			_ = i
+		}
+		// Count probes on both inputs for every changed tuple.
+		for _, ch := range op.Children {
+			queries = append(queries, QueryCharge{
+				Target: ch,
+				Bind:   ch.Schema().ColumnNames(),
+				Keys:   out.Total(),
+				Origin: originOf(op, ""),
+			})
+		}
+		return out, queries
+
+	default:
+		// Rel leaves never appear as chosen ops.
+		return Flow{}, nil
+	}
+}
+
+func addFlows(a, b Flow) Flow {
+	return Flow{
+		Mods: a.Mods + b.Mods, Ins: a.Ins + b.Ins, Dels: a.Dels + b.Dels,
+		Keys:    a.Keys + b.Keys,
+		ModCols: append(append([]string{}, a.ModCols...), b.ModCols...),
+	}
+}
+
+// joinFlow handles delta propagation sizing and query generation for an
+// equijoin: a delta on one side multiplies by the other side's fanout and
+// poses a semijoin query on it; deltas on both sides pose queries both
+// ways (the ΔL⋈R ∪ L⋈ΔR ∪ ΔL⋈ΔR decomposition).
+func (c *Costing) joinFlow(j *algebra.Join, op *dag.OpNode, childFlows map[int]Flow) (Flow, []QueryCharge) {
+	l, r := op.Children[0], op.Children[1]
+	fl, lOK := childFlows[l.ID]
+	fr, rOK := childFlows[r.ID]
+	var out Flow
+	var queries []QueryCharge
+	side := func(f Flow, mine, other *dag.EqNode, myCols, otherCols []string, label string) Flow {
+		ost := c.Est.StatsOf(other)
+		fanout := math.Max(1, ost.Card/distinctOfCols(ost, otherCols))
+		queries = append(queries, QueryCharge{
+			Target: other,
+			Bind:   otherCols,
+			Keys:   f.Keys,
+			Origin: originOf(op, label),
+		})
+		g := Flow{Keys: f.Keys, ModCols: f.ModCols}
+		if f.modsTouch(myCols) {
+			// The modification moves tuples across join keys: pairings
+			// break into deletes of old matches plus inserts of new.
+			g.Ins = (f.Ins + f.Mods) * fanout
+			g.Dels = (f.Dels + f.Mods) * fanout
+			g.ModCols = nil
+		} else {
+			g.Mods = f.Mods * fanout
+			g.Ins = f.Ins * fanout
+			g.Dels = f.Dels * fanout
+		}
+		return g
+	}
+	switch {
+	case lOK && rOK:
+		a := side(fl, l, r, j.LeftCols(), j.RightCols(), "R")
+		b := side(fr, r, l, j.RightCols(), j.LeftCols(), "L")
+		out = addFlows(a, b)
+	case lOK:
+		out = side(fl, l, r, j.LeftCols(), j.RightCols(), "R")
+	case rOK:
+		out = side(fr, r, l, j.RightCols(), j.LeftCols(), "L")
+	}
+	if j.Residual != nil {
+		out = out.scale(1.0 / 3)
+	}
+	return out, queries
+}
+
+// aggFlow handles grouping/aggregation: the delta touches one group per
+// distinct source entity; the group recomputation query on the child is
+// skipped when the parent is materialized with decomposable aggregates
+// (the SumOfSals add/subtract trick) or when the delta covers whole
+// groups (the key-based rule that makes the paper's Q3d free).
+func (c *Costing) aggFlow(a *algebra.Aggregate, e *dag.EqNode, op *dag.OpNode, childFlows map[int]Flow, vs ViewSet) (Flow, []QueryCharge) {
+	child := op.Children[0]
+	f := childFlows[child.ID]
+	groups := math.Min(math.Max(f.Keys, 1), f.Total())
+	if f.Empty() {
+		groups = 0
+	}
+	out := Flow{Keys: groups}
+	if f.modsTouch(a.GroupBy) || f.Ins+f.Dels > 0 && f.Mods == 0 {
+		// Group membership may change: births and deaths possible.
+		// Conservatively estimate modifications of existing groups when
+		// the flow is modification-driven, else inserts+deletes.
+		if f.Mods > 0 {
+			out.Ins, out.Dels = groups, groups
+		} else if f.Ins > 0 && f.Dels > 0 {
+			out.Ins, out.Dels = groups/2, groups/2
+		} else if f.Ins > 0 {
+			out.Mods = groups // inserts into existing groups change them
+		} else {
+			out.Mods = groups
+		}
+	} else {
+		out.Mods = groups
+	}
+	for _, ag := range a.Aggs {
+		out.ModCols = append(out.ModCols, bareOf(ag.As))
+	}
+
+	needQuery := true
+	if vs.Has(e) && decomposableFlow(a.Aggs, f) {
+		needQuery = false
+	}
+	if needQuery && c.coversGroups(a, child, f, vs) {
+		needQuery = false
+	}
+	if !needQuery || groups == 0 {
+		return out, nil
+	}
+	q := QueryCharge{
+		Target: child,
+		Bind:   a.GroupBy,
+		Keys:   groups,
+		Origin: originOf(op, ""),
+	}
+	return out, []QueryCharge{q}
+}
+
+// decomposableFlow mirrors delta.Decomposable on estimated flows.
+func decomposableFlow(specs []algebra.AggSpec, f Flow) bool {
+	insertOnly := f.Mods == 0 && f.Dels == 0
+	for _, s := range specs {
+		switch s.Func {
+		case algebra.Sum, algebra.Count:
+		case algebra.Min, algebra.Max:
+			if !insertOnly {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// coversGroups resolves the track context and delegates to CoversGroups.
+func (c *Costing) coversGroups(a *algebra.Aggregate, child *dag.EqNode, f Flow, vs ViewSet) bool {
+	childOp := c.trackChoice[child.ID]
+	deltaSide := -1
+	if childOp != nil {
+		for i, ch := range childOp.Children {
+			if _, ok := c.trackFlows[ch.ID]; ok {
+				if deltaSide >= 0 {
+					deltaSide = -2 // both sides changed: not covered
+					break
+				}
+				deltaSide = i
+			}
+		}
+	}
+	return CoversGroups(c.D, a, child, childOp, deltaSide)
+}
+
+// CoversGroups implements the static form of the paper's key-based query
+// elimination ("Since DName is a key for the Dept relation, the result
+// propagated up along E5 and N4 contains all the tuples in the group.
+// Thus no I/O is generated for Q3d"): the delta arriving at the aggregate
+// covers every affected group entirely, so the old group contents come
+// from the delta itself and no query on the child is needed.
+//
+// childOp is the operation node the child's delta was computed through
+// (nil when the child is a leaf); deltaSide is the index of childOp's
+// input the delta arrived from (negative when unknown or both). The same
+// predicate drives both cost estimation and the runtime engine.
+func CoversGroups(d *dag.DAG, a *algebra.Aggregate, child *dag.EqNode, childOp *dag.OpNode, deltaSide int) bool {
+	// Case 1: the group-by columns contain a key of the child — every
+	// group is a single tuple, trivially covered.
+	if d.KeyedOn(child, a.GroupBy) {
+		return true
+	}
+	// Case 2: the child delta came through a join whose delta side is
+	// keyed on its join columns, and the grouping determines the join
+	// key.
+	if childOp == nil || deltaSide < 0 {
+		return false
+	}
+	join, ok := childOp.Template.(*algebra.Join)
+	if !ok {
+		return false
+	}
+	deltaChild := childOp.Children[deltaSide]
+	var sideCols []string
+	if deltaSide == 0 {
+		sideCols = join.LeftCols()
+	} else {
+		sideCols = join.RightCols()
+	}
+	if !d.KeyedOn(deltaChild, sideCols) {
+		return false
+	}
+	uf := algebra.NewColEquiv()
+	uf.Collect(d.RepTree(child))
+	for _, jc := range sideCols {
+		if !uf.SameAsAny(jc, a.GroupBy) {
+			return false
+		}
+	}
+	return true
+}
+
+func originOf(op *dag.OpNode, side string) string {
+	if side == "" {
+		return op.String()
+	}
+	return op.String() + "." + side
+}

@@ -1,0 +1,221 @@
+// Package tracks implements the machinery of the paper's Section 3.3–3.4:
+// enumeration of subdags and update tracks (Definitions 3.2/3.3), the
+// queries posed along a track (Example 3.2), and the estimation of query
+// and update costs for a view set under a transaction type, under any
+// monotonic cost model.
+//
+// The same query-requirement logic (QueriesForTrack) drives both the cost
+// estimator here and the runtime maintenance engine, so estimated and
+// measured page I/O cannot drift apart structurally.
+package tracks
+
+import (
+	"math"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/dag"
+	"repro/internal/expr"
+)
+
+// Estimator derives statistics for equivalence nodes from base-relation
+// statistics, memoized per node.
+type Estimator struct {
+	D    *dag.DAG
+	memo map[int]catalog.Stats
+}
+
+// NewEstimator returns an estimator over the DAG.
+func NewEstimator(d *dag.DAG) *Estimator {
+	return &Estimator{D: d, memo: map[int]catalog.Stats{}}
+}
+
+// StatsOf estimates the cardinality and per-column distinct counts of an
+// equivalence node's result. Distinct maps hold both qualified and bare
+// column names.
+func (e *Estimator) StatsOf(n *dag.EqNode) catalog.Stats {
+	if st, ok := e.memo[n.ID]; ok {
+		return st
+	}
+	st := e.statsOfTree(e.D.RepTree(n))
+	e.memo[n.ID] = st
+	return st
+}
+
+func (e *Estimator) statsOfTree(n algebra.Node) catalog.Stats {
+	switch t := n.(type) {
+	case dag.Ref:
+		return e.StatsOf(t.Eq)
+	case *algebra.Rel:
+		base := t.Def.Stats
+		out := catalog.Stats{Card: base.Card, Distinct: map[string]float64{}}
+		for _, c := range t.Def.Schema.Cols {
+			d := base.DistinctOf(c.Name)
+			out.Distinct[c.Name] = d
+			out.Distinct[c.QName()] = d
+		}
+		return out
+	case *algebra.Select:
+		in := e.statsOfTree(t.Input)
+		sel := Selectivity(t.Pred, in)
+		out := scaleStats(in, sel)
+		return out
+	case *algebra.Project:
+		in := e.statsOfTree(t.Input)
+		out := catalog.Stats{Card: in.Card, Distinct: map[string]float64{}}
+		for _, it := range t.Items {
+			name := it.As
+			if c, ok := it.E.(expr.Col); ok {
+				d := distinctOf(in, c.Name)
+				if name == "" {
+					name = c.Name
+				}
+				out.Distinct[name] = d
+				out.Distinct[bareOf(name)] = d
+				if name != c.Name {
+					out.Distinct[c.Name] = d
+				}
+				continue
+			}
+			if name != "" {
+				out.Distinct[name] = math.Min(in.Card, math.Max(1, in.Card/3))
+			}
+		}
+		return out
+	case *algebra.Join:
+		l := e.statsOfTree(t.L)
+		r := e.statsOfTree(t.R)
+		dl := distinctOfCols(l, t.LeftCols())
+		dr := distinctOfCols(r, t.RightCols())
+		denom := math.Max(dl, dr)
+		card := l.Card * r.Card
+		if denom > 0 {
+			card = l.Card * r.Card / denom
+		}
+		out := catalog.Stats{Card: card, Distinct: map[string]float64{}}
+		for k, v := range l.Distinct {
+			out.Distinct[k] = math.Min(v, card)
+		}
+		for k, v := range r.Distinct {
+			if _, dup := out.Distinct[k]; dup {
+				// Bare-name collision across sides: drop the bare key,
+				// qualified keys remain authoritative.
+				delete(out.Distinct, k)
+			}
+			out.Distinct[k] = math.Min(v, card)
+		}
+		return out
+	case *algebra.Aggregate:
+		in := e.statsOfTree(t.Input)
+		card := math.Min(in.Card, distinctOfCols(in, t.GroupBy))
+		out := catalog.Stats{Card: card, Distinct: map[string]float64{}}
+		for _, g := range t.GroupBy {
+			d := math.Min(distinctOf(in, g), card)
+			out.Distinct[g] = d
+			out.Distinct[bareOf(g)] = d
+		}
+		for _, a := range t.Aggs {
+			out.Distinct[a.As] = card
+		}
+		return out
+	case *algebra.Distinct:
+		in := e.statsOfTree(t.Input)
+		return in // distinct cardinalities dominate; Card is an upper bound
+	case *algebra.Union:
+		l := e.statsOfTree(t.L)
+		r := e.statsOfTree(t.R)
+		out := catalog.Stats{Card: l.Card + r.Card, Distinct: map[string]float64{}}
+		for k, v := range l.Distinct {
+			out.Distinct[k] = v
+		}
+		for k, v := range r.Distinct {
+			out.Distinct[k] = math.Max(out.Distinct[k], v)
+		}
+		return out
+	case *algebra.Diff:
+		return e.statsOfTree(t.L)
+	default:
+		return catalog.Stats{Card: 1}
+	}
+}
+
+func scaleStats(in catalog.Stats, sel float64) catalog.Stats {
+	out := catalog.Stats{Card: in.Card * sel, Distinct: map[string]float64{}}
+	for k, v := range in.Distinct {
+		out.Distinct[k] = math.Max(1, math.Min(v, out.Card))
+	}
+	return out
+}
+
+func bareOf(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// distinctOf looks up a column's distinct count, trying the exact name
+// then the bare name, defaulting to Card.
+func distinctOf(st catalog.Stats, col string) float64 {
+	if st.Distinct != nil {
+		if d, ok := st.Distinct[col]; ok && d > 0 {
+			return d
+		}
+		if d, ok := st.Distinct[bareOf(col)]; ok && d > 0 {
+			return d
+		}
+	}
+	if st.Card < 1 {
+		return 1
+	}
+	return st.Card
+}
+
+// distinctOfCols estimates the distinct count of a column combination as
+// the capped product of the individual counts.
+func distinctOfCols(st catalog.Stats, cols []string) float64 {
+	if len(cols) == 0 {
+		return 1
+	}
+	d := 1.0
+	for _, c := range cols {
+		d *= distinctOf(st, c)
+		if d > st.Card && st.Card >= 1 {
+			return st.Card
+		}
+	}
+	return math.Max(1, d)
+}
+
+// Selectivity estimates the fraction of tuples satisfying a predicate:
+// equality with a constant is 1/distinct, column=column equality is
+// 1/max(distinct), anything else defaults to 1/3 per conjunct.
+func Selectivity(p expr.Expr, st catalog.Stats) float64 {
+	sel := 1.0
+	for _, c := range expr.Conjuncts(p) {
+		sel *= conjunctSelectivity(c, st)
+	}
+	return sel
+}
+
+func conjunctSelectivity(c expr.Expr, st catalog.Stats) float64 {
+	cmp, ok := c.(expr.Cmp)
+	if !ok {
+		return 1.0 / 3
+	}
+	lc, lok := cmp.L.(expr.Col)
+	rc, rok := cmp.R.(expr.Col)
+	if cmp.Op == expr.EQ {
+		switch {
+		case lok && rok:
+			return 1 / math.Max(1, math.Max(distinctOf(st, lc.Name), distinctOf(st, rc.Name)))
+		case lok:
+			return 1 / math.Max(1, distinctOf(st, lc.Name))
+		case rok:
+			return 1 / math.Max(1, distinctOf(st, rc.Name))
+		}
+	}
+	return 1.0 / 3
+}

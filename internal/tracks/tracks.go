@@ -1,0 +1,266 @@
+package tracks
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dag"
+)
+
+// ViewSet is the set of materialized equivalence nodes (by ID). It always
+// contains the root; base-relation leaves are implicitly materialized.
+type ViewSet map[int]bool
+
+// RootSet returns the view set containing exactly the DAG's roots (every
+// top-level view is always materialized).
+func RootSet(d *dag.DAG) ViewSet {
+	vs := ViewSet{}
+	for _, r := range d.Roots {
+		vs[r.ID] = true
+	}
+	return vs
+}
+
+// NewViewSet builds a view set from nodes.
+func NewViewSet(nodes ...*dag.EqNode) ViewSet {
+	vs := ViewSet{}
+	for _, n := range nodes {
+		vs[n.ID] = true
+	}
+	return vs
+}
+
+// Has reports whether the node is materialized.
+func (vs ViewSet) Has(e *dag.EqNode) bool { return e.IsLeaf() || vs[e.ID] }
+
+// Clone copies the set.
+func (vs ViewSet) Clone() ViewSet {
+	out := make(ViewSet, len(vs))
+	for k, v := range vs {
+		out[k] = v
+	}
+	return out
+}
+
+// IDs returns the sorted member IDs.
+func (vs ViewSet) IDs() []int {
+	out := make([]int, 0, len(vs))
+	for id, ok := range vs {
+		if ok {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Key is a canonical string form for map keys and reports.
+func (vs ViewSet) Key() string {
+	ids := vs.IDs()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("N%d", id)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Track is one minimal way of propagating a transaction type's updates up
+// the DAG to every affected marked node (Definition 3.3): a choice of one
+// operation node per affected equivalence node on the propagation paths.
+type Track struct {
+	// Choice maps an affected equivalence node ID to the operation node
+	// used to compute its delta.
+	Choice map[int]*dag.OpNode
+	// Order lists the affected equivalence nodes bottom-up (children
+	// before parents), leaves excluded.
+	Order []*dag.EqNode
+	// Leaves are the updated base-relation nodes feeding the track.
+	Leaves []*dag.EqNode
+}
+
+// Key is a canonical signature of the track (for deduplication and
+// reports): the chosen op IDs in node order.
+func (t *Track) Key() string {
+	ids := make([]int, 0, len(t.Choice))
+	for id := range t.Choice {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("N%d:E%d", id, t.Choice[id].ID)
+	}
+	return strings.Join(parts, " ")
+}
+
+// String renders the track as the paper does (e.g. "N1,E1,N2,E2,N3,E4,N5"
+// style path lists), here as the bottom-up node/op chain.
+func (t *Track) String() string {
+	var parts []string
+	for _, e := range t.Order {
+		parts = append(parts, fmt.Sprintf("%s←E%d", e, t.Choice[e.ID].ID))
+	}
+	return strings.Join(parts, " ")
+}
+
+// MaxTracks bounds track enumeration per (view set, transaction type).
+// Rich DAGs (every parenthesization of a long join chain) can represent
+// combinatorially many tracks; beyond this bound the enumeration returns
+// the first MaxTracks found, making the search over tracks heuristic in
+// exactly the spirit of the paper's Section 5 approximate costing. The
+// paper's own examples have 1–4 tracks.
+const MaxTracks = 1024
+
+// maxAssignments bounds the choice-assignment DFS inside Enumerate:
+// dense memos map exponentially many assignments onto few distinct
+// tracks, so the walk itself needs a budget independent of MaxTracks.
+const maxAssignments = 20000
+
+// Enumerate lists every update track that propagates updates of the given
+// base relations to all affected marked nodes (up to MaxTracks). Marked
+// nodes unaffected by the update need no propagation and do not constrain
+// the track. When no marked node is affected the single empty track is
+// returned.
+func Enumerate(d *dag.DAG, vs ViewSet, updated []string) []*Track {
+	var roots []*dag.EqNode
+	for _, e := range d.NonLeafEqs() {
+		if vs[e.ID] && d.Affected(e, updated) {
+			roots = append(roots, e)
+		}
+	}
+	if len(roots) == 0 {
+		return []*Track{{Choice: map[int]*dag.OpNode{}}}
+	}
+	var out []*Track
+	seen := map[string]bool{}
+	budget := maxAssignments
+
+	choice := map[int]*dag.OpNode{}
+	var assign func(pending []*dag.EqNode)
+	assign = func(pending []*dag.EqNode) {
+		if len(out) >= MaxTracks || budget <= 0 {
+			return
+		}
+		budget--
+		// Find the first pending node needing a choice.
+		for len(pending) > 0 {
+			e := pending[0]
+			pending = pending[1:]
+			if e.IsLeaf() || choice[e.ID] != nil || !d.Affected(e, updated) {
+				continue
+			}
+			// Candidate ops: those with at least one affected child.
+			for _, op := range e.Ops {
+				ok := false
+				for _, c := range op.Children {
+					if d.Affected(c, updated) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				// Guard against choice cycles: an op whose affected child
+				// subtree leads back to e is skipped (can arise from
+				// identity-ish rewrites).
+				if leadsBack(d, op, e, choice, updated) {
+					continue
+				}
+				choice[e.ID] = op
+				next := append([]*dag.EqNode{}, pending...)
+				for _, c := range op.Children {
+					if d.Affected(c, updated) {
+						next = append(next, c)
+					}
+				}
+				assign(next)
+				delete(choice, e.ID)
+			}
+			return
+		}
+		// All choices made: snapshot the track.
+		tr := buildTrack(d, roots, choice, updated)
+		if !seen[tr.Key()] {
+			seen[tr.Key()] = true
+			out = append(out, tr)
+		}
+	}
+	assign(append([]*dag.EqNode{}, roots...))
+	return out
+}
+
+// leadsBack reports whether selecting op for target would recurse into
+// target again through affected, not-yet-chosen nodes.
+func leadsBack(d *dag.DAG, op *dag.OpNode, target *dag.EqNode, choice map[int]*dag.OpNode, updated []string) bool {
+	visited := map[int]bool{}
+	var walk func(e *dag.EqNode) bool
+	walk = func(e *dag.EqNode) bool {
+		if e == target {
+			return true
+		}
+		if visited[e.ID] || e.IsLeaf() || !d.Affected(e, updated) {
+			return false
+		}
+		visited[e.ID] = true
+		if chosen := choice[e.ID]; chosen != nil {
+			for _, c := range chosen.Children {
+				if walk(c) {
+					return true
+				}
+			}
+			return false
+		}
+		// Not chosen yet: any op could be picked later; conservative
+		// check across all ops.
+		for _, o := range e.Ops {
+			for _, c := range o.Children {
+				if walk(c) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, c := range op.Children {
+		if walk(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildTrack assembles the reachable choice closure bottom-up.
+func buildTrack(d *dag.DAG, roots []*dag.EqNode, choice map[int]*dag.OpNode, updated []string) *Track {
+	tr := &Track{Choice: map[int]*dag.OpNode{}}
+	visited := map[int]bool{}
+	var leaves []*dag.EqNode
+	var walk func(e *dag.EqNode)
+	walk = func(e *dag.EqNode) {
+		if visited[e.ID] {
+			return
+		}
+		visited[e.ID] = true
+		if e.IsLeaf() {
+			leaves = append(leaves, e)
+			return
+		}
+		op := choice[e.ID]
+		if op == nil {
+			return
+		}
+		tr.Choice[e.ID] = op
+		for _, c := range op.Children {
+			if d.Affected(c, updated) {
+				walk(c)
+			}
+		}
+		tr.Order = append(tr.Order, e) // post-order: children first
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	tr.Leaves = leaves
+	return tr
+}

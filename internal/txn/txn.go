@@ -1,0 +1,133 @@
+// Package txn models the paper's update workload (Section 3.2): a set of
+// transaction types T1..Tn, each defining which relations it updates, the
+// kind and size of each update, and a weight f_i reflecting relative
+// frequency or importance.
+package txn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind is an update kind.
+type Kind uint8
+
+// Update kinds.
+const (
+	Insert Kind = iota
+	Delete
+	Modify
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	case Modify:
+		return "modify"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// RelUpdate describes one relation's update within a transaction type.
+type RelUpdate struct {
+	Rel  string
+	Kind Kind
+	// Size is the expected number of tuples updated per transaction
+	// (the paper's "size of the update", needed for cost estimation).
+	Size float64
+	// Cols are the columns changed by a Modify (nil for Insert/Delete).
+	// Whether a modification touches join/group/indexed columns changes
+	// how deltas propagate and what index maintenance costs.
+	Cols []string
+}
+
+// Type is a transaction type with its weight.
+type Type struct {
+	Name    string
+	Weight  float64
+	Updates []RelUpdate
+}
+
+// UpdatedRels returns the names of the relations this type updates.
+func (t *Type) UpdatedRels() []string {
+	out := make([]string, len(t.Updates))
+	for i, u := range t.Updates {
+		out[i] = u.Rel
+	}
+	return out
+}
+
+// UpdateOf returns the update spec for a relation, if any.
+func (t *Type) UpdateOf(rel string) (RelUpdate, bool) {
+	for _, u := range t.Updates {
+		if u.Rel == rel {
+			return u, true
+		}
+	}
+	return RelUpdate{}, false
+}
+
+// Modifies reports whether the type modifies any of the given columns of
+// the relation (bare or qualified names accepted).
+func (u RelUpdate) Modifies(col string) bool {
+	b := bare(col)
+	for _, c := range u.Cols {
+		if bare(c) == b {
+			return true
+		}
+	}
+	return false
+}
+
+func bare(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// String renders the type for reports.
+func (t *Type) String() string {
+	parts := make([]string, len(t.Updates))
+	for i, u := range t.Updates {
+		parts[i] = fmt.Sprintf("%s %s×%g", u.Kind, u.Rel, u.Size)
+	}
+	return fmt.Sprintf("%s(w=%g: %s)", t.Name, t.Weight, strings.Join(parts, ", "))
+}
+
+// TotalWeight sums the weights of a set of types.
+func TotalWeight(types []*Type) float64 {
+	var w float64
+	for _, t := range types {
+		w += t.Weight
+	}
+	return w
+}
+
+// PaperTypes returns the two transaction types of Section 3.6: ">Emp"
+// modifies the Salary of a single employee; ">Dept" modifies the Budget
+// of a single department. Equal weights, as in the paper's headline
+// ("assuming an equal weight for the two transactions").
+func PaperTypes() []*Type {
+	return []*Type{
+		{
+			Name:   ">Emp",
+			Weight: 1,
+			Updates: []RelUpdate{
+				{Rel: "Emp", Kind: Modify, Size: 1, Cols: []string{"Salary"}},
+			},
+		},
+		{
+			Name:   ">Dept",
+			Weight: 1,
+			Updates: []RelUpdate{
+				{Rel: "Dept", Kind: Modify, Size: 1, Cols: []string{"Budget"}},
+			},
+		},
+	}
+}

@@ -1,0 +1,65 @@
+package txn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperTypes(t *testing.T) {
+	types := PaperTypes()
+	if len(types) != 2 {
+		t.Fatalf("PaperTypes = %d types", len(types))
+	}
+	emp, dept := types[0], types[1]
+	if emp.Name != ">Emp" || dept.Name != ">Dept" {
+		t.Errorf("names = %q, %q", emp.Name, dept.Name)
+	}
+	if emp.Weight != dept.Weight {
+		t.Error("paper uses equal weights")
+	}
+	u, ok := emp.UpdateOf("Emp")
+	if !ok || u.Kind != Modify || u.Size != 1 {
+		t.Errorf("Emp update = %+v", u)
+	}
+	if !u.Modifies("Salary") || u.Modifies("DName") {
+		t.Error("only Salary is modified by >Emp")
+	}
+	if !u.Modifies("Emp.Salary") {
+		t.Error("qualified names should match bare modified columns")
+	}
+}
+
+func TestUpdatedRels(t *testing.T) {
+	ty := &Type{Name: "multi", Weight: 1, Updates: []RelUpdate{
+		{Rel: "A", Kind: Insert, Size: 2},
+		{Rel: "B", Kind: Delete, Size: 1},
+	}}
+	rels := ty.UpdatedRels()
+	if len(rels) != 2 || rels[0] != "A" || rels[1] != "B" {
+		t.Errorf("UpdatedRels = %v", rels)
+	}
+	if _, ok := ty.UpdateOf("C"); ok {
+		t.Error("UpdateOf(C) should miss")
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	if got := TotalWeight(PaperTypes()); got != 2 {
+		t.Errorf("TotalWeight = %g", got)
+	}
+	if got := TotalWeight(nil); got != 0 {
+		t.Errorf("TotalWeight(nil) = %g", got)
+	}
+}
+
+func TestKindAndTypeStrings(t *testing.T) {
+	if Insert.String() != "insert" || Delete.String() != "delete" || Modify.String() != "modify" {
+		t.Error("kind names changed")
+	}
+	s := PaperTypes()[0].String()
+	for _, want := range []string{">Emp", "modify", "Emp", "w=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Type.String() missing %q: %s", want, s)
+		}
+	}
+}

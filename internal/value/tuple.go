@@ -1,0 +1,104 @@
+package value
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+)
+
+// Tuple is an ordered list of values, positionally aligned with a schema.
+type Tuple []Value
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports whether two tuples have the same length and pairwise
+// equal values.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !Equal(t[i], o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically.
+func (t Tuple) Compare(o Tuple) int {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(t[i], o[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(o):
+		return -1
+	case len(t) > len(o):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Project returns the tuple restricted to the given column positions.
+func (t Tuple) Project(idx []int) Tuple {
+	out := make(Tuple, len(idx))
+	for i, j := range idx {
+		out[i] = t[j]
+	}
+	return out
+}
+
+// Key returns a stable byte-exact string encoding of the tuple, suitable
+// as a map key for hashing, grouping and duplicate detection. Numeric
+// values that compare equal encode identically (ints are widened to the
+// float encoding only when they carry a fractional-free float peer is not
+// knowable here, so ints and floats encode distinctly by design: mixed
+// int/float grouping keys are normalized by the executor before hashing).
+func (t Tuple) Key() string {
+	var b strings.Builder
+	var buf [8]byte
+	for _, v := range t {
+		b.WriteByte(byte(v.Kind))
+		switch v.Kind {
+		case Int:
+			binary.BigEndian.PutUint64(buf[:], uint64(v.I))
+			b.Write(buf[:])
+		case Float:
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.F))
+			b.Write(buf[:])
+		case String:
+			binary.BigEndian.PutUint64(buf[:], uint64(len(v.S)))
+			b.Write(buf[:])
+			b.WriteString(v.S)
+		case Bool:
+			if v.B {
+				b.WriteByte(1)
+			} else {
+				b.WriteByte(0)
+			}
+		}
+		b.WriteByte(0xFF)
+	}
+	return b.String()
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,344 @@
+package mvmaint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dag"
+	"repro/internal/delta"
+	"repro/internal/ic"
+	"repro/internal/maintain"
+	"repro/internal/rules"
+	"repro/internal/storage"
+	"repro/internal/tracks"
+	"repro/internal/txn"
+)
+
+// Method selects the view-set optimization strategy of Config.
+type Method int
+
+// Optimization methods.
+const (
+	// Exhaustive is Algorithm OptimalViewSet (Figure 4).
+	Exhaustive Method = iota
+	// Shielded applies the Shielding Principle at articulation nodes
+	// (Theorem 4.1) before searching.
+	Shielded
+	// Greedy hill-climbs one view at a time (Section 5, approximate
+	// costing).
+	Greedy
+	// SingleTree restricts the search to the query-optimal expression
+	// tree (Section 5).
+	SingleTree
+	// HeuristicMarking marks parents of joins/aggregations on the
+	// query-optimal tree (Section 5).
+	HeuristicMarking
+	// NoAdditional materializes only the top-level views (the baseline).
+	NoAdditional
+)
+
+// String returns the method name used in reports and CLI flags.
+func (m Method) String() string {
+	switch m {
+	case Exhaustive:
+		return "exhaustive"
+	case Shielded:
+		return "shielded"
+	case Greedy:
+		return "greedy"
+	case SingleTree:
+		return "single-tree"
+	case HeuristicMarking:
+		return "heuristic-marking"
+	case NoAdditional:
+		return "no-additional"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config controls Build.
+type Config struct {
+	// Workload is the set of weighted transaction types the view set is
+	// optimized for. Required.
+	Workload []*txn.Type
+	// Method picks the optimizer (default Exhaustive).
+	Method Method
+	// Model is the cost model (default the paper's page-I/O model).
+	Model cost.Model
+	// Rules is the equivalence rule set (default rules.Default()).
+	Rules []dag.Rule
+	// MaxOps caps DAG expansion (default 512 operation nodes).
+	MaxOps int
+	// RejectViolations rolls back transactions that violate assertions
+	// (default true when any assertion is included).
+	RejectViolations bool
+}
+
+// System is a maintained configuration: an expression DAG over the chosen
+// views/assertions, the optimizer's decision, a live maintenance engine
+// and an assertion checker.
+type System struct {
+	DB       *DB
+	DAG      *dag.DAG
+	Decision *core.Result
+	ViewSet  tracks.ViewSet
+	M        *maintain.Maintainer
+	Checker  *ic.Checker
+
+	names map[int]string // root eq ID -> declared name
+}
+
+// Build grows the DAG for the named views/assertions, optimizes the view
+// set for the workload and materializes it. Names must have been declared
+// via CREATE VIEW / CREATE ASSERTION on the DB.
+func (db *DB) Build(names []string, cfg Config) (*System, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("mvmaint: Build requires at least one view or assertion")
+	}
+	if len(cfg.Workload) == 0 {
+		return nil, fmt.Errorf("mvmaint: Build requires a workload")
+	}
+	if cfg.Model == nil {
+		cfg.Model = cost.PageIO{}
+	}
+	if cfg.Rules == nil {
+		cfg.Rules = rules.Default()
+	}
+	if cfg.MaxOps == 0 {
+		cfg.MaxOps = 512
+	}
+	trees := make([]algebra.Node, len(names))
+	hasAssertion := false
+	for i, n := range names {
+		tree, ok := db.View(n)
+		if !ok {
+			return nil, fmt.Errorf("mvmaint: unknown view or assertion %q", n)
+		}
+		trees[i] = tree
+		if db.IsAssertion(n) {
+			hasAssertion = true
+		}
+	}
+	d, err := dag.FromTrees(trees...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.Expand(cfg.Rules, cfg.MaxOps); err != nil {
+		return nil, err
+	}
+	db.RefreshStats()
+
+	opt := core.New(d, cfg.Model, cfg.Workload)
+	var res *core.Result
+	switch cfg.Method {
+	case Exhaustive:
+		res, err = opt.Exhaustive()
+	case Shielded:
+		res, err = opt.Shielded()
+	case Greedy:
+		res = opt.Greedy()
+	case SingleTree:
+		res, err = opt.SingleTree()
+	case HeuristicMarking:
+		res = opt.HeuristicMarking()
+	case NoAdditional:
+		ev := opt.Evaluate()
+		res = &core.Result{Method: "no-additional", Best: ev, All: []core.Evaluated{ev}, Explored: 1}
+	default:
+		return nil, fmt.Errorf("mvmaint: unknown method %v", cfg.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	m, err := maintain.New(d, db.Store, cfg.Model, res.Best.Set)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{DB: db, DAG: d, Decision: res, ViewSet: res.Best.Set, M: m,
+		names: map[int]string{}}
+	var assertions []ic.Assertion
+	for i, n := range names {
+		eq := d.FindEq(trees[i])
+		if eq == nil {
+			return nil, fmt.Errorf("mvmaint: lost root for %q", n)
+		}
+		sys.names[eq.ID] = n
+		if db.IsAssertion(n) {
+			assertions = append(assertions, ic.Assertion{Name: n, View: eq})
+		}
+	}
+	mode := ic.Report
+	if cfg.RejectViolations || hasAssertion {
+		mode = ic.Reject
+	}
+	if !cfg.RejectViolations && !hasAssertion {
+		mode = ic.Report
+	}
+	checker, err := ic.New(m, mode, assertions...)
+	if err != nil {
+		return nil, err
+	}
+	sys.Checker = checker
+	return sys, nil
+}
+
+// Execute runs one DML statement under maintenance and assertion
+// checking.
+func (s *System) Execute(sql string) (*ic.Outcome, error) {
+	ty, updates, err := s.DB.TxnFromSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.Checker.Execute(ty, updates)
+}
+
+// ExecuteTxn runs a pre-built transaction under maintenance and checking.
+func (s *System) ExecuteTxn(t *txn.Type, updates map[string]*delta.Delta) (*ic.Outcome, error) {
+	return s.Checker.Execute(t, updates)
+}
+
+// ViewRows returns the maintained contents of a declared view.
+func (s *System) ViewRows(name string) ([]storage.Row, error) {
+	for id, n := range s.names {
+		if n != name {
+			continue
+		}
+		for _, e := range s.DAG.Roots {
+			if e.ID == id {
+				return s.M.Contents(e), nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("mvmaint: %q is not a maintained view", name)
+}
+
+// AdditionalViews describes the extra views the optimizer materialized,
+// one canonical expression label per view.
+func (s *System) AdditionalViews() []string {
+	var out []string
+	for _, e := range s.Decision.AdditionalViews(s.DAG) {
+		out = append(out, fmt.Sprintf("%s = %s", e, s.DAG.RepTree(e).Label()))
+	}
+	return out
+}
+
+// Explain renders the optimizer's decision: the DAG, the chosen view set
+// and the per-transaction costs of the best few candidates.
+func (s *System) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "method: %s (%d view sets costed)\n", s.Decision.Method, s.Decision.Explored)
+	fmt.Fprintf(&b, "expression DAG:\n%s", indent(s.DAG.Render(), "  "))
+	fmt.Fprintf(&b, "chosen view set: %s (weighted cost %.4g)\n",
+		s.Decision.Best.Set.Key(), s.Decision.Best.Weighted)
+	for _, v := range s.AdditionalViews() {
+		fmt.Fprintf(&b, "  additional: %s\n", v)
+	}
+	txns := make([]string, 0, len(s.Decision.Best.PerTxn))
+	for name := range s.Decision.Best.PerTxn {
+		txns = append(txns, name)
+	}
+	sort.Strings(txns)
+	for _, name := range txns {
+		tc := s.Decision.Best.PerTxn[name]
+		fmt.Fprintf(&b, "  %s: query %.4g + update %.4g = %.4g\n",
+			name, tc.QueryCost, tc.UpdateCost, tc.Total())
+	}
+	top := s.Decision.All
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	fmt.Fprintf(&b, "ranking (best %d):\n", len(top))
+	for i, ev := range top {
+		fmt.Fprintf(&b, "  %d. %s = %.4g\n", i+1, ev.Set.Key(), ev.Weighted)
+	}
+	return b.String()
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// IO returns the store's cumulative I/O counter.
+func (s *System) IO() *storage.IOCounter { return s.DB.Store.IO }
+
+// Reoptimize refreshes base-relation statistics, re-runs the view-set
+// optimizer and — if a different view set wins — re-materializes it,
+// dropping the backing stores of views no longer chosen. The paper notes
+// optimization "does not have to be performed very often"; this is the
+// hook for when data drift makes it worthwhile. It reports whether the
+// view set changed.
+func (s *System) Reoptimize(cfg Config) (changed bool, err error) {
+	if cfg.Model == nil {
+		cfg.Model = cost.PageIO{}
+	}
+	if len(cfg.Workload) == 0 {
+		return false, fmt.Errorf("mvmaint: Reoptimize requires a workload")
+	}
+	s.DB.RefreshStats()
+	opt := core.New(s.DAG, cfg.Model, cfg.Workload)
+	var res *core.Result
+	switch cfg.Method {
+	case Exhaustive:
+		res, err = opt.Exhaustive()
+	case Shielded:
+		res, err = opt.Shielded()
+	case Greedy:
+		res = opt.Greedy()
+	case SingleTree:
+		res, err = opt.SingleTree()
+	case HeuristicMarking:
+		res = opt.HeuristicMarking()
+	case NoAdditional:
+		ev := opt.Evaluate()
+		res = &core.Result{Method: "no-additional", Best: ev, All: []core.Evaluated{ev}, Explored: 1}
+	default:
+		return false, fmt.Errorf("mvmaint: unknown method %v", cfg.Method)
+	}
+	if err != nil {
+		return false, err
+	}
+	if res.Best.Set.Key() == s.ViewSet.Key() {
+		s.Decision = res
+		return false, nil
+	}
+	// Drop the old views' backing stores and materialize the new set.
+	for _, e := range s.DAG.NonLeafEqs() {
+		if s.ViewSet[e.ID] {
+			s.DB.Store.Drop(maintain.ViewName(e))
+		}
+	}
+	m, err := maintain.New(s.DAG, s.DB.Store, cfg.Model, res.Best.Set)
+	if err != nil {
+		return false, err
+	}
+	var assertions []ic.Assertion
+	for id, name := range s.names {
+		if !s.DB.IsAssertion(name) {
+			continue
+		}
+		for _, e := range s.DAG.Roots {
+			if e.ID == id {
+				assertions = append(assertions, ic.Assertion{Name: name, View: e})
+			}
+		}
+	}
+	checker, err := ic.New(m, s.Checker.Mode, assertions...)
+	if err != nil {
+		return false, err
+	}
+	s.Decision = res
+	s.ViewSet = res.Best.Set
+	s.M = m
+	s.Checker = checker
+	return true, nil
+}

@@ -1,0 +1,20 @@
+-- The paper's corporate schema (Example 1.1), reduced scale.
+CREATE TABLE Dept (DName VARCHAR(20) PRIMARY KEY, MName VARCHAR(20), Budget INT);
+CREATE TABLE Emp  (EName VARCHAR(20) PRIMARY KEY, DName VARCHAR(20), Salary INT);
+CREATE INDEX dept_dname ON Dept (DName);
+CREATE INDEX emp_dname  ON Emp (DName);
+
+INSERT INTO Dept VALUES ('d0', 'm0', 1500), ('d1', 'm1', 1500), ('d2', 'm2', 1500);
+INSERT INTO Emp VALUES
+  ('e00', 'd0', 100), ('e01', 'd0', 100), ('e02', 'd0', 100),
+  ('e10', 'd1', 100), ('e11', 'd1', 100), ('e12', 'd1', 100),
+  ('e20', 'd2', 100), ('e21', 'd2', 100), ('e22', 'd2', 100);
+
+CREATE VIEW ProblemDept (DName) AS
+SELECT Dept.DName FROM Emp, Dept
+WHERE Dept.DName = Emp.DName
+GROUP BY Dept.DName, Budget
+HAVING SUM(Salary) > Budget;
+
+CREATE ASSERTION DeptConstraint CHECK
+  (NOT EXISTS (SELECT * FROM ProblemDept));
