@@ -7,6 +7,8 @@
 //	mvbench -figure 3  # one figure (1, 2, 3, 5)
 //	mvbench -measured  # estimated-vs-measured parity run
 //	mvbench -sweeps    # the ablation sweeps recorded in EXPERIMENTS.md
+//	mvbench -parallel  # parallel branch-and-bound vs exhaustive search
+//	                   # (tune with -j workers and -seed n)
 package main
 
 import (
@@ -25,10 +27,13 @@ func main() {
 	figure := flag.Int("figure", 0, "print one figure (1, 2, 3, 5)")
 	measured := flag.Bool("measured", false, "run the measured-parity experiment")
 	sweeps := flag.Bool("sweeps", false, "run the ablation sweeps")
+	parallel := flag.Bool("parallel", false, "compare parallel branch-and-bound vs exhaustive")
+	workers := flag.Int("j", 0, "worker count for -parallel (0 = all CPUs)")
+	seed := flag.Int64("seed", 0, "chunk-order seed for -parallel (result is seed-independent)")
 	dot := flag.Bool("dot", false, "emit the ProblemDept expression DAG as Graphviz DOT")
 	flag.Parse()
 
-	all := *table == 0 && *figure == 0 && !*measured && !*sweeps && !*dot
+	all := *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*dot
 
 	var f *paper.Fixture
 	needFixture := all || *table > 0 || *figure == 1 || *figure == 2 || *dot
@@ -92,6 +97,13 @@ func main() {
 		}
 		emit(out)
 	}
+	if all || *parallel {
+		out, err := paper.ParallelSearch(corpus.DefaultFigure5Config(), *workers, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(out)
+	}
 	if all || *sweeps {
 		_, out, err := paper.SweepFanout(1000, []int{1, 2, 5, 10, 20, 50, 100})
 		if err != nil {
@@ -119,7 +131,7 @@ func main() {
 		}
 		emit(out)
 	}
-	if !all && *table == 0 && *figure == 0 && !*measured && !*sweeps && !*dot {
+	if !all && *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*dot {
 		flag.Usage()
 		os.Exit(2)
 	}

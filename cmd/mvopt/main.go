@@ -6,7 +6,8 @@
 //
 //	mvopt -schema schema.sql -view ProblemDept \
 //	      -txn 'modify:Emp:Salary:1:1' -txn 'modify:Dept:Budget:1:1' \
-//	      [-method exhaustive|shielded|greedy|single-tree|heuristic-marking]
+//	      [-method exhaustive|parallel|shielded|greedy|single-tree|heuristic-marking]
+//	      [-j workers] [-seed n]
 //
 // Each -txn flag is kind:relation[:cols]:size:weight, where kind is
 // insert, delete or modify and cols is a +-separated column list for
@@ -83,7 +84,9 @@ func main() {
 	log.SetFlags(0)
 	schema := flag.String("schema", "", "SQL file with schema, data, views and assertions")
 	view := flag.String("view", "", "view or assertion to optimize (repeatable via comma)")
-	method := flag.String("method", "exhaustive", "exhaustive|shielded|greedy|single-tree|heuristic-marking|no-additional")
+	method := flag.String("method", "exhaustive", "exhaustive|parallel|shielded|greedy|single-tree|heuristic-marking|no-additional")
+	workers := flag.Int("j", 0, "worker count for -method parallel (0 = all CPUs)")
+	seed := flag.Int64("seed", 0, "chunk-order seed for -method parallel (result is seed-independent)")
 	var txns txnFlags
 	flag.Var(&txns, "txn", "transaction type kind:rel[:cols]:size:weight (repeatable)")
 	flag.Parse()
@@ -112,6 +115,7 @@ func main() {
 
 	methods := map[string]mvmaint.Method{
 		"exhaustive":        mvmaint.Exhaustive,
+		"parallel":          mvmaint.Parallel,
 		"shielded":          mvmaint.Shielded,
 		"greedy":            mvmaint.Greedy,
 		"single-tree":       mvmaint.SingleTree,
@@ -124,8 +128,10 @@ func main() {
 	}
 
 	sys, err := db.Build(strings.Split(*view, ","), mvmaint.Config{
-		Workload: workload,
-		Method:   m,
+		Workload:    workload,
+		Method:      m,
+		Parallelism: *workers,
+		Seed:        *seed,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -31,9 +31,19 @@ type Optimizer struct {
 	D     *dag.DAG
 	Cost  *tracks.Costing
 	Types []*txn.Type
-	// MaxSets caps exhaustive enumeration (0 = 1<<20). Exceeding it
-	// returns an error directing callers to Shielded or a heuristic.
+	// MaxSets is a soft budget on exhaustive enumeration (0 = 1<<20).
+	// When the lattice is larger, the search evaluates up to MaxSets
+	// view sets and returns the best incumbent with Result.Truncated set
+	// instead of erroring.
 	MaxSets int
+	// Parallelism is the worker count for Parallel (0 = GOMAXPROCS,
+	// 1 = sequential). The result is byte-identical at every setting.
+	Parallelism int
+	// Seed deterministically shuffles the order parallel workers claim
+	// search-space chunks. It perturbs timing only — the result is
+	// byte-identical for every seed — so the equivalence tests use it to
+	// shake out order dependence.
+	Seed int64
 }
 
 // New builds an optimizer over the DAG for the workload under the model.
@@ -56,8 +66,17 @@ type Result struct {
 	// (ascending). Heuristics list only what they explored.
 	All []Evaluated
 	// Explored counts view sets costed — the search-effort metric the
-	// paper's Sections 4–5 are about reducing.
+	// paper's Sections 4–5 are about reducing. For Parallel it counts
+	// the deterministic core (sets no bound can exclude), so it is
+	// identical at every parallelism level.
 	Explored int
+	// Pruned counts view sets excluded without full evaluation (the
+	// lattice size minus Explored; zero for methods that do not prune).
+	Pruned int
+	// Truncated reports that the MaxSets budget expired before the
+	// search was complete: Best is the best incumbent found, not a
+	// proven optimum.
+	Truncated bool
 }
 
 // AdditionalViews returns the chosen views beyond the roots, sorted by ID.
@@ -90,19 +109,26 @@ func (o *Optimizer) candidates() []*dag.EqNode {
 }
 
 // Exhaustive runs Algorithm OptimalViewSet: every subset of E_V
-// containing the root is costed and the minimum chosen.
+// containing the root is costed and the minimum chosen. When the lattice
+// exceeds the MaxSets budget, the first MaxSets sets (in bitmask order)
+// are costed and the result carries Truncated instead of an error; only
+// a candidate count too large for a 63-bit mask still errors.
 func (o *Optimizer) Exhaustive() (*Result, error) {
 	cands := o.candidates()
+	if len(cands) >= 63 {
+		return nil, fmt.Errorf("core: %d candidate views overflow the enumeration bitmask; use Shielded or a heuristic", len(cands))
+	}
 	limit := o.MaxSets
 	if limit <= 0 {
 		limit = 1 << 20
 	}
-	if len(cands) >= 63 || 1<<len(cands) > limit {
-		return nil, fmt.Errorf("core: %d candidate views exceed the exhaustive limit of %d sets; use Shielded or a heuristic", len(cands), limit)
-	}
 	res := &Result{Method: "exhaustive"}
-	n := 1 << len(cands)
-	for mask := 0; mask < n; mask++ {
+	n := uint64(1) << len(cands)
+	if n > uint64(limit) {
+		n = uint64(limit)
+		res.Truncated = true
+	}
+	for mask := uint64(0); mask < n; mask++ {
 		vs := tracks.RootSet(o.D)
 		for i, e := range cands {
 			if mask&(1<<i) != 0 {
@@ -113,22 +139,35 @@ func (o *Optimizer) Exhaustive() (*Result, error) {
 		res.All = append(res.All, ev)
 	}
 	res.Explored = len(res.All)
+	res.Pruned = (1 << len(cands)) - res.Explored
 	sortEvaluated(res.All)
 	res.Best = res.All[0]
 	return res, nil
 }
 
 func sortEvaluated(evs []Evaluated) {
-	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].Weighted != evs[j].Weighted {
-			return evs[i].Weighted < evs[j].Weighted
+	sort.Slice(evs, func(i, j int) bool { return lessEvaluated(evs[i], evs[j]) })
+}
+
+// lessEvaluated is the total order on costed view sets: weighted cost,
+// then set size (less space first), then the numerically smallest member
+// sequence — equivalently the lowest candidate bitmask among equal-size
+// ties. Being total, it makes Best and the All ordering deterministic
+// regardless of evaluation order, which the parallel search relies on.
+func lessEvaluated(a, b Evaluated) bool {
+	if a.Weighted != b.Weighted {
+		return a.Weighted < b.Weighted
+	}
+	if len(a.Set) != len(b.Set) {
+		return len(a.Set) < len(b.Set)
+	}
+	ai, bi := a.Set.IDs(), b.Set.IDs()
+	for k := range ai {
+		if ai[k] != bi[k] {
+			return ai[k] < bi[k]
 		}
-		// Tie-break: smaller set first (less space), then lexicographic.
-		if len(evs[i].Set) != len(evs[j].Set) {
-			return len(evs[i].Set) < len(evs[j].Set)
-		}
-		return evs[i].Set.Key() < evs[j].Set.Key()
-	})
+	}
+	return false
 }
 
 // Evaluate prices an explicitly chosen view set (must include the root;

@@ -236,13 +236,65 @@ func TestShieldedOnProblemDept(t *testing.T) {
 	}
 }
 
-// TestExhaustiveLimit: the exhaustive algorithm refuses absurd spaces.
+// TestExhaustiveLimit: MaxSets is a soft budget — an over-budget lattice
+// yields the best incumbent found plus the Truncated flag rather than an
+// error, and an in-budget search stays untruncated.
 func TestExhaustiveLimit(t *testing.T) {
 	_, _, opt := problemDeptOptimizer(t)
-	opt.MaxSets = 8
-	if _, err := opt.Exhaustive(); err == nil {
-		t.Error("exhaustive should refuse when candidates exceed MaxSets")
+	full, err := opt.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
 	}
+	if full.Truncated {
+		t.Errorf("in-budget search reported Truncated")
+	}
+
+	opt.MaxSets = 8
+	res, err := opt.Exhaustive()
+	if err != nil {
+		t.Fatalf("over-budget exhaustive should degrade, not error: %v", err)
+	}
+	if !res.Truncated {
+		t.Error("over-budget search should report Truncated")
+	}
+	if res.Explored != 8 {
+		t.Errorf("explored %d sets, budget was 8", res.Explored)
+	}
+	if res.Pruned != full.Explored-8 {
+		t.Errorf("pruned = %d, want %d", res.Pruned, full.Explored-8)
+	}
+	// The incumbent must be the best of the first 8 masks: candidate
+	// bits are enumerated in ascending mask order, so the incumbent can
+	// only improve once the rest of the lattice is allowed in.
+	if res.Best.Weighted < full.Best.Weighted {
+		t.Errorf("truncated best %g beats full best %g", res.Best.Weighted, full.Best.Weighted)
+	}
+	// The parallel search prunes, so a budget of 8 can be enough to
+	// finish the proof — in that case the result must be the optimum.
+	opt.Parallelism = 4
+	pres, err := opt.Parallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pres.Truncated && pres.Best.Weighted != full.Best.Weighted {
+		t.Errorf("untruncated parallel best %g != exhaustive best %g",
+			pres.Best.Weighted, full.Best.Weighted)
+	}
+	// A budget of 2 cannot cover the deterministic core: the search must
+	// degrade to an incumbent and say so.
+	opt.MaxSets = 2
+	pres, err = opt.Parallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pres.Truncated {
+		t.Error("over-budget parallel search should report Truncated")
+	}
+	if pres.Explored > 2 {
+		t.Errorf("parallel explored %d sets, budget was 2", pres.Explored)
+	}
+	opt.MaxSets = 0
+	opt.Parallelism = 0
 }
 
 // TestWeightSensitivity: with >Dept overwhelmingly frequent, {N3} remains

@@ -1,0 +1,193 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/cost"
+	"repro/internal/dag"
+	"repro/internal/paper"
+	"repro/internal/rules"
+)
+
+// canonical renders a result into the byte-identical form the parallel
+// search guarantees across every Parallelism and Seed.
+func canonical(r *core.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "best=%s w=%.17g explored=%d pruned=%d trunc=%v\n",
+		r.Best.Set.Key(), r.Best.Weighted, r.Explored, r.Pruned, r.Truncated)
+	for _, ev := range r.All {
+		fmt.Fprintf(&b, "%s %.17g\n", ev.Set.Key(), ev.Weighted)
+	}
+	return b.String()
+}
+
+// TestParallelMatchesExhaustiveRandom is the equivalence property: over
+// random views and random weighted workloads, the parallel search at any
+// worker count and any seed returns the exhaustive optimum, prices every
+// kept set identically, keeps every minimum-cost set, and renders
+// byte-identically across all (Parallelism, Seed) combinations.
+func TestParallelMatchesExhaustiveRandom(t *testing.T) {
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(7000 + trial)))
+			cfg := corpus.Config{
+				Departments:  3 + rng.Intn(8),
+				EmpsPerDept:  2 + rng.Intn(4),
+				ADeptsEveryN: 2,
+			}
+			db := corpus.NewDatabase(cfg)
+			view := corpus.RandomView(rng, db)
+			d, err := dag.FromTree(view)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.Expand(rules.Default(), 200); err != nil {
+				t.Fatal(err)
+			}
+			cands := 0
+			for _, e := range d.NonLeafEqs() {
+				if !d.IsRoot(e) {
+					cands++
+				}
+			}
+			if cands > 10 {
+				t.Skipf("lattice of 2^%d sets too large for the exhaustive oracle", cands)
+			}
+			types := corpus.RandomWorkload(rng)
+
+			opt := core.New(d, cost.PageIO{}, types)
+			exh, err := opt.Exhaustive()
+			if err != nil {
+				t.Fatal(err)
+			}
+			exhCost := map[string]float64{}
+			for _, ev := range exh.All {
+				exhCost[ev.Set.Key()] = ev.Weighted
+			}
+
+			var ref string
+			for _, j := range []int{1, 2, 4, 8} {
+				for _, seed := range []int64{0, 1, 42} {
+					opt.Parallelism, opt.Seed = j, seed
+					par, err := opt.Parallel()
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := fmt.Sprintf("j=%d seed=%d", j, seed)
+					if par.Truncated {
+						t.Fatalf("%s: unexpected truncation", label)
+					}
+					if got := canonical(par); ref == "" {
+						ref = got
+					} else if got != ref {
+						t.Fatalf("%s: result differs from j=1 seed=0:\n%s\nvs\n%s", label, got, ref)
+					}
+					if par.Best.Set.Key() != exh.Best.Set.Key() || par.Best.Weighted != exh.Best.Weighted {
+						t.Fatalf("%s: best %s=%g, exhaustive %s=%g (view %s)",
+							label, par.Best.Set.Key(), par.Best.Weighted,
+							exh.Best.Set.Key(), exh.Best.Weighted, view.Label())
+					}
+					if par.Explored+par.Pruned != exh.Explored {
+						t.Fatalf("%s: explored %d + pruned %d != lattice %d",
+							label, par.Explored, par.Pruned, exh.Explored)
+					}
+					// Every kept set is priced exactly as the oracle priced it,
+					// and every optimum survives the pruning.
+					for _, ev := range par.All {
+						w, ok := exhCost[ev.Set.Key()]
+						if !ok || w != ev.Weighted {
+							t.Fatalf("%s: kept set %s=%g not in exhaustive log (want %g)",
+								label, ev.Set.Key(), ev.Weighted, w)
+						}
+					}
+					kept := map[string]bool{}
+					for _, ev := range par.All {
+						kept[ev.Set.Key()] = true
+					}
+					for _, ev := range exh.All {
+						if ev.Weighted == exh.Best.Weighted && !kept[ev.Set.Key()] {
+							t.Fatalf("%s: optimum-cost set %s pruned", label, ev.Set.Key())
+						}
+					}
+					// Both All slices share the same total order, so the
+					// parallel log must be an order-preserving subsequence.
+					i := 0
+					for _, ev := range par.All {
+						for i < len(exh.All) && exh.All[i].Set.Key() != ev.Set.Key() {
+							i++
+						}
+						if i == len(exh.All) {
+							t.Fatalf("%s: All is not a subsequence of the exhaustive All", label)
+						}
+						i++
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelPaperScenarios runs the paper's own workloads through both
+// search paths: the §3.6 ProblemDept tables fixture and the Figure 5
+// articulation-node schema must agree with the exhaustive optimum.
+func TestParallelPaperScenarios(t *testing.T) {
+	f, err := paper.NewFixture(corpus.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exh, err := f.Optimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.New(f.D, cost.PageIO{}, f.Types)
+	par, err := opt.Parallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Best.Set.Key() != exh.Best.Set.Key() || par.Best.Weighted != exh.Best.Weighted {
+		t.Fatalf("ProblemDept: parallel %s=%g, exhaustive %s=%g",
+			par.Best.Set.Key(), par.Best.Weighted, exh.Best.Set.Key(), exh.Best.Weighted)
+	}
+	// The paper's per-transaction costs (Table 4's winning row) must come
+	// out identically on the parallel path.
+	for name, tc := range exh.Best.PerTxn {
+		pc, ok := par.Best.PerTxn[name]
+		if !ok || pc.Total() != tc.Total() {
+			t.Fatalf("ProblemDept %s: parallel total %g, exhaustive %g", name, pc.Total(), tc.Total())
+		}
+	}
+
+	fig5, err := paper.Figure5Optimizer(corpus.DefaultFigure5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exh5, err := fig5.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig5.Parallelism = 4
+	par5, err := fig5.Parallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par5.Best.Set.Key() != exh5.Best.Set.Key() || par5.Best.Weighted != exh5.Best.Weighted {
+		t.Fatalf("Figure5: parallel %s=%g, exhaustive %s=%g",
+			par5.Best.Set.Key(), par5.Best.Weighted, exh5.Best.Set.Key(), exh5.Best.Weighted)
+	}
+	if par5.Pruned == 0 {
+		t.Fatal("Figure5: expected the bound to prune at least one view set")
+	}
+	if hits, misses := fig5.Cost.CacheStats(); hits == 0 || misses == 0 {
+		t.Fatalf("Figure5: implausible cache stats hits=%d misses=%d", hits, misses)
+	}
+}

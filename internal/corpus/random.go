@@ -1,0 +1,180 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algebra"
+	"repro/internal/delta"
+	"repro/internal/expr"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// RandomView builds a random view over the corporate schema: a join
+// subset of {Emp, Dept, ADepts} on DName, optional selection, optional
+// aggregation, optional projection. Every generated view is valid by
+// construction, so randomized property tests (maintenance soundness,
+// optimizer equivalence) can draw freely from it.
+func RandomView(rng *rand.Rand, db *Database) algebra.Node {
+	emp := algebra.Scan(db.Catalog.MustGet("Emp"))
+	dept := algebra.Scan(db.Catalog.MustGet("Dept"))
+	adepts := algebra.Scan(db.Catalog.MustGet("ADepts"))
+
+	var tree algebra.Node
+	switch rng.Intn(4) {
+	case 0:
+		tree = emp
+	case 1:
+		tree = algebra.NewJoin(
+			[]algebra.JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}}, emp, dept)
+	case 2:
+		tree = algebra.NewJoin(
+			[]algebra.JoinCond{{Left: "Emp.DName", Right: "ADepts.DName"}}, emp, adepts)
+	default:
+		inner := algebra.NewJoin(
+			[]algebra.JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}}, emp, dept)
+		tree = algebra.NewJoin(
+			[]algebra.JoinCond{{Left: "Emp.DName", Right: "ADepts.DName"}}, inner, adepts)
+	}
+	if rng.Intn(2) == 0 {
+		tree = algebra.NewSelect(
+			expr.Compare(expr.GT, expr.C("Emp.Salary"), expr.IntLit(int64(rng.Intn(150)))),
+			tree)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		// SUM+COUNT aggregate by department.
+		group := []string{"Emp.DName"}
+		if tree.Schema().Has("Dept.Budget") && rng.Intn(2) == 0 {
+			group = append(group, "Dept.Budget")
+		}
+		tree = algebra.NewAggregate(group,
+			[]algebra.AggSpec{
+				{Func: algebra.Sum, Arg: expr.C("Emp.Salary"), As: "S"},
+				{Func: algebra.Count, As: "N"},
+			}, tree)
+		if rng.Intn(2) == 0 {
+			tree = algebra.NewSelect(expr.Compare(expr.GT, expr.C("S"), expr.IntLit(0)), tree)
+		}
+	case 1:
+		// Projection to department names (bag), optionally distinct.
+		tree = algebra.NewProject(
+			[]algebra.ProjectItem{{E: expr.C("Emp.DName")}}, tree)
+		if rng.Intn(2) == 0 {
+			tree = algebra.NewDistinct(tree)
+		}
+	}
+	// A view must be a derived relation, not a bare base scan.
+	if tree.Kind() == algebra.KindRel {
+		tree = algebra.NewSelect(
+			expr.Compare(expr.GE, expr.C("Emp.Salary"), expr.IntLit(0)), tree)
+	}
+	return tree
+}
+
+// RandomTxn builds a random single-relation transaction against the
+// current database state, with its concrete delta. Returns nil when the
+// intended victim row is gone.
+func RandomTxn(rng *rand.Rand, db *Database, cfg Config, seq int) (*txn.Type, map[string]*delta.Delta) {
+	switch rng.Intn(6) {
+	case 0: // salary modify
+		d, err := db.EmpSalaryDelta(rng.Intn(cfg.Departments), rng.Intn(cfg.EmpsPerDept), int64(50+rng.Intn(300)))
+		if err != nil {
+			return nil, nil
+		}
+		return &txn.Type{Name: ">Emp", Weight: 1, Updates: []txn.RelUpdate{
+			{Rel: "Emp", Kind: txn.Modify, Size: 1, Cols: []string{"Salary"}}}}, map[string]*delta.Delta{"Emp": d}
+	case 1: // budget modify
+		d, err := db.DeptBudgetDelta(rng.Intn(cfg.Departments), int64(500+rng.Intn(3000)))
+		if err != nil {
+			return nil, nil
+		}
+		return &txn.Type{Name: ">Dept", Weight: 1, Updates: []txn.RelUpdate{
+			{Rel: "Dept", Kind: txn.Modify, Size: 1, Cols: []string{"Budget"}}}}, map[string]*delta.Delta{"Dept": d}
+	case 2: // hire (sometimes into a brand-new department)
+		dept := DeptName(rng.Intn(cfg.Departments))
+		if rng.Intn(4) == 0 {
+			dept = fmt.Sprintf("dnew%d", seq)
+		}
+		d := db.EmpInsertDelta(fmt.Sprintf("hire%d", seq), dept, int64(60+rng.Intn(200)))
+		return &txn.Type{Name: "+Emp", Weight: 1, Updates: []txn.RelUpdate{
+			{Rel: "Emp", Kind: txn.Insert, Size: 1}}}, map[string]*delta.Delta{"Emp": d}
+	case 3: // fire
+		d, err := db.EmpDeleteDelta(rng.Intn(cfg.Departments), rng.Intn(cfg.EmpsPerDept))
+		if err != nil {
+			return nil, nil
+		}
+		return &txn.Type{Name: "-Emp", Weight: 1, Updates: []txn.RelUpdate{
+			{Rel: "Emp", Kind: txn.Delete, Size: 1}}}, map[string]*delta.Delta{"Emp": d}
+	case 4: // reclassify a department as type A
+		// DName is a declared key of ADepts; the engine's key-based
+		// optimizations (CoversGroups, aggregate pushdown) trust declared
+		// keys, so the workload must not violate them — skip departments
+		// already classified.
+		name := DeptName(rng.Intn(cfg.Departments))
+		rel := db.Store.MustGet("ADepts")
+		was := rel.Resident
+		rel.Resident = true
+		existing := rel.Lookup([]string{"DName"}, value.Tuple{value.NewString(name)})
+		rel.Resident = was
+		if len(existing) > 0 {
+			return nil, nil
+		}
+		d := db.ADeptsInsertDelta(name)
+		return &txn.Type{Name: "+ADepts", Weight: 1, Updates: []txn.RelUpdate{
+			{Rel: "ADepts", Kind: txn.Insert, Size: 1}}}, map[string]*delta.Delta{"ADepts": d}
+	default: // move an employee to another department (join-key change!)
+		i, j := rng.Intn(cfg.Departments), rng.Intn(cfg.EmpsPerDept)
+		rel := db.Store.MustGet("Emp")
+		was := rel.Resident
+		rel.Resident = true
+		rows := rel.Lookup([]string{"EName"}, value.Tuple{value.NewString(EmpName(i, j))})
+		rel.Resident = was
+		if len(rows) == 0 {
+			return nil, nil
+		}
+		old := rows[0].Tuple.Clone()
+		newT := old.Clone()
+		newT[1] = value.NewString(DeptName(rng.Intn(cfg.Departments)))
+		if newT.Equal(old) {
+			return nil, nil
+		}
+		d := delta.New(rel.Def.Schema)
+		d.Modify(old, newT, 1)
+		return &txn.Type{Name: ">EmpDept", Weight: 1, Updates: []txn.RelUpdate{
+			{Rel: "Emp", Kind: txn.Modify, Size: 1, Cols: []string{"DName"}}}}, map[string]*delta.Delta{"Emp": d}
+	}
+}
+
+// RandomWorkload draws a random weighted transaction-type mix over the
+// corporate schema — the cost-only side of RandomTxn, for optimizer
+// property tests where no concrete deltas are applied.
+func RandomWorkload(rng *rand.Rand) []*txn.Type {
+	pool := []*txn.Type{
+		{Name: ">Emp", Updates: []txn.RelUpdate{
+			{Rel: "Emp", Kind: txn.Modify, Size: 1, Cols: []string{"Salary"}}}},
+		{Name: ">Dept", Updates: []txn.RelUpdate{
+			{Rel: "Dept", Kind: txn.Modify, Size: 1, Cols: []string{"Budget"}}}},
+		{Name: "+Emp", Updates: []txn.RelUpdate{
+			{Rel: "Emp", Kind: txn.Insert, Size: 1}}},
+		{Name: "-Emp", Updates: []txn.RelUpdate{
+			{Rel: "Emp", Kind: txn.Delete, Size: 1}}},
+		{Name: "+ADepts", Updates: []txn.RelUpdate{
+			{Rel: "ADepts", Kind: txn.Insert, Size: 1}}},
+		{Name: ">EmpDept", Updates: []txn.RelUpdate{
+			{Rel: "Emp", Kind: txn.Modify, Size: 1, Cols: []string{"DName"}}}},
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	n := 1 + rng.Intn(len(pool))
+	out := make([]*txn.Type, 0, n)
+	weights := []float64{0.1, 0.5, 1, 2, 10}
+	for _, t := range pool[:n] {
+		out = append(out, &txn.Type{
+			Name:    t.Name,
+			Weight:  weights[rng.Intn(len(weights))],
+			Updates: t.Updates,
+		})
+	}
+	return out
+}

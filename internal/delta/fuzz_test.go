@@ -1,0 +1,165 @@
+package delta_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/corpus"
+	"repro/internal/delta"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// FuzzDeltaApply decodes the fuzz input as a transaction script over the
+// Emp relation (inserts, deletes and modifies of live rows), propagates
+// the resulting delta through the join → aggregate pipeline, and
+// compares both stages against the full-recomputation oracle. Any input
+// the decoder accepts must produce exactly the oracle's delta.
+func FuzzDeltaApply(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 50})
+	f.Add([]byte{1, 0, 0, 0, 2, 1, 1, 30})
+	f.Add([]byte{2, 2, 1, 90, 0, 0, 0, 10, 1, 1, 1, 0})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 96 {
+			data = data[:96]
+		}
+		db := corpus.NewDatabase(corpus.Config{Departments: 3, EmpsPerDept: 2})
+		join := algebra.NewJoin(
+			[]algebra.JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}},
+			algebra.Scan(db.Catalog.MustGet("Emp")),
+			algebra.Scan(db.Catalog.MustGet("Dept")),
+		)
+		agg := algebra.NewAggregate(
+			[]string{"Dept.DName", "Dept.Budget"},
+			[]algebra.AggSpec{
+				{Func: algebra.Sum, Arg: expr.C("Emp.Salary"), As: "SumSal"},
+				{Func: algebra.Count, As: "N"},
+			},
+			join,
+		)
+		ev := exec.NewFree(db.Store)
+		beforeJoin, err := ev.Eval(join)
+		if err != nil {
+			t.Fatal(err)
+		}
+		beforeAgg, err := ev.Eval(agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// live mirrors the Emp bag so the script only deletes/modifies
+		// rows that exist (the engine maintains relations, not arbitrary
+		// negative bags).
+		empScan, err := ev.Eval(algebra.Scan(db.Catalog.MustGet("Emp")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := map[string]storage.Row{}
+		for _, r := range empScan.Rows {
+			live[r.Tuple.Key()] = storage.Row{Tuple: r.Tuple.Clone(), Count: r.Count}
+		}
+		liveKeys := func() []string {
+			out := make([]string, 0, len(live))
+			for k := range live {
+				out = append(out, k)
+			}
+			sort.Strings(out)
+			return out
+		}
+
+		d := delta.New(join.L.Schema())
+		seq := 0
+		for len(data) >= 4 {
+			op, a, b, c := data[0], data[1], data[2], data[3]
+			data = data[4:]
+			switch op % 3 {
+			case 0: // hire
+				tup := value.Tuple{
+					value.NewString(corpus.EmpName(int(a%3), 10+seq)),
+					value.NewString(corpus.DeptName(int(b % 4))), // dept 3 dangles
+					value.NewInt(int64(c)),
+				}
+				d.Insert(tup, 1)
+				r := live[tup.Key()]
+				live[tup.Key()] = storage.Row{Tuple: tup, Count: r.Count + 1}
+			case 1: // fire a live row
+				keys := liveKeys()
+				if len(keys) == 0 {
+					continue
+				}
+				victim := live[keys[int(a)%len(keys)]]
+				d.Delete(victim.Tuple, 1)
+				if victim.Count <= 1 {
+					delete(live, victim.Tuple.Key())
+				} else {
+					victim.Count--
+					live[victim.Tuple.Key()] = victim
+				}
+			default: // change a live row's salary and maybe department
+				keys := liveKeys()
+				if len(keys) == 0 {
+					continue
+				}
+				old := live[keys[int(a)%len(keys)]]
+				newT := old.Tuple.Clone()
+				newT[1] = value.NewString(corpus.DeptName(int(b % 4)))
+				newT[2] = value.NewInt(int64(c))
+				if newT.Equal(old.Tuple) {
+					continue
+				}
+				d.Modify(old.Tuple, newT, 1)
+				if old.Count <= 1 {
+					delete(live, old.Tuple.Key())
+				} else {
+					old.Count--
+					live[old.Tuple.Key()] = old
+				}
+				r := live[newT.Key()]
+				live[newT.Key()] = storage.Row{Tuple: newT, Count: r.Count + 1}
+			}
+			seq++
+		}
+		if d.Empty() {
+			t.Skip()
+		}
+
+		joinDelta, err := delta.JoinSide(join, d, 0, storeProbe(db.Store.MustGet("Dept"), []string{"Dept.DName"}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldGroup := func(gk value.Tuple) ([]storage.Row, error) {
+			evq := exec.NewFree(db.Store)
+			res, err := evq.EvalFiltered(join, []string{"Dept.DName"}, gk[:1])
+			if err != nil {
+				return nil, err
+			}
+			return res.Rows, nil
+		}
+		aggDelta, err := delta.AggregateFull(agg, joinDelta, oldGroup)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		db.Store.MustGet("Emp").ApplyBatch(d.ToMutations())
+		afterJoin, err := ev.Eval(join)
+		if err != nil {
+			t.Fatal(err)
+		}
+		afterAgg, err := ev.Eval(agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := resultDiff(join.Schema(), beforeJoin, afterJoin); !sameDelta(joinDelta, want) {
+			t.Fatalf("join stage diverges from full recomputation\nscript: %v\ngot  %v\nwant %v",
+				d.Changes, joinDelta.Normalize().Changes, want.Changes)
+		}
+		if want := resultDiff(agg.Schema(), beforeAgg, afterAgg); !sameDelta(aggDelta, want) {
+			t.Fatalf("aggregate stage diverges from full recomputation\nscript: %v\ngot  %v\nwant %v",
+				d.Changes, aggDelta.Normalize().Changes, want.Changes)
+		}
+	})
+}

@@ -5,152 +5,13 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/algebra"
 	"repro/internal/corpus"
 	"repro/internal/cost"
 	"repro/internal/dag"
-	"repro/internal/delta"
-	"repro/internal/expr"
 	"repro/internal/maintain"
 	"repro/internal/rules"
 	"repro/internal/tracks"
-	"repro/internal/txn"
-	"repro/internal/value"
 )
-
-// randomView builds a random view over the corporate schema: a join
-// subset of {Emp, Dept, ADepts} on DName, optional selection, optional
-// aggregation, optional projection. Every generated view is valid by
-// construction.
-func randomView(rng *rand.Rand, db *corpus.Database) algebra.Node {
-	emp := algebra.Scan(db.Catalog.MustGet("Emp"))
-	dept := algebra.Scan(db.Catalog.MustGet("Dept"))
-	adepts := algebra.Scan(db.Catalog.MustGet("ADepts"))
-
-	var tree algebra.Node
-	switch rng.Intn(4) {
-	case 0:
-		tree = emp
-	case 1:
-		tree = algebra.NewJoin(
-			[]algebra.JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}}, emp, dept)
-	case 2:
-		tree = algebra.NewJoin(
-			[]algebra.JoinCond{{Left: "Emp.DName", Right: "ADepts.DName"}}, emp, adepts)
-	default:
-		inner := algebra.NewJoin(
-			[]algebra.JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}}, emp, dept)
-		tree = algebra.NewJoin(
-			[]algebra.JoinCond{{Left: "Emp.DName", Right: "ADepts.DName"}}, inner, adepts)
-	}
-	if rng.Intn(2) == 0 {
-		tree = algebra.NewSelect(
-			expr.Compare(expr.GT, expr.C("Emp.Salary"), expr.IntLit(int64(rng.Intn(150)))),
-			tree)
-	}
-	switch rng.Intn(3) {
-	case 0:
-		// SUM+COUNT aggregate by department.
-		group := []string{"Emp.DName"}
-		if tree.Schema().Has("Dept.Budget") && rng.Intn(2) == 0 {
-			group = append(group, "Dept.Budget")
-		}
-		tree = algebra.NewAggregate(group,
-			[]algebra.AggSpec{
-				{Func: algebra.Sum, Arg: expr.C("Emp.Salary"), As: "S"},
-				{Func: algebra.Count, As: "N"},
-			}, tree)
-		if rng.Intn(2) == 0 {
-			tree = algebra.NewSelect(expr.Compare(expr.GT, expr.C("S"), expr.IntLit(0)), tree)
-		}
-	case 1:
-		// Projection to department names (bag), optionally distinct.
-		tree = algebra.NewProject(
-			[]algebra.ProjectItem{{E: expr.C("Emp.DName")}}, tree)
-		if rng.Intn(2) == 0 {
-			tree = algebra.NewDistinct(tree)
-		}
-	}
-	// A view must be a derived relation, not a bare base scan.
-	if tree.Kind() == algebra.KindRel {
-		tree = algebra.NewSelect(
-			expr.Compare(expr.GE, expr.C("Emp.Salary"), expr.IntLit(0)), tree)
-	}
-	return tree
-}
-
-// randomTxn builds a random single-relation transaction against the
-// current database state. Returns nil when the intended victim is gone.
-func randomTxn(rng *rand.Rand, db *corpus.Database, cfg corpus.Config, seq int) (*txn.Type, map[string]*delta.Delta) {
-	switch rng.Intn(6) {
-	case 0: // salary modify
-		d, err := db.EmpSalaryDelta(rng.Intn(cfg.Departments), rng.Intn(cfg.EmpsPerDept), int64(50+rng.Intn(300)))
-		if err != nil {
-			return nil, nil
-		}
-		return &txn.Type{Name: ">Emp", Weight: 1, Updates: []txn.RelUpdate{
-			{Rel: "Emp", Kind: txn.Modify, Size: 1, Cols: []string{"Salary"}}}}, map[string]*delta.Delta{"Emp": d}
-	case 1: // budget modify
-		d, err := db.DeptBudgetDelta(rng.Intn(cfg.Departments), int64(500+rng.Intn(3000)))
-		if err != nil {
-			return nil, nil
-		}
-		return &txn.Type{Name: ">Dept", Weight: 1, Updates: []txn.RelUpdate{
-			{Rel: "Dept", Kind: txn.Modify, Size: 1, Cols: []string{"Budget"}}}}, map[string]*delta.Delta{"Dept": d}
-	case 2: // hire (sometimes into a brand-new department)
-		dept := corpus.DeptName(rng.Intn(cfg.Departments))
-		if rng.Intn(4) == 0 {
-			dept = fmt.Sprintf("dnew%d", seq)
-		}
-		d := db.EmpInsertDelta(fmt.Sprintf("hire%d", seq), dept, int64(60+rng.Intn(200)))
-		return &txn.Type{Name: "+Emp", Weight: 1, Updates: []txn.RelUpdate{
-			{Rel: "Emp", Kind: txn.Insert, Size: 1}}}, map[string]*delta.Delta{"Emp": d}
-	case 3: // fire
-		d, err := db.EmpDeleteDelta(rng.Intn(cfg.Departments), rng.Intn(cfg.EmpsPerDept))
-		if err != nil {
-			return nil, nil
-		}
-		return &txn.Type{Name: "-Emp", Weight: 1, Updates: []txn.RelUpdate{
-			{Rel: "Emp", Kind: txn.Delete, Size: 1}}}, map[string]*delta.Delta{"Emp": d}
-	case 4: // reclassify a department as type A
-		// DName is a declared key of ADepts; the engine's key-based
-		// optimizations (CoversGroups, aggregate pushdown) trust declared
-		// keys, so the workload must not violate them — skip departments
-		// already classified.
-		name := corpus.DeptName(rng.Intn(cfg.Departments))
-		rel := db.Store.MustGet("ADepts")
-		was := rel.Resident
-		rel.Resident = true
-		existing := rel.Lookup([]string{"DName"}, value.Tuple{value.NewString(name)})
-		rel.Resident = was
-		if len(existing) > 0 {
-			return nil, nil
-		}
-		d := db.ADeptsInsertDelta(name)
-		return &txn.Type{Name: "+ADepts", Weight: 1, Updates: []txn.RelUpdate{
-			{Rel: "ADepts", Kind: txn.Insert, Size: 1}}}, map[string]*delta.Delta{"ADepts": d}
-	default: // move an employee to another department (join-key change!)
-		i, j := rng.Intn(cfg.Departments), rng.Intn(cfg.EmpsPerDept)
-		rel := db.Store.MustGet("Emp")
-		was := rel.Resident
-		rel.Resident = true
-		rows := rel.Lookup([]string{"EName"}, value.Tuple{value.NewString(corpus.EmpName(i, j))})
-		rel.Resident = was
-		if len(rows) == 0 {
-			return nil, nil
-		}
-		old := rows[0].Tuple.Clone()
-		newT := old.Clone()
-		newT[1] = value.NewString(corpus.DeptName(rng.Intn(cfg.Departments)))
-		if newT.Equal(old) {
-			return nil, nil
-		}
-		d := delta.New(rel.Def.Schema)
-		d.Modify(old, newT, 1)
-		return &txn.Type{Name: ">EmpDept", Weight: 1, Updates: []txn.RelUpdate{
-			{Rel: "Emp", Kind: txn.Modify, Size: 1, Cols: []string{"DName"}}}}, map[string]*delta.Delta{"Emp": d}
-	}
-}
 
 // TestRandomizedEndToEnd is the system-level soundness property: for
 // random views, random materialized view sets and random transaction
@@ -165,12 +26,12 @@ func TestRandomizedEndToEnd(t *testing.T) {
 		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(1000 + trial)))
 			cfg := corpus.Config{
-				Departments: 3 + rng.Intn(5),
-				EmpsPerDept: 2 + rng.Intn(3),
+				Departments:  3 + rng.Intn(5),
+				EmpsPerDept:  2 + rng.Intn(3),
 				ADeptsEveryN: 2,
 			}
 			db := corpus.NewDatabase(cfg)
-			view := randomView(rng, db)
+			view := corpus.RandomView(rng, db)
 			d, err := dag.FromTree(view)
 			if err != nil {
 				t.Fatal(err)
@@ -192,7 +53,7 @@ func TestRandomizedEndToEnd(t *testing.T) {
 				t.Fatalf("view %s: %v", view.Label(), err)
 			}
 			for step := 0; step < 25; step++ {
-				ty, updates := randomTxn(rng, db, cfg, trial*100+step)
+				ty, updates := corpus.RandomTxn(rng, db, cfg, trial*100+step)
 				if ty == nil {
 					continue
 				}

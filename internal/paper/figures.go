@@ -71,15 +71,7 @@ func Figure5(cfg corpus.Figure5Config) (*Figure5Report, string, error) {
 	if _, err := d.Expand(rules.Default(), 400); err != nil {
 		return nil, "", err
 	}
-	types := []*txn.Type{
-		{Name: ">T", Weight: 1, Updates: []txn.RelUpdate{
-			{Rel: "T", Kind: txn.Modify, Size: 1, Cols: []string{"Price"}}}},
-		{Name: "+S", Weight: 1, Updates: []txn.RelUpdate{
-			{Rel: "S", Kind: txn.Insert, Size: 1}}},
-		{Name: ">R", Weight: 0.5, Updates: []txn.RelUpdate{
-			{Rel: "R", Kind: txn.Modify, Size: 1, Cols: []string{"RName"}}}},
-	}
-	opt := core.New(d, cost.PageIO{}, types)
+	opt := core.New(d, cost.PageIO{}, figure5Types())
 	exh, err := opt.Exhaustive()
 	if err != nil {
 		return nil, "", err
@@ -110,6 +102,77 @@ func Figure5(cfg corpus.Figure5Config) (*Figure5Report, string, error) {
 		b.WriteString("  (MISMATCH)\n")
 	}
 	return rep, b.String(), nil
+}
+
+// figure5Types is the Figure 5 workload: modifications dominated by the
+// T fact relation, with lighter S inserts and R renames.
+func figure5Types() []*txn.Type {
+	return []*txn.Type{
+		{Name: ">T", Weight: 1, Updates: []txn.RelUpdate{
+			{Rel: "T", Kind: txn.Modify, Size: 1, Cols: []string{"Price"}}}},
+		{Name: "+S", Weight: 1, Updates: []txn.RelUpdate{
+			{Rel: "S", Kind: txn.Insert, Size: 1}}},
+		{Name: ">R", Weight: 0.5, Updates: []txn.RelUpdate{
+			{Rel: "R", Kind: txn.Modify, Size: 1, Cols: []string{"RName"}}}},
+	}
+}
+
+// Figure5Optimizer builds the Figure 5 DAG and workload as a fresh
+// optimizer, for search-strategy comparisons and benchmarks.
+func Figure5Optimizer(cfg corpus.Figure5Config) (*core.Optimizer, error) {
+	db := corpus.Figure5Database(cfg)
+	d, err := dag.FromTree(db.Figure5View(1 << 40))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.Expand(rules.Default(), 400); err != nil {
+		return nil, err
+	}
+	return core.New(d, cost.PageIO{}, figure5Types()), nil
+}
+
+// ParallelSearch compares the parallel branch-and-bound search against
+// the exhaustive one on the Figure 5 schema: same chosen view set, fewer
+// view sets costed, shared-cache hit rate reported. Each search gets a
+// fresh optimizer so the cache statistics belong to that search alone.
+func ParallelSearch(cfg corpus.Figure5Config, workers int, seed int64) (string, error) {
+	exhOpt, err := Figure5Optimizer(cfg)
+	if err != nil {
+		return "", err
+	}
+	exh, err := exhOpt.Exhaustive()
+	if err != nil {
+		return "", err
+	}
+	parOpt, err := Figure5Optimizer(cfg)
+	if err != nil {
+		return "", err
+	}
+	parOpt.Parallelism = workers
+	parOpt.Seed = seed
+	par, err := parOpt.Parallel()
+	if err != nil {
+		return "", err
+	}
+	hits, misses := parOpt.Cost.CacheStats()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	var b strings.Builder
+	b.WriteString("Parallel branch-and-bound vs. exhaustive OptimalViewSet (Figure 5 schema)\n")
+	fmt.Fprintf(&b, "exhaustive: %d view sets costed, optimum %s = %.4g\n",
+		exh.Explored, exh.Best.Set.Key(), exh.Best.Weighted)
+	fmt.Fprintf(&b, "parallel:   %d costed, %d pruned by the update-cost bound, optimum %s = %.4g",
+		par.Explored, par.Pruned, par.Best.Set.Key(), par.Best.Weighted)
+	if par.Best.Set.Key() == exh.Best.Set.Key() && par.Best.Weighted == exh.Best.Weighted {
+		b.WriteString("  (matches exhaustive)\n")
+	} else {
+		b.WriteString("  (MISMATCH)\n")
+	}
+	fmt.Fprintf(&b, "track-cost cache: %d hits / %d misses (%.0f%% hit rate)\n",
+		hits, misses, 100*rate)
+	return b.String(), nil
 }
 
 func renderTree(db *corpus.Database, d *dag.DAG) string {

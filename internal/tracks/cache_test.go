@@ -1,0 +1,154 @@
+package tracks_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/tracks"
+	"repro/internal/txn"
+)
+
+// allViewSets enumerates every subset of the non-root, non-leaf nodes of
+// the fixture DAG (the full lattice the optimizer searches).
+func allViewSets(f *fixture) []tracks.ViewSet {
+	var cands []int
+	for _, e := range f.d.NonLeafEqs() {
+		if !f.d.IsRoot(e) {
+			cands = append(cands, e.ID)
+		}
+	}
+	var out []tracks.ViewSet
+	for mask := 0; mask < 1<<len(cands); mask++ {
+		vs := tracks.RootSet(f.d)
+		for i, id := range cands {
+			if mask&(1<<i) != 0 {
+				vs[id] = true
+			}
+		}
+		out = append(out, vs)
+	}
+	return out
+}
+
+// TestCacheNoStaleEntries interleaves cost queries across every view set
+// in the lattice, twice, and checks each answer against a fresh
+// uncached Costing: a stale or cross-set entry would surface as a
+// mismatch on the second pass.
+func TestCacheNoStaleEntries(t *testing.T) {
+	f := newFixture(t)
+	sets := allViewSets(f)
+	types := txn.PaperTypes()
+
+	golden := map[string]tracks.SetCost{}
+	for _, vs := range sets {
+		for _, ty := range types {
+			fresh := tracks.NewCosting(f.d, cost.PageIO{})
+			golden[vs.Key()+"|"+ty.Name] = fresh.BestCost(vs, ty)
+		}
+	}
+
+	shared := tracks.NewCosting(f.d, cost.PageIO{})
+	var passHits, passMisses [2]uint64
+	for pass := 0; pass < 2; pass++ {
+		for _, vs := range sets {
+			for _, ty := range types {
+				want := golden[vs.Key()+"|"+ty.Name]
+				got := shared.BestCost(vs, ty)
+				if got.Best.Total() != want.Best.Total() ||
+					got.MinUpdate != want.MinUpdate ||
+					got.Truncated != want.Truncated ||
+					got.Tracks != want.Tracks {
+					t.Fatalf("pass %d, set %s, txn %s: cached %+v, fresh %+v",
+						pass, vs.Key(), ty.Name, got, want)
+				}
+			}
+		}
+		passHits[pass], passMisses[pass] = shared.CacheStats()
+	}
+	n := uint64(len(sets) * len(types))
+	// Pass 1: every (set, type) pair misses the set-cost cache once and
+	// performs exactly one track-bundle lookup (hit or miss), 2n lookups
+	// in total.
+	if passHits[0]+passMisses[0] != 2*n {
+		t.Fatalf("pass 1 cache stats hits=%d misses=%d, want %d lookups total",
+			passHits[0], passMisses[0], 2*n)
+	}
+	// Pass 2: one pure hit per pair and not a single new miss — a repeat
+	// pricing never rebuilds anything.
+	if passMisses[1] != passMisses[0] || passHits[1] != passHits[0]+n {
+		t.Fatalf("pass 2 cache stats hits=%d misses=%d, want hits=%d misses=%d (one hit per key, no new misses)",
+			passHits[1], passMisses[1], passHits[0]+n, passMisses[0])
+	}
+}
+
+// TestCacheConcurrentStress hammers one shared Costing from many
+// goroutines over random interleavings of view sets and transaction
+// types; run under -race it proves the costing layer is safe for the
+// parallel search's concurrent use, and every concurrent answer must
+// equal the sequential golden value.
+func TestCacheConcurrentStress(t *testing.T) {
+	f := newFixture(t)
+	sets := allViewSets(f)
+	types := txn.PaperTypes()
+
+	golden := map[string]tracks.SetCost{}
+	goldenW := map[string]float64{}
+	goldenLB := map[string]float64{}
+	pre := tracks.NewCosting(f.d, cost.PageIO{})
+	for _, vs := range sets {
+		for _, ty := range types {
+			golden[vs.Key()+"|"+ty.Name] = pre.BestCost(vs, ty)
+		}
+		w, _ := pre.WeightedCost(vs, types)
+		goldenW[vs.Key()] = w
+		goldenLB[vs.Key()] = pre.WeightedUpdateLB(vs, types)
+	}
+
+	shared := tracks.NewCosting(f.d, cost.PageIO{})
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				vs := sets[rng.Intn(len(sets))]
+				switch rng.Intn(3) {
+				case 0:
+					ty := types[rng.Intn(len(types))]
+					got := shared.BestCost(vs, ty)
+					want := golden[vs.Key()+"|"+ty.Name]
+					if got.Best.Total() != want.Best.Total() || got.MinUpdate != want.MinUpdate {
+						errs <- fmt.Errorf("worker %d: BestCost(%s, %s) = %+v, want %+v",
+							w, vs.Key(), ty.Name, got, want)
+						return
+					}
+				case 1:
+					got, _ := shared.WeightedCost(vs, types)
+					if got != goldenW[vs.Key()] {
+						errs <- fmt.Errorf("worker %d: WeightedCost(%s) = %g, want %g",
+							w, vs.Key(), got, goldenW[vs.Key()])
+						return
+					}
+				default:
+					got := shared.WeightedUpdateLB(vs, types)
+					if got != goldenLB[vs.Key()] {
+						errs <- fmt.Errorf("worker %d: WeightedUpdateLB(%s) = %g, want %g",
+							w, vs.Key(), got, goldenLB[vs.Key()])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

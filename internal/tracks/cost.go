@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/catalog"
@@ -16,6 +17,12 @@ import (
 
 // Costing estimates query and update costs for view sets under a cost
 // model (the inner loops of Algorithm OptimalViewSet, Figure 4).
+//
+// A Costing is safe for concurrent use: all per-track and per-view-set
+// state lives in a costCtx threaded through the internal recursion, every
+// lazy structure it reads (DAG base-relation sets, estimator statistics,
+// algebra schemas) is pre-warmed at construction, and cross-call results
+// are shared through the sharded cost cache (cache.go).
 type Costing struct {
 	D     *dag.DAG
 	Est   *Estimator
@@ -26,32 +33,55 @@ type Costing struct {
 	// top-level view"), so the default is false.
 	CountRootUpdate bool
 
-	// Transient per-track state consulted by coversGroups.
+	cache *costCache
+	// bundles caches the view-set-independent half of pricing (tracks,
+	// flows, update charges) per (affected-root set, transaction type);
+	// see bundle.go. Entries are immutable once stored.
+	bundles sync.Map
+	// affected memoizes the affected-node set per transaction type name.
+	affected sync.Map
+	// seeds memoizes each transaction type's leaf delta flows.
+	seeds sync.Map
+}
+
+// costCtx carries the per-call state of one costing pass: the view set
+// being priced, the transient track context consulted by coversGroups,
+// and the query/evaluation memos (the same point query is priced across
+// many tracks, and the recursion over operation alternatives is
+// exponential without them). Each top-level call builds its own ctx, so
+// concurrent searches never share mutable state.
+type costCtx struct {
+	vs          ViewSet
 	trackChoice map[int]*dag.OpNode
 	trackFlows  map[int]Flow
-
-	// Per-view-set memoization of query and evaluation costs: the same
-	// point query is priced across many tracks and view-set candidates,
-	// and the recursion over operation alternatives is exponential
-	// without it.
-	memoVS string
-	qmemo  map[string]float64
-	ememo  map[int]float64
+	qmemo       map[string]float64
+	ememo       map[int]float64
+	// noQueries suppresses QueryCharge construction in opFlow. The
+	// bundle builder sets it while propagating flows: it discards the
+	// queries, and their provenance strings are the single most
+	// expensive part of flow propagation.
+	noQueries bool
 }
 
-// ensureMemo resets the cost memos when the view set changes.
-func (c *Costing) ensureMemo(vs ViewSet) {
-	k := vs.Key()
-	if k != c.memoVS || c.qmemo == nil {
-		c.memoVS = k
-		c.qmemo = map[string]float64{}
-		c.ememo = map[int]float64{}
-	}
+func newCostCtx(vs ViewSet) *costCtx {
+	return &costCtx{vs: vs, qmemo: map[string]float64{}, ememo: map[int]float64{}}
 }
 
-// NewCosting returns a coster over the DAG with the given model.
+// NewCosting returns a coster over the DAG with the given model. It
+// pre-warms every lazily cached structure the costing recursion reads
+// (node schemas, base-relation sets, estimator statistics) so that a
+// built Costing performs no shared writes outside its cache.
 func NewCosting(d *dag.DAG, m cost.Model) *Costing {
-	return &Costing{D: d, Est: NewEstimator(d), Model: m}
+	c := &Costing{D: d, Est: NewEstimator(d), Model: m, cache: newCostCache()}
+	for _, e := range d.Eqs() {
+		e.Schema()
+		d.BaseRelsOf(e)
+		c.Est.StatsOf(e)
+	}
+	for _, op := range d.Ops() {
+		op.Template.Schema()
+	}
+	return c
 }
 
 // TrackCost is the costed outcome of propagating one transaction type
@@ -72,6 +102,10 @@ func (tc TrackCost) Total() float64 { return tc.QueryCost + tc.UpdateCost }
 // the multi-query-optimized cost of the queries posed along the track
 // plus the cost of applying deltas to every affected materialized view.
 func (c *Costing) CostTrack(tr *Track, vs ViewSet, t *txn.Type) TrackCost {
+	return c.costTrack(newCostCtx(vs), tr, t)
+}
+
+func (c *Costing) costTrack(ctx *costCtx, tr *Track, t *txn.Type) TrackCost {
 	flows := map[int]Flow{}
 	// Seed the flows at updated base relations.
 	for _, e := range c.D.Eqs() {
@@ -82,26 +116,35 @@ func (c *Costing) CostTrack(tr *Track, vs ViewSet, t *txn.Type) TrackCost {
 			flows[e.ID] = leafFlow(u)
 		}
 	}
-	c.trackChoice = tr.Choice
-	c.trackFlows = flows
-	defer func() { c.trackChoice, c.trackFlows = nil, nil }()
+	ctx.trackChoice = tr.Choice
+	ctx.trackFlows = flows
+	defer func() { ctx.trackChoice, ctx.trackFlows = nil, nil }()
 
 	var queries []QueryCharge
 	for _, e := range tr.Order {
 		op := tr.Choice[e.ID]
-		f, qs := c.opFlow(e, op, flows, vs)
+		f, qs := c.opFlow(ctx, e, op, flows)
 		flows[e.ID] = f
 		queries = append(queries, qs...)
 	}
 	queries = MQO(queries)
 	var qcost float64
 	for i := range queries {
-		queries[i].Cost = c.QueryCost(queries[i].Target, queries[i].Bind, queries[i].Keys, vs)
+		queries[i].Cost = c.queryCostMemo(ctx, queries[i].Target, queries[i].Bind, queries[i].Keys)
 		qcost += queries[i].Cost
 	}
+	ucost := c.trackUpdateCost(ctx, tr, flows)
+	return TrackCost{Track: tr, Queries: queries, QueryCost: qcost, UpdateCost: ucost, Flows: flows}
+}
+
+// trackUpdateCost sums the cost of applying the track's deltas to the
+// materialized nodes it passes through. This is the monotone part of a
+// track's cost: it depends only on the delta flows (which are independent
+// of the view set), so over supersets it only gains terms.
+func (c *Costing) trackUpdateCost(ctx *costCtx, tr *Track, flows map[int]Flow) float64 {
 	var ucost float64
 	for _, e := range tr.Order {
-		if !vs[e.ID] {
+		if !ctx.vs[e.ID] {
 			continue
 		}
 		if c.D.IsRoot(e) && !c.CountRootUpdate {
@@ -114,35 +157,77 @@ func (c *Costing) CostTrack(tr *Track, vs ViewSet, t *txn.Type) TrackCost {
 		}
 		ucost += c.Model.Update(f.Mods, f.Ins, f.Dels, 1, dirty)
 	}
-	return TrackCost{Track: tr, Queries: queries, QueryCost: qcost, UpdateCost: ucost, Flows: flows}
+	return ucost
 }
 
 // CostViewSet prices a view set for a transaction type: the cheapest
 // update track (the paper's C(V, T_i)), along with every candidate track
 // for reporting.
 func (c *Costing) CostViewSet(vs ViewSet, t *txn.Type) (TrackCost, []TrackCost) {
-	trs := Enumerate(c.D, vs, t.UpdatedRels())
-	all := make([]TrackCost, 0, len(trs))
-	best := TrackCost{QueryCost: math.Inf(1)}
-	for _, tr := range trs {
-		tc := c.CostTrack(tr, vs, t)
-		all = append(all, tc)
-		if tc.Total() < best.Total() {
-			best = tc
-		}
-	}
+	best, all, _, _, _ := c.costViewSet(newCostCtx(vs), t, true)
 	return best, all
 }
 
+func (c *Costing) costViewSet(ctx *costCtx, t *txn.Type, keepAll bool) (best TrackCost, all []TrackCost, minUpdate float64, truncated bool, n int) {
+	b := c.bundleFor(ctx.vs, t)
+	best = TrackCost{QueryCost: math.Inf(1)}
+	minUpdate = math.Inf(1)
+	if keepAll {
+		all = make([]TrackCost, 0, len(b.tracks))
+	}
+	for i, tr := range b.tracks {
+		tc := c.costTrackQueries(ctx, b, i, tr)
+		if keepAll {
+			all = append(all, tc)
+		}
+		if tc.Total() < best.Total() {
+			best = tc
+		}
+		if tc.UpdateCost < minUpdate {
+			minUpdate = tc.UpdateCost
+		}
+	}
+	if math.IsInf(minUpdate, 1) {
+		minUpdate = 0
+	}
+	return best, all, minUpdate, b.truncated, len(b.tracks)
+}
+
+// costTrackQueries prices one bundled track for the current view set:
+// only the view-set-dependent parts (query generation and pricing) run
+// here; the delta flows and update charges come precomputed from the
+// bundle, and the update cost sums the same charges in the same order as
+// trackUpdateCost, so bound and full pricing agree bit for bit.
+func (c *Costing) costTrackQueries(ctx *costCtx, b *trackBundle, i int, tr *Track) TrackCost {
+	flows := b.flows[i]
+	ctx.trackChoice = tr.Choice
+	ctx.trackFlows = flows
+	defer func() { ctx.trackChoice, ctx.trackFlows = nil, nil }()
+	var queries []QueryCharge
+	for _, e := range tr.Order {
+		_, qs := c.opFlow(ctx, e, tr.Choice[e.ID], flows)
+		queries = append(queries, qs...)
+	}
+	queries = MQO(queries)
+	var qcost float64
+	for j := range queries {
+		queries[j].Cost = c.queryCostMemo(ctx, queries[j].Target, queries[j].Bind, queries[j].Keys)
+		qcost += queries[j].Cost
+	}
+	return TrackCost{Track: tr, Queries: queries, QueryCost: qcost, UpdateCost: b.updateCost(c, i, ctx.vs), Flows: flows}
+}
+
 // WeightedCost prices a view set across all transaction types:
-// Σ C(V,T_i)·f_i / Σ f_i.
+// Σ C(V,T_i)·f_i / Σ f_i. Per-type results flow through the shared cost
+// cache, so repeated evaluations of the same set are free.
 func (c *Costing) WeightedCost(vs ViewSet, types []*txn.Type) (float64, map[string]TrackCost) {
+	ctx := newCostCtx(vs)
 	per := map[string]TrackCost{}
 	var num, den float64
 	for _, t := range types {
-		best, _ := c.CostViewSet(vs, t)
-		per[t.Name] = best
-		num += best.Total() * t.Weight
+		sc := c.bestCost(ctx, t)
+		per[t.Name] = sc.Best
+		num += sc.Best.Total() * t.Weight
 		den += t.Weight
 	}
 	if den == 0 {
@@ -183,21 +268,24 @@ func MQO(queries []QueryCharge) []QueryCharge {
 // "determining the cost of evaluating a query Q on an equivalence node
 // ... in the presence of the materialized views", per Chaudhuri et al.).
 func (c *Costing) QueryCost(e *dag.EqNode, bind []string, keys float64, vs ViewSet) float64 {
+	return c.queryCostMemo(newCostCtx(vs), e, bind, keys)
+}
+
+func (c *Costing) queryCostMemo(ctx *costCtx, e *dag.EqNode, bind []string, keys float64) float64 {
 	if keys <= 0 {
 		return 0
 	}
-	c.ensureMemo(vs)
 	mk := fmt.Sprintf("%d|%s|%g", e.ID, strings.Join(bind, ","), keys)
-	if v, ok := c.qmemo[mk]; ok {
+	if v, ok := ctx.qmemo[mk]; ok {
 		return v
 	}
-	v := c.queryCost(e, bind, keys, vs, map[int]bool{})
-	c.qmemo[mk] = v
+	v := c.queryCost(ctx, e, bind, keys, map[int]bool{})
+	ctx.qmemo[mk] = v
 	return v
 }
 
-func (c *Costing) queryCost(e *dag.EqNode, bind []string, keys float64, vs ViewSet, visiting map[int]bool) float64 {
-	if vs.Has(e) {
+func (c *Costing) queryCost(ctx *costCtx, e *dag.EqNode, bind []string, keys float64, visiting map[int]bool) float64 {
+	if ctx.vs.Has(e) {
 		return c.lookupCost(e, bind, keys)
 	}
 	if visiting[e.ID] {
@@ -207,13 +295,13 @@ func (c *Costing) queryCost(e *dag.EqNode, bind []string, keys float64, vs ViewS
 	defer delete(visiting, e.ID)
 	best := math.Inf(1)
 	for _, op := range e.Ops {
-		if c2 := c.opQueryCost(op, bind, keys, vs, visiting); c2 < best {
+		if c2 := c.opQueryCost(ctx, op, bind, keys, visiting); c2 < best {
 			best = c2
 		}
 	}
 	if math.IsInf(best, 1) {
 		// No pushable plan: evaluate the expression once and filter.
-		return c.EvalCost(e, vs)
+		return c.evalCostMemo(ctx, e)
 	}
 	return best
 }
@@ -229,10 +317,10 @@ func (c *Costing) lookupCost(e *dag.EqNode, bind []string, keys float64) float64
 	return keys * c.Model.Lookup(rows)
 }
 
-func (c *Costing) opQueryCost(op *dag.OpNode, bind []string, keys float64, vs ViewSet, visiting map[int]bool) float64 {
+func (c *Costing) opQueryCost(ctx *costCtx, op *dag.OpNode, bind []string, keys float64, visiting map[int]bool) float64 {
 	switch t := op.Template.(type) {
 	case *algebra.Select:
-		return c.queryCost(op.Children[0], bind, keys, vs, visiting)
+		return c.queryCost(ctx, op.Children[0], bind, keys, visiting)
 	case *algebra.Project:
 		// Pass-through columns only.
 		childBind := make([]string, len(bind))
@@ -248,9 +336,9 @@ func (c *Costing) opQueryCost(op *dag.OpNode, bind []string, keys float64, vs Vi
 			}
 			childBind[i] = cc.Name
 		}
-		return c.queryCost(op.Children[0], childBind, keys, vs, visiting)
+		return c.queryCost(ctx, op.Children[0], childBind, keys, visiting)
 	case *algebra.Join:
-		return c.joinQueryCost(t, op, bind, keys, vs, visiting)
+		return c.joinQueryCost(ctx, t, op, bind, keys, visiting)
 	case *algebra.Aggregate:
 		out := t.Schema()
 		childBind := make([]string, len(bind))
@@ -261,19 +349,19 @@ func (c *Costing) opQueryCost(op *dag.OpNode, bind []string, keys float64, vs Vi
 			}
 			childBind[i] = t.GroupBy[j]
 		}
-		return c.queryCost(op.Children[0], childBind, keys, vs, visiting)
+		return c.queryCost(ctx, op.Children[0], childBind, keys, visiting)
 	case *algebra.Distinct:
-		return c.queryCost(op.Children[0], bind, keys, vs, visiting)
+		return c.queryCost(ctx, op.Children[0], bind, keys, visiting)
 	case *algebra.Union, *algebra.Diff:
-		a := c.queryCost(op.Children[0], bind, keys, vs, visiting)
-		b := c.queryCost(op.Children[1], bind, keys, vs, visiting)
+		a := c.queryCost(ctx, op.Children[0], bind, keys, visiting)
+		b := c.queryCost(ctx, op.Children[1], bind, keys, visiting)
 		return a + b
 	default:
 		return math.Inf(1)
 	}
 }
 
-func (c *Costing) joinQueryCost(j *algebra.Join, op *dag.OpNode, bind []string, keys float64, vs ViewSet, visiting map[int]bool) float64 {
+func (c *Costing) joinQueryCost(ctx *costCtx, j *algebra.Join, op *dag.OpNode, bind []string, keys float64, visiting map[int]bool) float64 {
 	l, r := op.Children[0], op.Children[1]
 	ls, rs := l.Schema(), r.Schema()
 	var lbind, rbind []string
@@ -304,18 +392,18 @@ func (c *Costing) joinQueryCost(j *algebra.Join, op *dag.OpNode, bind []string, 
 	}
 	switch {
 	case len(lbind) > 0 && len(rbind) > 0:
-		return c.queryCost(l, lbind, keys, vs, visiting) +
-			c.queryCost(r, rbind, keys, vs, visiting)
+		return c.queryCost(ctx, l, lbind, keys, visiting) +
+			c.queryCost(ctx, r, rbind, keys, visiting)
 	case len(lbind) > 0:
-		drive := c.queryCost(l, lbind, keys, vs, visiting)
+		drive := c.queryCost(ctx, l, lbind, keys, visiting)
 		lst := c.Est.StatsOf(l)
 		bound := math.Max(1, lst.Card/distinctOfCols(lst, lbind))
-		return drive + c.queryCost(r, j.RightCols(), keys*bound, vs, visiting)
+		return drive + c.queryCost(ctx, r, j.RightCols(), keys*bound, visiting)
 	case len(rbind) > 0:
-		drive := c.queryCost(r, rbind, keys, vs, visiting)
+		drive := c.queryCost(ctx, r, rbind, keys, visiting)
 		rst := c.Est.StatsOf(r)
 		bound := math.Max(1, rst.Card/distinctOfCols(rst, rbind))
-		return drive + c.queryCost(l, j.LeftCols(), keys*bound, vs, visiting)
+		return drive + c.queryCost(ctx, l, j.LeftCols(), keys*bound, visiting)
 	default:
 		return math.Inf(1)
 	}
@@ -340,17 +428,20 @@ func containsStr(xs []string, x string) bool {
 // fallback when no filtered plan exists, and by the single-tree
 // heuristic's query-optimality check).
 func (c *Costing) EvalCost(e *dag.EqNode, vs ViewSet) float64 {
-	c.ensureMemo(vs)
-	if v, ok := c.ememo[e.ID]; ok {
+	return c.evalCostMemo(newCostCtx(vs), e)
+}
+
+func (c *Costing) evalCostMemo(ctx *costCtx, e *dag.EqNode) float64 {
+	if v, ok := ctx.ememo[e.ID]; ok {
 		return v
 	}
-	v := c.evalCost(e, vs, map[int]bool{})
-	c.ememo[e.ID] = v
+	v := c.evalCost(ctx, e, map[int]bool{})
+	ctx.ememo[e.ID] = v
 	return v
 }
 
-func (c *Costing) evalCost(e *dag.EqNode, vs ViewSet, visiting map[int]bool) float64 {
-	if vs.Has(e) {
+func (c *Costing) evalCost(ctx *costCtx, e *dag.EqNode, visiting map[int]bool) float64 {
+	if ctx.vs.Has(e) {
 		return c.Model.Scan(c.Est.StatsOf(e).Card)
 	}
 	if visiting[e.ID] {
@@ -362,7 +453,7 @@ func (c *Costing) evalCost(e *dag.EqNode, vs ViewSet, visiting map[int]bool) flo
 	for _, op := range e.Ops {
 		var sum float64
 		for _, ch := range op.Children {
-			sum += c.evalCost(ch, vs, visiting)
+			sum += c.evalCost(ctx, ch, visiting)
 		}
 		if sum < best {
 			best = sum

@@ -79,9 +79,14 @@ type QueryCharge struct {
 
 // opFlow derives the output flow of an operation node from its children's
 // flows, and the queries the delta computation must pose. childFlows maps
-// equivalence-node IDs to flows (absent = unaffected input). matParent
-// says whether the op's parent class is materialized under the view set.
-func (c *Costing) opFlow(e *dag.EqNode, op *dag.OpNode, childFlows map[int]Flow, vs ViewSet) (Flow, []QueryCharge) {
+// equivalence-node IDs to flows (absent = unaffected input).
+//
+// The returned Flow never depends on ctx.vs — the view set gates only
+// which queries are posed. The branch-and-bound lower bound
+// (Costing.WeightedUpdateLB) relies on this invariant: update charges at
+// a node are a function of the track alone, so they carry unchanged to
+// every superset's tracks.
+func (c *Costing) opFlow(ctx *costCtx, e *dag.EqNode, op *dag.OpNode, childFlows map[int]Flow) (Flow, []QueryCharge) {
 	switch t := op.Template.(type) {
 	case *algebra.Select:
 		f := childFlows[op.Children[0].ID]
@@ -114,15 +119,18 @@ func (c *Costing) opFlow(e *dag.EqNode, op *dag.OpNode, childFlows map[int]Flow,
 		return out, nil
 
 	case *algebra.Join:
-		return c.joinFlow(t, op, childFlows)
+		return c.joinFlow(ctx, t, op, childFlows)
 
 	case *algebra.Aggregate:
-		return c.aggFlow(t, e, op, childFlows, vs)
+		return c.aggFlow(ctx, t, e, op, childFlows)
 
 	case *algebra.Distinct:
 		f := childFlows[op.Children[0].ID]
-		if vs.Has(e) {
+		if ctx.vs.Has(e) {
 			// Multiplicity sidecar rides with the materialized view.
+			return f, nil
+		}
+		if ctx.noQueries {
 			return f, nil
 		}
 		child := op.Children[0]
@@ -155,6 +163,9 @@ func (c *Costing) opFlow(e *dag.EqNode, op *dag.OpNode, childFlows map[int]Flow,
 			_ = i
 		}
 		// Count probes on both inputs for every changed tuple.
+		if ctx.noQueries {
+			return out, nil
+		}
 		for _, ch := range op.Children {
 			queries = append(queries, QueryCharge{
 				Target: ch,
@@ -183,7 +194,7 @@ func addFlows(a, b Flow) Flow {
 // equijoin: a delta on one side multiplies by the other side's fanout and
 // poses a semijoin query on it; deltas on both sides pose queries both
 // ways (the ΔL⋈R ∪ L⋈ΔR ∪ ΔL⋈ΔR decomposition).
-func (c *Costing) joinFlow(j *algebra.Join, op *dag.OpNode, childFlows map[int]Flow) (Flow, []QueryCharge) {
+func (c *Costing) joinFlow(ctx *costCtx, j *algebra.Join, op *dag.OpNode, childFlows map[int]Flow) (Flow, []QueryCharge) {
 	l, r := op.Children[0], op.Children[1]
 	fl, lOK := childFlows[l.ID]
 	fr, rOK := childFlows[r.ID]
@@ -192,12 +203,14 @@ func (c *Costing) joinFlow(j *algebra.Join, op *dag.OpNode, childFlows map[int]F
 	side := func(f Flow, mine, other *dag.EqNode, myCols, otherCols []string, label string) Flow {
 		ost := c.Est.StatsOf(other)
 		fanout := math.Max(1, ost.Card/distinctOfCols(ost, otherCols))
-		queries = append(queries, QueryCharge{
-			Target: other,
-			Bind:   otherCols,
-			Keys:   f.Keys,
-			Origin: originOf(op, label),
-		})
+		if !ctx.noQueries {
+			queries = append(queries, QueryCharge{
+				Target: other,
+				Bind:   otherCols,
+				Keys:   f.Keys,
+				Origin: originOf(op, label),
+			})
+		}
 		g := Flow{Keys: f.Keys, ModCols: f.ModCols}
 		if f.modsTouch(myCols) {
 			// The modification moves tuples across join keys: pairings
@@ -233,7 +246,7 @@ func (c *Costing) joinFlow(j *algebra.Join, op *dag.OpNode, childFlows map[int]F
 // skipped when the parent is materialized with decomposable aggregates
 // (the SumOfSals add/subtract trick) or when the delta covers whole
 // groups (the key-based rule that makes the paper's Q3d free).
-func (c *Costing) aggFlow(a *algebra.Aggregate, e *dag.EqNode, op *dag.OpNode, childFlows map[int]Flow, vs ViewSet) (Flow, []QueryCharge) {
+func (c *Costing) aggFlow(ctx *costCtx, a *algebra.Aggregate, e *dag.EqNode, op *dag.OpNode, childFlows map[int]Flow) (Flow, []QueryCharge) {
 	child := op.Children[0]
 	f := childFlows[child.ID]
 	groups := math.Min(math.Max(f.Keys, 1), f.Total())
@@ -260,12 +273,15 @@ func (c *Costing) aggFlow(a *algebra.Aggregate, e *dag.EqNode, op *dag.OpNode, c
 	for _, ag := range a.Aggs {
 		out.ModCols = append(out.ModCols, bareOf(ag.As))
 	}
+	if ctx.noQueries {
+		return out, nil
+	}
 
 	needQuery := true
-	if vs.Has(e) && decomposableFlow(a.Aggs, f) {
+	if ctx.vs.Has(e) && decomposableFlow(a.Aggs, f) {
 		needQuery = false
 	}
-	if needQuery && c.coversGroups(a, child, f, vs) {
+	if needQuery && c.coversGroups(ctx, a, child) {
 		needQuery = false
 	}
 	if !needQuery || groups == 0 {
@@ -298,12 +314,12 @@ func decomposableFlow(specs []algebra.AggSpec, f Flow) bool {
 }
 
 // coversGroups resolves the track context and delegates to CoversGroups.
-func (c *Costing) coversGroups(a *algebra.Aggregate, child *dag.EqNode, f Flow, vs ViewSet) bool {
-	childOp := c.trackChoice[child.ID]
+func (c *Costing) coversGroups(ctx *costCtx, a *algebra.Aggregate, child *dag.EqNode) bool {
+	childOp := ctx.trackChoice[child.ID]
 	deltaSide := -1
 	if childOp != nil {
 		for i, ch := range childOp.Children {
-			if _, ok := c.trackFlows[ch.ID]; ok {
+			if _, ok := ctx.trackFlows[ch.ID]; ok {
 				if deltaSide >= 0 {
 					deltaSide = -2 // both sides changed: not covered
 					break

@@ -3,6 +3,7 @@ package tracks
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/dag"
@@ -80,18 +81,25 @@ type Track struct {
 }
 
 // Key is a canonical signature of the track (for deduplication and
-// reports): the chosen op IDs in node order.
+// reports): the chosen op IDs in node order. Built without fmt — it runs
+// once per enumerated assignment, inside the search's hottest loop.
 func (t *Track) Key() string {
 	ids := make([]int, 0, len(t.Choice))
 	for id := range t.Choice {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	parts := make([]string, len(ids))
+	b := make([]byte, 0, len(ids)*8)
 	for i, id := range ids {
-		parts[i] = fmt.Sprintf("N%d:E%d", id, t.Choice[id].ID)
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, 'N')
+		b = strconv.AppendInt(b, int64(id), 10)
+		b = append(b, ':', 'E')
+		b = strconv.AppendInt(b, int64(t.Choice[id].ID), 10)
 	}
-	return strings.Join(parts, " ")
+	return string(b)
 }
 
 // String renders the track as the paper does (e.g. "N1,E1,N2,E2,N3,E4,N5"
@@ -123,38 +131,94 @@ const maxAssignments = 20000
 // the track. When no marked node is affected the single empty track is
 // returned.
 func Enumerate(d *dag.DAG, vs ViewSet, updated []string) []*Track {
+	trs, _ := EnumerateTracks(d, vs, updated)
+	return trs
+}
+
+// EnumerateTracks is Enumerate plus a truncation report: truncated is
+// true when the walk hit MaxTracks or the assignment budget, i.e. the
+// returned tracks may not be exhaustive. Cost bounds derived from the
+// track list (minimum update-only cost) are only sound when the list is
+// complete, so the branch-and-bound search disables pruning for truncated
+// enumerations.
+func EnumerateTracks(d *dag.DAG, vs ViewSet, updated []string) (tracks []*Track, truncated bool) {
+	aff := affectedMap(d, updated)
 	var roots []*dag.EqNode
 	for _, e := range d.NonLeafEqs() {
-		if vs[e.ID] && d.Affected(e, updated) {
+		if vs[e.ID] && aff[e.ID] {
 			roots = append(roots, e)
 		}
 	}
+	return enumerateFromRoots(d, roots, aff)
+}
+
+// affectedMap precomputes which equivalence nodes an update to the given
+// base relations can reach: the enumeration walk consults this set on
+// every step, and the per-call string comparison of DAG.Affected is too
+// slow for its inner loop.
+func affectedMap(d *dag.DAG, updated []string) map[int]bool {
+	m := make(map[int]bool, len(d.Eqs()))
+	for _, e := range d.Eqs() {
+		if d.Affected(e, updated) {
+			m[e.ID] = true
+		}
+	}
+	return m
+}
+
+// enumerateFromRoots is the enumeration core. The view set enters only
+// through the root list (its marked affected nodes): the per-node choice
+// space and the cycle guard depend on affectedness alone, so two view
+// sets with the same affected marked nodes have the same tracks. The
+// costing bundle cache (bundle.go) keys on exactly this.
+func enumerateFromRoots(d *dag.DAG, roots []*dag.EqNode, aff map[int]bool) (tracks []*Track, truncated bool) {
 	if len(roots) == 0 {
-		return []*Track{{Choice: map[int]*dag.OpNode{}}}
+		return []*Track{{Choice: map[int]*dag.OpNode{}}}, false
 	}
 	var out []*Track
 	seen := map[string]bool{}
 	budget := maxAssignments
 
-	choice := map[int]*dag.OpNode{}
-	var assign func(pending []*dag.EqNode)
-	assign = func(pending []*dag.EqNode) {
+	// Equivalence node IDs are assigned densely (dag.newEq), so the walk
+	// state lives in ID-indexed slices: the in-progress choice assignment
+	// and an epoch-stamped visited scratch shared by leadsBack/buildTrack
+	// (bumping the epoch resets it without clearing — these run on every
+	// assignment step, where per-call maps dominated the enumeration).
+	maxID := 0
+	for _, e := range d.Eqs() {
+		if e.ID > maxID {
+			maxID = e.ID
+		}
+	}
+	st := &enumState{
+		choice:  make([]*dag.OpNode, maxID+1),
+		visited: make([]int, maxID+1),
+		aff:     aff,
+	}
+	// queue[head:] is the pending node list. The recursion shares one
+	// backing slice — each branch saves (len, head) and restores them on
+	// backtrack — visiting nodes in exactly the order a copied per-branch
+	// list would, without the per-step allocations.
+	queue := append([]*dag.EqNode{}, roots...)
+	head := 0
+	var assign func()
+	assign = func() {
 		if len(out) >= MaxTracks || budget <= 0 {
 			return
 		}
 		budget--
 		// Find the first pending node needing a choice.
-		for len(pending) > 0 {
-			e := pending[0]
-			pending = pending[1:]
-			if e.IsLeaf() || choice[e.ID] != nil || !d.Affected(e, updated) {
+		for head < len(queue) {
+			e := queue[head]
+			head++
+			if e.IsLeaf() || st.choice[e.ID] != nil || !aff[e.ID] {
 				continue
 			}
 			// Candidate ops: those with at least one affected child.
 			for _, op := range e.Ops {
 				ok := false
 				for _, c := range op.Children {
-					if d.Affected(c, updated) {
+					if aff[c.ID] {
 						ok = true
 						break
 					}
@@ -165,46 +229,59 @@ func Enumerate(d *dag.DAG, vs ViewSet, updated []string) []*Track {
 				// Guard against choice cycles: an op whose affected child
 				// subtree leads back to e is skipped (can arise from
 				// identity-ish rewrites).
-				if leadsBack(d, op, e, choice, updated) {
+				if st.leadsBack(op, e) {
 					continue
 				}
-				choice[e.ID] = op
-				next := append([]*dag.EqNode{}, pending...)
+				st.choice[e.ID] = op
+				qlen, hsave := len(queue), head
 				for _, c := range op.Children {
-					if d.Affected(c, updated) {
-						next = append(next, c)
+					if aff[c.ID] {
+						queue = append(queue, c)
 					}
 				}
-				assign(next)
-				delete(choice, e.ID)
+				assign()
+				queue, head = queue[:qlen], hsave
+				st.choice[e.ID] = nil
 			}
 			return
 		}
 		// All choices made: snapshot the track.
-		tr := buildTrack(d, roots, choice, updated)
+		tr := st.buildTrack(roots)
 		if !seen[tr.Key()] {
 			seen[tr.Key()] = true
 			out = append(out, tr)
 		}
 	}
-	assign(append([]*dag.EqNode{}, roots...))
-	return out
+	assign()
+	// Conservative: an exactly-full result also reports truncation, which
+	// only disables an optimization (pruning), never correctness.
+	return out, len(out) >= MaxTracks || budget <= 0
+}
+
+// enumState is the slice-backed walk state of one enumerateFromRoots
+// call: the partial choice assignment, the affectedness set, and a
+// generation-counted visited scratch.
+type enumState struct {
+	choice  []*dag.OpNode
+	visited []int
+	epoch   int
+	aff     map[int]bool
 }
 
 // leadsBack reports whether selecting op for target would recurse into
 // target again through affected, not-yet-chosen nodes.
-func leadsBack(d *dag.DAG, op *dag.OpNode, target *dag.EqNode, choice map[int]*dag.OpNode, updated []string) bool {
-	visited := map[int]bool{}
+func (st *enumState) leadsBack(op *dag.OpNode, target *dag.EqNode) bool {
+	st.epoch++
 	var walk func(e *dag.EqNode) bool
 	walk = func(e *dag.EqNode) bool {
 		if e == target {
 			return true
 		}
-		if visited[e.ID] || e.IsLeaf() || !d.Affected(e, updated) {
+		if st.visited[e.ID] == st.epoch || e.IsLeaf() || !st.aff[e.ID] {
 			return false
 		}
-		visited[e.ID] = true
-		if chosen := choice[e.ID]; chosen != nil {
+		st.visited[e.ID] = st.epoch
+		if chosen := st.choice[e.ID]; chosen != nil {
 			for _, c := range chosen.Children {
 				if walk(c) {
 					return true
@@ -232,27 +309,27 @@ func leadsBack(d *dag.DAG, op *dag.OpNode, target *dag.EqNode, choice map[int]*d
 }
 
 // buildTrack assembles the reachable choice closure bottom-up.
-func buildTrack(d *dag.DAG, roots []*dag.EqNode, choice map[int]*dag.OpNode, updated []string) *Track {
+func (st *enumState) buildTrack(roots []*dag.EqNode) *Track {
+	st.epoch++
 	tr := &Track{Choice: map[int]*dag.OpNode{}}
-	visited := map[int]bool{}
 	var leaves []*dag.EqNode
 	var walk func(e *dag.EqNode)
 	walk = func(e *dag.EqNode) {
-		if visited[e.ID] {
+		if st.visited[e.ID] == st.epoch {
 			return
 		}
-		visited[e.ID] = true
+		st.visited[e.ID] = st.epoch
 		if e.IsLeaf() {
 			leaves = append(leaves, e)
 			return
 		}
-		op := choice[e.ID]
+		op := st.choice[e.ID]
 		if op == nil {
 			return
 		}
 		tr.Choice[e.ID] = op
 		for _, c := range op.Children {
-			if d.Affected(c, updated) {
+			if st.aff[c.ID] {
 				walk(c)
 			}
 		}

@@ -39,6 +39,10 @@ const (
 	HeuristicMarking
 	// NoAdditional materializes only the top-level views (the baseline).
 	NoAdditional
+	// Parallel is Algorithm OptimalViewSet run as a parallel
+	// branch-and-bound search — the same optimum as Exhaustive, found by
+	// Config.Parallelism workers with lower-bound pruning.
+	Parallel
 )
 
 // String returns the method name used in reports and CLI flags.
@@ -56,6 +60,8 @@ func (m Method) String() string {
 		return "heuristic-marking"
 	case NoAdditional:
 		return "no-additional"
+	case Parallel:
+		return "parallel"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -77,6 +83,12 @@ type Config struct {
 	// RejectViolations rolls back transactions that violate assertions
 	// (default true when any assertion is included).
 	RejectViolations bool
+	// Parallelism is the worker count for the Parallel method
+	// (0 = GOMAXPROCS). The chosen view set is identical at any setting.
+	Parallelism int
+	// Seed shuffles the order parallel workers claim search chunks. It
+	// perturbs timing only; the result is the same for every seed.
+	Seed int64
 }
 
 // System is a maintained configuration: an expression DAG over the chosen
@@ -134,10 +146,14 @@ func (db *DB) Build(names []string, cfg Config) (*System, error) {
 	db.RefreshStats()
 
 	opt := core.New(d, cfg.Model, cfg.Workload)
+	opt.Parallelism = cfg.Parallelism
+	opt.Seed = cfg.Seed
 	var res *core.Result
 	switch cfg.Method {
 	case Exhaustive:
 		res, err = opt.Exhaustive()
+	case Parallel:
+		res, err = opt.Parallel()
 	case Shielded:
 		res, err = opt.Shielded()
 	case Greedy:
@@ -286,10 +302,14 @@ func (s *System) Reoptimize(cfg Config) (changed bool, err error) {
 	}
 	s.DB.RefreshStats()
 	opt := core.New(s.DAG, cfg.Model, cfg.Workload)
+	opt.Parallelism = cfg.Parallelism
+	opt.Seed = cfg.Seed
 	var res *core.Result
 	switch cfg.Method {
 	case Exhaustive:
 		res, err = opt.Exhaustive()
+	case Parallel:
+		res, err = opt.Parallel()
 	case Shielded:
 		res, err = opt.Shielded()
 	case Greedy:
