@@ -7,7 +7,9 @@
 package mvmaint_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -249,6 +251,51 @@ func BenchmarkMaintainedTransaction(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(total)/100, "pageIO/txn")
+}
+
+// BenchmarkMaintainThroughput measures the batched maintenance pipeline
+// on the Figure 5 hot-item workload: transactions per second and page
+// I/Os per transaction across batch sizes 1 (the per-transaction Apply
+// baseline), 16 and 64, with 1 and 4 view-application workers. The grid
+// is also written to BENCH_maintain.json so CI records the perf
+// trajectory. Final view contents are oracle-verified on every run.
+func BenchmarkMaintainThroughput(b *testing.B) {
+	cfg := corpus.DefaultFigure5Config()
+	const txnsPerOp = 256
+	var results []paper.ThroughputRow
+	for _, batch := range []int{1, 16, 64} {
+		for _, workers := range []int{1, 4} {
+			batch, workers := batch, workers
+			b.Run(fmt.Sprintf("batch%d/workers%d", batch, workers), func(b *testing.B) {
+				var last paper.ThroughputRow
+				for i := 0; i < b.N; i++ {
+					row, err := paper.MeasureThroughput(cfg, txnsPerOp, batch, workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = row
+				}
+				b.ReportMetric(last.TxnsPerSec, "txns/sec")
+				b.ReportMetric(last.IOPerTxn, "pageIO/txn")
+				results = append(results, last)
+			})
+		}
+	}
+	if data, err := json.MarshalIndent(struct {
+		Workload string                `json:"workload"`
+		Rows     []paper.ThroughputRow `json:"rows"`
+	}{Workload: "figure5 hot-item 80% >T / 20% +S", Rows: results}, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_maintain.json", append(data, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_maintain.json: %v", err)
+		}
+	}
+	if len(results) > 0 {
+		base := results[0].TxnsPerSec
+		top := results[len(results)-1].TxnsPerSec
+		emitOnce(b, "thr", fmt.Sprintf(
+			"Maintain throughput: %.0f txns/sec per-transaction → %.0f txns/sec at batch 64 (%.1fx), pageIO/txn %.1f → %.1f\n",
+			base, top, top/base, results[0].IOPerTxn, results[len(results)-1].IOPerTxn))
+	}
 }
 
 // BenchmarkSweepFanout is ablation A1: where the SumOfSals advantage goes

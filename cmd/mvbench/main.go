@@ -5,10 +5,15 @@
 //	mvbench            # everything
 //	mvbench -table 4   # one §3.6 table (1..4)
 //	mvbench -figure 3  # one figure (1, 2, 3, 5)
-//	mvbench -measured  # estimated-vs-measured parity run
-//	mvbench -sweeps    # the ablation sweeps recorded in EXPERIMENTS.md
-//	mvbench -parallel  # parallel branch-and-bound vs exhaustive search
-//	                   # (tune with -j workers and -seed n)
+//	mvbench -measured    # estimated-vs-measured parity run
+//	mvbench -sweeps      # the ablation sweeps recorded in EXPERIMENTS.md
+//	mvbench -parallel    # parallel branch-and-bound vs exhaustive search
+//	                     # (tune with -j workers and -seed n)
+//	mvbench -throughput  # batched maintenance throughput grid
+//	                     # (-j pins the worker count; default measures 1 and 4)
+//
+// -j sets worker counts everywhere (alias: -workers). -cpuprofile and
+// -memprofile write pprof profiles of whatever modes were run.
 package main
 
 import (
@@ -16,6 +21,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/corpus"
 	"repro/internal/paper"
@@ -28,12 +35,41 @@ func main() {
 	measured := flag.Bool("measured", false, "run the measured-parity experiment")
 	sweeps := flag.Bool("sweeps", false, "run the ablation sweeps")
 	parallel := flag.Bool("parallel", false, "compare parallel branch-and-bound vs exhaustive")
-	workers := flag.Int("j", 0, "worker count for -parallel (0 = all CPUs)")
+	throughput := flag.Bool("throughput", false, "measure batched maintenance throughput")
+	var workers int
+	flag.IntVar(&workers, "j", 0, "worker count for -parallel and -throughput (0 = default)")
+	flag.IntVar(&workers, "workers", 0, "alias for -j")
 	seed := flag.Int64("seed", 0, "chunk-order seed for -parallel (result is seed-independent)")
 	dot := flag.Bool("dot", false, "emit the ProblemDept expression DAG as Graphviz DOT")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	all := *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*dot
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	all := *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*throughput && !*dot
 
 	var f *paper.Fixture
 	needFixture := all || *table > 0 || *figure == 1 || *figure == 2 || *dot
@@ -98,7 +134,18 @@ func main() {
 		emit(out)
 	}
 	if all || *parallel {
-		out, err := paper.ParallelSearch(corpus.DefaultFigure5Config(), *workers, *seed)
+		out, err := paper.ParallelSearch(corpus.DefaultFigure5Config(), workers, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(out)
+	}
+	if all || *throughput {
+		ws := []int{1, 4}
+		if workers > 0 {
+			ws = []int{workers}
+		}
+		_, out, err := paper.ThroughputTable(corpus.DefaultFigure5Config(), 512, []int{1, 16, 64}, ws)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -131,7 +178,7 @@ func main() {
 		}
 		emit(out)
 	}
-	if !all && *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*dot {
+	if !all && *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*throughput && !*dot {
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -85,7 +85,9 @@ func main() {
 	schema := flag.String("schema", "", "SQL file with schema, data, views and assertions")
 	view := flag.String("view", "", "view or assertion to optimize (repeatable via comma)")
 	method := flag.String("method", "exhaustive", "exhaustive|parallel|shielded|greedy|single-tree|heuristic-marking|no-additional")
-	workers := flag.Int("j", 0, "worker count for -method parallel (0 = all CPUs)")
+	var workers int
+	flag.IntVar(&workers, "j", 0, "worker count for -method parallel (0 = all CPUs)")
+	flag.IntVar(&workers, "workers", 0, "alias for -j")
 	seed := flag.Int64("seed", 0, "chunk-order seed for -method parallel (result is seed-independent)")
 	var txns txnFlags
 	flag.Var(&txns, "txn", "transaction type kind:rel[:cols]:size:weight (repeatable)")
@@ -130,7 +132,7 @@ func main() {
 	sys, err := db.Build(strings.Split(*view, ","), mvmaint.Config{
 		Workload:    workload,
 		Method:      m,
-		Parallelism: *workers,
+		Parallelism: workers,
 		Seed:        *seed,
 	})
 	if err != nil {

@@ -1,0 +1,40 @@
+package delta
+
+// Coalesce merges a window of per-transaction update maps into one net
+// delta per base relation, valid against the pre-batch state.
+//
+// Composition is signed bag addition: applying d1 then d2 to a relation
+// leaves it in the same state as applying their concatenation, so the
+// window's net effect is the tuple-wise sum of signed multiplicities.
+// Normalize performs that sum, which is where annihilation happens — a
+// tuple inserted by one transaction and deleted by a later one (or a
+// modification undone downstream) vanishes before any propagation work
+// is spent on it. Relations whose net delta is empty are omitted
+// entirely, so a fully self-cancelling window costs nothing.
+//
+// The result contains only insertions and deletions: modification
+// pairing does not survive tuple-wise netting (the old and new halves
+// may cancel against other transactions independently).
+func Coalesce(windows []map[string]*Delta) map[string]*Delta {
+	concat := map[string]*Delta{}
+	for _, updates := range windows {
+		for rel, d := range updates {
+			if d.Empty() {
+				continue
+			}
+			acc, ok := concat[rel]
+			if !ok {
+				acc = New(d.Schema)
+				concat[rel] = acc
+			}
+			acc.Changes = append(acc.Changes, d.Changes...)
+		}
+	}
+	out := map[string]*Delta{}
+	for rel, acc := range concat {
+		if net := acc.Normalize(); !net.Empty() {
+			out[rel] = net
+		}
+	}
+	return out
+}

@@ -139,11 +139,13 @@ func (d *Delta) signedRows() []signedRow {
 func (d *Delta) Normalize() *Delta {
 	net := map[string]*signedRow{}
 	var order []string
+	var enc value.KeyEncoder
 	for _, sr := range d.signedRows() {
-		k := sr.tuple.Key()
-		if e, ok := net[k]; ok {
+		kb := enc.Key(sr.tuple)
+		if e, ok := net[string(kb)]; ok {
 			e.count += sr.count
 		} else {
+			k := string(kb)
 			cp := sr
 			net[k] = &cp
 			order = append(order, k)
@@ -176,15 +178,15 @@ func (d *Delta) AffectedKeys(cols []string) ([]value.Tuple, error) {
 	}
 	seen := map[string]bool{}
 	var out []value.Tuple
+	var enc value.KeyEncoder
 	add := func(t value.Tuple) {
 		if t == nil {
 			return
 		}
-		k := t.Project(pos)
-		ks := k.Key()
-		if !seen[ks] {
-			seen[ks] = true
-			out = append(out, k)
+		kb := enc.ProjectedKey(t, pos)
+		if !seen[string(kb)] {
+			seen[string(kb)] = true
+			out = append(out, t.Project(pos))
 		}
 	}
 	for _, c := range d.Changes {
@@ -208,8 +210,9 @@ func (d *Delta) GroupCounts(groupCols []string) (map[string]int64, error) {
 		pos[i] = j
 	}
 	out := map[string]int64{}
+	var enc value.KeyEncoder
 	for _, sr := range d.signedRows() {
-		out[sr.tuple.Project(pos).Key()] += sr.count
+		out[string(enc.ProjectedKey(sr.tuple, pos))] += sr.count
 	}
 	return out, nil
 }
@@ -218,8 +221,9 @@ func (d *Delta) GroupCounts(groupCols []string) (map[string]int64, error) {
 // (for distinct-view sidecars).
 func (d *Delta) TupleCounts() map[string]int64 {
 	out := map[string]int64{}
+	var enc value.KeyEncoder
 	for _, sr := range d.signedRows() {
-		out[sr.tuple.Key()] += sr.count
+		out[string(enc.Key(sr.tuple))] += sr.count
 	}
 	return out
 }
@@ -230,11 +234,13 @@ func (d *Delta) TupleCounts() map[string]int64 {
 func ApplyTo(rows []storage.Row, d *Delta) []storage.Row {
 	net := map[string]*storage.Row{}
 	var order []string
+	var enc value.KeyEncoder
 	add := func(t value.Tuple, n int64) {
-		k := t.Key()
-		if e, ok := net[k]; ok {
+		kb := enc.Key(t)
+		if e, ok := net[string(kb)]; ok {
 			e.Count += n
 		} else {
+			k := string(kb)
 			net[k] = &storage.Row{Tuple: t, Count: n}
 			order = append(order, k)
 		}

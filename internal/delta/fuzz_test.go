@@ -23,6 +23,13 @@ func FuzzDeltaApply(f *testing.F) {
 	f.Add([]byte{1, 0, 0, 0, 2, 1, 1, 30})
 	f.Add([]byte{2, 2, 1, 90, 0, 0, 0, 10, 1, 1, 1, 0})
 	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 0, 0, 0})
+	// Merged-batch shapes: a hire immediately fired (annihilating +1/−1
+	// pair), the same tuple inserted twice then deleted twice (same-key
+	// insert+delete with multiplicity), and a modify bounced back to near
+	// its original value — the windows batching must net out.
+	f.Add([]byte{0, 1, 1, 40, 1, 6, 0, 0})
+	f.Add([]byte{0, 0, 2, 10, 0, 0, 2, 10, 1, 6, 0, 0, 1, 6, 0, 0})
+	f.Add([]byte{2, 0, 1, 60, 2, 0, 2, 60, 2, 0, 1, 60})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 96 {
 			data = data[:96]
@@ -72,6 +79,15 @@ func FuzzDeltaApply(f *testing.F) {
 		}
 
 		d := delta.New(join.L.Schema())
+		// windows mirrors the script one change per "transaction", so the
+		// batching pipeline's coalescing can be checked against the
+		// sequential composition.
+		var windows []map[string]*delta.Delta
+		record := func() *delta.Delta {
+			sub := delta.New(join.L.Schema())
+			windows = append(windows, map[string]*delta.Delta{"Emp": sub})
+			return sub
+		}
 		seq := 0
 		for len(data) >= 4 {
 			op, a, b, c := data[0], data[1], data[2], data[3]
@@ -84,6 +100,7 @@ func FuzzDeltaApply(f *testing.F) {
 					value.NewInt(int64(c)),
 				}
 				d.Insert(tup, 1)
+				record().Insert(tup, 1)
 				r := live[tup.Key()]
 				live[tup.Key()] = storage.Row{Tuple: tup, Count: r.Count + 1}
 			case 1: // fire a live row
@@ -93,6 +110,7 @@ func FuzzDeltaApply(f *testing.F) {
 				}
 				victim := live[keys[int(a)%len(keys)]]
 				d.Delete(victim.Tuple, 1)
+				record().Delete(victim.Tuple, 1)
 				if victim.Count <= 1 {
 					delete(live, victim.Tuple.Key())
 				} else {
@@ -112,6 +130,7 @@ func FuzzDeltaApply(f *testing.F) {
 					continue
 				}
 				d.Modify(old.Tuple, newT, 1)
+				record().Modify(old.Tuple, newT, 1)
 				if old.Count <= 1 {
 					delete(live, old.Tuple.Key())
 				} else {
@@ -125,6 +144,19 @@ func FuzzDeltaApply(f *testing.F) {
 		}
 		if d.Empty() {
 			t.Skip()
+		}
+
+		// Coalescing the per-transaction windows must equal the composed
+		// script delta (signed bag addition — this is what licenses the
+		// batch pipeline to propagate once per window).
+		merged := delta.Coalesce(windows)
+		mergedEmp := merged["Emp"]
+		if mergedEmp == nil {
+			mergedEmp = delta.New(join.L.Schema())
+		}
+		if !sameDelta(mergedEmp, d.Normalize()) {
+			t.Fatalf("coalesce diverges from composition\nscript: %v\ngot  %v\nwant %v",
+				d.Changes, mergedEmp.Changes, d.Normalize().Changes)
 		}
 
 		joinDelta, err := delta.JoinSide(join, d, 0, storeProbe(db.Store.MustGet("Dept"), []string{"Dept.DName"}))

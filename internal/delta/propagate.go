@@ -119,14 +119,17 @@ func JoinSide(j *algebra.Join, d *Delta, side int, probe Probe) (*Delta, error) 
 		return residual == nil || residual(t).Truth()
 	}
 	// Cache probes per join-key to mirror the one-query-per-key cost
-	// model (and avoid re-reading).
+	// model (and avoid re-reading). The cache key is encoded in place;
+	// the projected key tuple is only materialized on a cache miss.
 	cache := map[string][]storage.Row{}
-	matches := func(jk value.Tuple) ([]storage.Row, error) {
-		k := jk.Key()
-		if rows, ok := cache[k]; ok {
+	var enc value.KeyEncoder
+	matches := func(t value.Tuple) ([]storage.Row, error) {
+		kb := enc.ProjectedKey(t, pos)
+		if rows, ok := cache[string(kb)]; ok {
 			return rows, nil
 		}
-		rows, err := probe(jk)
+		k := string(kb)
+		rows, err := probe(t.Project(pos))
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +140,7 @@ func JoinSide(j *algebra.Join, d *Delta, side int, probe Probe) (*Delta, error) 
 	for _, c := range d.Changes {
 		switch {
 		case c.IsInsert():
-			rows, err := matches(c.New.Project(pos))
+			rows, err := matches(c.New)
 			if err != nil {
 				return nil, err
 			}
@@ -147,7 +150,7 @@ func JoinSide(j *algebra.Join, d *Delta, side int, probe Probe) (*Delta, error) 
 				}
 			}
 		case c.IsDelete():
-			rows, err := matches(c.Old.Project(pos))
+			rows, err := matches(c.Old)
 			if err != nil {
 				return nil, err
 			}
@@ -157,9 +160,8 @@ func JoinSide(j *algebra.Join, d *Delta, side int, probe Probe) (*Delta, error) 
 				}
 			}
 		default: // modify
-			oldKey, newKey := c.Old.Project(pos), c.New.Project(pos)
-			if oldKey.Equal(newKey) {
-				rows, err := matches(oldKey)
+			if projEqual(c.Old, c.New, pos) {
+				rows, err := matches(c.Old)
 				if err != nil {
 					return nil, err
 				}
@@ -176,7 +178,7 @@ func JoinSide(j *algebra.Join, d *Delta, side int, probe Probe) (*Delta, error) 
 					}
 				}
 			} else {
-				oldRows, err := matches(oldKey)
+				oldRows, err := matches(c.Old)
 				if err != nil {
 					return nil, err
 				}
@@ -185,7 +187,7 @@ func JoinSide(j *algebra.Join, d *Delta, side int, probe Probe) (*Delta, error) 
 						out.Delete(t, c.Count*r.Count)
 					}
 				}
-				newRows, err := matches(newKey)
+				newRows, err := matches(c.New)
 				if err != nil {
 					return nil, err
 				}
@@ -254,14 +256,15 @@ func joinDeltaDelta(j *algebra.Join, dl, dr *Delta) (*Delta, error) {
 		residual = f
 	}
 	build := map[string][]signedRow{}
+	var enc value.KeyEncoder
 	for _, sr := range dr.signedRows() {
-		k := sr.tuple.Project(rpos).Key()
-		build[k] = append(build[k], sr)
+		kb := enc.ProjectedKey(sr.tuple, rpos)
+		build[string(kb)] = append(build[string(kb)], sr)
 	}
 	out := New(outSchema)
 	for _, lsr := range dl.signedRows() {
-		k := lsr.tuple.Project(lpos).Key()
-		for _, rsr := range build[k] {
+		kb := enc.ProjectedKey(lsr.tuple, lpos)
+		for _, rsr := range build[string(kb)] {
 			t := make(value.Tuple, 0, len(lsr.tuple)+len(rsr.tuple))
 			t = append(append(t, lsr.tuple...), rsr.tuple...)
 			if residual != nil && !residual(t).Truth() {
@@ -390,6 +393,7 @@ func GroupRowsFromDelta(d *Delta, groupCols []string) (func(value.Tuple) ([]stor
 		pos[i] = j
 	}
 	byGroup := map[string][]storage.Row{}
+	var enc value.KeyEncoder
 	for _, c := range d.Changes {
 		if c.Old == nil {
 			continue
@@ -398,11 +402,22 @@ func GroupRowsFromDelta(d *Delta, groupCols []string) (func(value.Tuple) ([]stor
 		if n == 0 {
 			n = 1
 		}
-		k := c.Old.Project(pos).Key()
-		byGroup[k] = append(byGroup[k], storage.Row{Tuple: c.Old, Count: n})
+		kb := enc.ProjectedKey(c.Old, pos)
+		byGroup[string(kb)] = append(byGroup[string(kb)], storage.Row{Tuple: c.Old, Count: n})
 	}
 	return func(gk value.Tuple) ([]storage.Row, error) {
-		return byGroup[gk.Key()], nil
+		return byGroup[string(enc.Key(gk))], nil
 	}, nil
+}
+
+// projEqual reports whether two tuples agree on the given positions,
+// without materializing the projections.
+func projEqual(a, b value.Tuple, pos []int) bool {
+	for _, j := range pos {
+		if !value.Equal(a[j], b[j]) {
+			return false
+		}
+	}
+	return true
 }
 

@@ -97,12 +97,13 @@ func aggregateResult(in *Result, a *algebra.Aggregate) (*Result, error) {
 	}
 	groups := map[string]*group{}
 	var order []string
+	var enc value.KeyEncoder
 	for _, row := range in.Rows {
-		key := row.Tuple.Project(gpos)
-		k := key.Key()
-		g, ok := groups[k]
+		kb := enc.ProjectedKey(row.Tuple, gpos)
+		g, ok := groups[string(kb)]
 		if !ok {
-			g = &group{key: key, states: make([]aggState, len(a.Aggs))}
+			k := string(kb)
+			g = &group{key: row.Tuple.Project(gpos), states: make([]aggState, len(a.Aggs))}
 			groups[k] = g
 			order = append(order, k)
 		}

@@ -168,15 +168,17 @@ func projectResult(in *Result, p *algebra.Project) (*Result, error) {
 	// Bag projection merges rows that collapse onto the same tuple.
 	merged := map[string]*storage.Row{}
 	var order []string
+	var enc value.KeyEncoder
 	for _, row := range in.Rows {
 		t := make(value.Tuple, len(fs))
 		for i, f := range fs {
 			t[i] = f(row.Tuple)
 		}
-		k := t.Key()
-		if e, ok := merged[k]; ok {
+		kb := enc.Key(t)
+		if e, ok := merged[string(kb)]; ok {
 			e.Count += row.Count
 		} else {
+			k := string(kb)
 			merged[k] = &storage.Row{Tuple: t, Count: row.Count}
 			order = append(order, k)
 		}
@@ -203,9 +205,10 @@ func hashJoin(j *algebra.Join, l, r *Result) (*Result, error) {
 		lpos[i], rpos[i] = li, ri
 	}
 	build := map[string][]storage.Row{}
+	var enc value.KeyEncoder
 	for _, row := range r.Rows {
-		k := row.Tuple.Project(rpos).Key()
-		build[k] = append(build[k], row)
+		kb := enc.ProjectedKey(row.Tuple, rpos)
+		build[string(kb)] = append(build[string(kb)], row)
 	}
 	outSchema := j.Schema()
 	var residual func(value.Tuple) value.Value
@@ -218,8 +221,8 @@ func hashJoin(j *algebra.Join, l, r *Result) (*Result, error) {
 	}
 	out := &Result{Schema: outSchema}
 	for _, lrow := range l.Rows {
-		k := lrow.Tuple.Project(lpos).Key()
-		for _, rrow := range build[k] {
+		kb := enc.ProjectedKey(lrow.Tuple, lpos)
+		for _, rrow := range build[string(kb)] {
 			t := make(value.Tuple, 0, len(lrow.Tuple)+len(rrow.Tuple))
 			t = append(t, lrow.Tuple...)
 			t = append(t, rrow.Tuple...)
@@ -235,10 +238,11 @@ func hashJoin(j *algebra.Join, l, r *Result) (*Result, error) {
 func distinctResult(in *Result) *Result {
 	out := &Result{Schema: in.Schema}
 	seen := map[string]bool{}
+	var enc value.KeyEncoder
 	for _, row := range in.Rows {
-		k := row.Tuple.Key()
-		if !seen[k] && row.Count > 0 {
-			seen[k] = true
+		kb := enc.Key(row.Tuple)
+		if !seen[string(kb)] && row.Count > 0 {
+			seen[string(kb)] = true
 			out.Rows = append(out.Rows, storage.Row{Tuple: row.Tuple, Count: 1})
 		}
 	}
@@ -248,11 +252,13 @@ func distinctResult(in *Result) *Result {
 func unionResult(schema *catalog.Schema, l, r *Result, sign int64) *Result {
 	merged := map[string]*storage.Row{}
 	var order []string
+	var enc value.KeyEncoder
 	add := func(row storage.Row, mult int64) {
-		k := row.Tuple.Key()
-		if e, ok := merged[k]; ok {
+		kb := enc.Key(row.Tuple)
+		if e, ok := merged[string(kb)]; ok {
 			e.Count += row.Count * mult
 		} else {
+			k := string(kb)
 			merged[k] = &storage.Row{Tuple: row.Tuple, Count: row.Count * mult}
 			order = append(order, k)
 		}

@@ -3,7 +3,7 @@ package maintain
 import (
 	"fmt"
 	"math"
-	"strings"
+	"strconv"
 
 	"repro/internal/algebra"
 	"repro/internal/dag"
@@ -190,6 +190,7 @@ func (m *Maintainer) oldAggProbe(v *View, agg *algebra.Aggregate) delta.OldAgg {
 	nGroup := len(agg.GroupBy)
 	cols := make([]string, nGroup)
 	copy(cols, v.Eq.Schema().ColumnNames()[:nGroup])
+	var enc value.KeyEncoder
 	return func(gk value.Tuple) (value.Tuple, int64, bool, error) {
 		was := v.Rel.Resident
 		v.Rel.Resident = true
@@ -198,7 +199,7 @@ func (m *Maintainer) oldAggProbe(v *View, agg *algebra.Aggregate) delta.OldAgg {
 		if len(rows) == 0 {
 			return nil, 0, false, nil
 		}
-		return rows[0].Tuple, v.live[gk.Key()], true, nil
+		return rows[0].Tuple, v.live[string(enc.Key(gk))], true, nil
 	}
 }
 
@@ -227,9 +228,11 @@ func (m *Maintainer) countProbe(parent *dag.EqNode, child *dag.EqNode, cache map
 		return n, nil
 	}
 	if v := m.views[parent.ID]; v != nil && (v.distinctOp != nil || v.aggOp != nil) {
+		var enc value.KeyEncoder
 		return func(t value.Tuple) (int64, error) {
-			k := t.Key()
-			if v.stale[k] {
+			kb := enc.Key(t)
+			if v.stale[string(kb)] {
+				k := string(kb)
 				// Liveness unknown (the view was last maintained through
 				// another operation alternative): query and heal.
 				n, err := query(t)
@@ -240,7 +243,7 @@ func (m *Maintainer) countProbe(parent *dag.EqNode, child *dag.EqNode, cache map
 				delete(v.stale, k)
 				return n, nil
 			}
-			return v.live[k], nil
+			return v.live[string(kb)], nil
 		}, nil
 	}
 	return query, nil
@@ -253,10 +256,11 @@ func (m *Maintainer) countProbe(parent *dag.EqNode, child *dag.EqNode, cache map
 // Results are cached per (target, cols, key) within one transaction —
 // the runtime counterpart of the track-level multi-query optimization.
 func (m *Maintainer) answerQuery(target *dag.EqNode, cols []string, key value.Tuple, cache map[string][]storage.Row) ([]storage.Row, error) {
-	ck := fmt.Sprintf("%d|%s|%s", target.ID, strings.Join(cols, ","), key.Key())
-	if rows, ok := cache[ck]; ok {
+	ckb := queryCacheKey(make([]byte, 0, 64), target.ID, cols, key)
+	if rows, ok := cache[string(ckb)]; ok {
 		return rows, nil
 	}
+	ck := string(ckb)
 	var rows []storage.Row
 	if target.IsLeaf() {
 		rel, ok := m.Store.Get(target.BaseRel)
@@ -276,6 +280,20 @@ func (m *Maintainer) answerQuery(target *dag.EqNode, cols []string, key value.Tu
 	}
 	cache[ck] = rows
 	return rows, nil
+}
+
+// queryCacheKey builds the per-transaction probe-cache key for
+// σ[cols = key](target) without going through fmt: node id, column list
+// and the tuple's canonical key encoding.
+func queryCacheKey(dst []byte, id int, cols []string, key value.Tuple) []byte {
+	dst = strconv.AppendInt(dst, int64(id), 10)
+	dst = append(dst, '|')
+	for _, c := range cols {
+		dst = append(dst, c...)
+		dst = append(dst, ',')
+	}
+	dst = append(dst, '|')
+	return value.AppendKey(dst, key)
 }
 
 // queryTree builds (and memoizes) the cheapest view-aware evaluation tree

@@ -1,0 +1,231 @@
+package maintain
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/delta"
+	"repro/internal/storage"
+	"repro/internal/tracks"
+	"repro/internal/txn"
+)
+
+// BatchReport describes one maintained window of transactions, with the
+// same I/O split as Report. QueryIO covers the single propagation pass
+// over the coalesced delta — this is where batching wins: track-prefix
+// queries are posed once for the whole window instead of once per
+// transaction, and changes that annihilate within the window are never
+// propagated at all.
+type BatchReport struct {
+	// Size is the number of transactions in the window.
+	Size  int
+	Type  *txn.Type
+	Track *tracks.Track
+
+	QueryIO storage.IOCounter
+	ViewIO  storage.IOCounter
+	RootIO  storage.IOCounter
+	BaseIO  storage.IOCounter
+
+	// Deltas holds the computed change at every affected node.
+	Deltas map[int]*delta.Delta
+	// Merged holds the coalesced per-base-relation deltas the window
+	// nets out to (what was actually propagated and applied).
+	Merged map[string]*delta.Delta
+}
+
+// PaperTotal is the quantity §3.6 reports: query I/O plus
+// additional-view maintenance I/O.
+func (r *BatchReport) PaperTotal() int64 { return r.QueryIO.Total() + r.ViewIO.Total() }
+
+// ApplyBatch maintains the view set under a window of transactions as
+// one unit:
+//
+//  1. the window's per-relation deltas are coalesced into a single net
+//     delta per base relation (annihilating +1/−1 pairs up front);
+//  2. the merged delta is propagated once along the update track chosen
+//     for the window's synthesized transaction type, sharing the
+//     per-window probe cache across everything the window touches;
+//  3. the per-view deltas are applied to independent materialized views
+//     concurrently (up to m.Workers goroutines), each worker charging a
+//     private I/O counter so the hot path takes no locks; sidecar
+//     live/stale bookkeeping stays per-view and runs on whichever
+//     worker owns the view;
+//  4. the base relations are updated, one storage batch per relation.
+//
+// Queries still see the pre-batch state, exactly as Apply's queries see
+// the pre-transaction state: composition of the window's deltas is
+// valid against the database as of the window's start. The final view
+// contents are identical to applying the window transaction by
+// transaction; only the I/O spent getting there differs.
+func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
+	windows := make([]map[string]*delta.Delta, len(txns))
+	for i, t := range txns {
+		windows[i] = t.Updates
+	}
+	merged := delta.Coalesce(windows)
+	bt := txn.MergedType(txns, merged)
+	rep := &BatchReport{
+		Size:   len(txns),
+		Type:   bt,
+		Deltas: map[int]*delta.Delta{},
+		Merged: merged,
+	}
+	if len(merged) == 0 {
+		rep.Track = &tracks.Track{}
+		return rep, nil
+	}
+	tr := m.plans[bt.Name]
+	if tr == nil {
+		best, _ := m.Cost.CostViewSet(m.VS, bt)
+		tr = best.Track
+		if tr == nil {
+			tr = &tracks.Track{}
+		}
+		m.plans[bt.Name] = tr
+	}
+	rep.Track = tr
+
+	// Seed leaf deltas from the merged window.
+	for _, e := range m.D.Eqs() {
+		if e.IsLeaf() {
+			if du, ok := merged[e.BaseRel]; ok && !du.Empty() {
+				rep.Deltas[e.ID] = du
+			}
+		}
+	}
+
+	// One propagation pass for the whole window, charging queries.
+	probeCache := map[string][]storage.Row{}
+	io0 := *m.Store.IO
+	for _, e := range tr.Order {
+		op := tr.Choice[e.ID]
+		d, err := m.opDelta(e, op, rep.Deltas, tr, probeCache)
+		if err != nil {
+			return nil, fmt.Errorf("maintain: %s at %s: %w", bt.Name, e, err)
+		}
+		rep.Deltas[e.ID] = d
+	}
+	rep.QueryIO = m.Store.IO.Sub(io0)
+
+	// Apply deltas to the materialized views. Sidecar updates ride with
+	// the owning view's worker: they only read the (now fully computed)
+	// delta map and write that view's private live/stale/pending state.
+	if err := m.applyViews(rep, tr); err != nil {
+		return nil, err
+	}
+
+	// Finally apply the base relation updates, one batch per relation,
+	// in deterministic order.
+	rels := make([]string, 0, len(merged))
+	for rel := range merged {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	before := *m.Store.IO
+	for _, rel := range rels {
+		r, ok := m.Store.Get(rel)
+		if !ok {
+			return nil, fmt.Errorf("maintain: unknown relation %q", rel)
+		}
+		r.ApplyBatch(merged[rel].ToMutations())
+	}
+	rep.BaseIO = m.Store.IO.Sub(before)
+	return rep, nil
+}
+
+// applyViews applies the computed deltas to every materialized view on
+// the track, in parallel when configured and safe.
+func (m *Maintainer) applyViews(rep *BatchReport, tr *tracks.Track) error {
+	type viewWork struct {
+		v    *View
+		root bool
+	}
+	var work []viewWork
+	for _, e := range tr.Order {
+		if v, ok := m.views[e.ID]; ok {
+			work = append(work, viewWork{v: v, root: m.D.IsRoot(e)})
+		}
+	}
+	if len(work) == 0 {
+		return nil
+	}
+	workers := m.Workers
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if m.Store.Buffer != nil {
+		workers = 1
+	}
+
+	if workers <= 1 {
+		for _, w := range work {
+			if d := rep.Deltas[w.v.Eq.ID]; !d.Empty() {
+				before := *m.Store.IO
+				w.v.Rel.ApplyBatch(d.ToMutations())
+				used := m.Store.IO.Sub(before)
+				if w.root {
+					rep.RootIO = addIO(rep.RootIO, used)
+				} else {
+					rep.ViewIO = addIO(rep.ViewIO, used)
+				}
+			}
+			if err := m.updateSidecar(w.v, rep.Deltas, tr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	jobs := make(chan viewWork)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var wio, rootSum, viewSum storage.IOCounter
+			var werr error
+			for w := range jobs {
+				if werr != nil {
+					continue // drain after a failure
+				}
+				if d := rep.Deltas[w.v.Eq.ID]; !d.Empty() {
+					before := wio
+					w.v.Rel.SetIOCounter(&wio)
+					w.v.Rel.ApplyBatch(d.ToMutations())
+					w.v.Rel.SetIOCounter(nil)
+					used := wio.Sub(before)
+					if w.root {
+						rootSum = addIO(rootSum, used)
+					} else {
+						viewSum = addIO(viewSum, used)
+					}
+				}
+				if err := m.updateSidecar(w.v, rep.Deltas, tr); err != nil {
+					werr = err
+				}
+			}
+			mu.Lock()
+			rep.RootIO = addIO(rep.RootIO, rootSum)
+			rep.ViewIO = addIO(rep.ViewIO, viewSum)
+			if werr != nil && firstErr == nil {
+				firstErr = werr
+			}
+			mu.Unlock()
+		}()
+	}
+	for _, w := range work {
+		jobs <- w
+	}
+	close(jobs)
+	wg.Wait()
+	// Fold the workers' private charges back into the store's shared
+	// counter so global accounting matches the sequential path exactly.
+	*m.Store.IO = addIO(*m.Store.IO, addIO(rep.RootIO, rep.ViewIO))
+	return firstErr
+}

@@ -56,6 +56,12 @@ type Maintainer struct {
 	Cost  *tracks.Costing
 	VS    tracks.ViewSet
 
+	// Workers bounds the goroutines ApplyBatch uses to apply per-view
+	// deltas to independent materialized views. Zero or one means
+	// sequential; a store with an attached page buffer always runs
+	// sequentially (buffered charging mutates shared LRU state).
+	Workers int
+
 	views map[int]*View
 	plans map[string]*tracks.Track
 	trees map[int]algebra.Node // memoized query trees per eq node
@@ -156,8 +162,9 @@ func (m *Maintainer) initSidecar(v *View, free *exec.Evaluator) error {
 			}
 			pos[i] = j
 		}
+		var enc value.KeyEncoder
 		for _, row := range res.Rows {
-			v.live[row.Tuple.Project(pos).Key()] += row.Count
+			v.live[string(enc.ProjectedKey(row.Tuple, pos))] += row.Count
 		}
 	}
 	if v.distinctOp != nil {
@@ -166,8 +173,9 @@ func (m *Maintainer) initSidecar(v *View, free *exec.Evaluator) error {
 		if err != nil {
 			return err
 		}
+		var enc value.KeyEncoder
 		for _, row := range res.Rows {
-			v.live[row.Tuple.Key()] += row.Count
+			v.live[string(enc.Key(row.Tuple))] += row.Count
 		}
 	}
 	return nil
@@ -359,6 +367,7 @@ func (m *Maintainer) updateSidecar(v *View, deltas map[int]*delta.Delta, tr *tra
 // markStaleGroups invalidates the live counts of every key the view's own
 // delta touches; nGroupCols < 0 means the whole tuple is the key.
 func markStaleGroups(v *View, own *delta.Delta, nGroupCols int) {
+	var enc value.KeyEncoder
 	mark := func(t value.Tuple) {
 		if t == nil {
 			return
@@ -367,7 +376,7 @@ func markStaleGroups(v *View, own *delta.Delta, nGroupCols int) {
 		if nGroupCols >= 0 && nGroupCols <= len(t) {
 			key = t[:nGroupCols]
 		}
-		k := key.Key()
+		k := string(enc.Key(key))
 		v.stale[k] = true
 		delete(v.live, k)
 	}
@@ -454,11 +463,12 @@ func (m *Maintainer) Drift(e *dag.EqNode) (string, error) {
 		return "", err
 	}
 	stored := map[string]int64{}
+	var enc value.KeyEncoder
 	for _, row := range v.Rel.ScanFree() {
-		stored[row.Tuple.Key()] += row.Count
+		stored[string(enc.Key(row.Tuple))] += row.Count
 	}
 	for _, row := range want.Rows {
-		stored[row.Tuple.Key()] -= row.Count
+		stored[string(enc.Key(row.Tuple))] -= row.Count
 	}
 	for k, n := range stored {
 		if n != 0 {

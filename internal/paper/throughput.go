@@ -1,0 +1,229 @@
+// Throughput harness: the measured transactions-per-second story for
+// the batched maintenance pipeline, on the Figure 5 sales schema under
+// a skewed update stream (hot-item price changes dominated by a small
+// item set, with a trickle of new sales). Batching pays twice here:
+// repeated modifications of the same hot tuple annihilate within a
+// window before any propagation, and the track-prefix queries are posed
+// once per window instead of once per transaction.
+package paper
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/cost"
+	"repro/internal/dag"
+	"repro/internal/delta"
+	"repro/internal/maintain"
+	"repro/internal/rules"
+	"repro/internal/storage"
+	"repro/internal/tracks"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// Throughput is a maintained Figure 5 system plus a deterministic
+// hot-item workload generator. The generator never consults database
+// state, so the same stream can be replayed per-transaction or in
+// windows and must land on identical view contents.
+type Throughput struct {
+	db *corpus.Database
+	m  *maintain.Maintainer
+	d  *dag.DAG
+
+	hot   []string         // hot item names (all T modifications hit these)
+	price map[string]int64 // locally tracked current T.Price per item
+	seq   int
+
+	typeModT *txn.Type
+	typeInsS *txn.Type
+}
+
+// NewThroughput builds the Figure 5 database, expands its DAG, marks
+// every non-leaf equivalence node as materialized (root view plus all
+// intermediate join/aggregate views, so the worker pool has independent
+// views to fan out over) and returns a ready harness. workers bounds
+// ApplyBatch's view-application goroutines.
+func NewThroughput(cfg corpus.Figure5Config, workers int) (*Throughput, error) {
+	db := corpus.Figure5Database(cfg)
+	d, err := dag.FromTree(db.Figure5View(0))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.Expand(rules.Default(), 400); err != nil {
+		return nil, err
+	}
+	vs := tracks.RootSet(d)
+	for _, e := range d.NonLeafEqs() {
+		vs[e.ID] = true
+	}
+	m, err := maintain.New(d, db.Store, cost.PageIO{}, vs)
+	if err != nil {
+		return nil, err
+	}
+	m.Workers = workers
+
+	hotN := 8
+	if hotN > cfg.Items {
+		hotN = cfg.Items
+	}
+	th := &Throughput{
+		db:    db,
+		m:     m,
+		d:     d,
+		price: map[string]int64{},
+		typeModT: &txn.Type{Name: ">T", Weight: 1, Updates: []txn.RelUpdate{
+			{Rel: "T", Kind: txn.Modify, Size: 1, Cols: []string{"Price"}}}},
+		typeInsS: &txn.Type{Name: "+S", Weight: 1, Updates: []txn.RelUpdate{
+			{Rel: "S", Kind: txn.Insert, Size: 1}}},
+	}
+	for i := 0; i < hotN; i++ {
+		item := fmt.Sprintf("item%03d", i)
+		th.hot = append(th.hot, item)
+		th.price[item] = int64(10 + i%7) // matches Figure5Database seeding
+	}
+	return th, nil
+}
+
+// nextTxn deterministically draws the next transaction: 80% hot-item
+// price modifications, 20% new-sale inserts.
+func (th *Throughput) nextTxn() txn.Transaction {
+	seq := th.seq
+	th.seq++
+	if seq%5 == 4 { // new sale
+		sDef := th.db.Catalog.MustGet("S")
+		item := th.hot[(seq*3)%len(th.hot)]
+		d := delta.New(sDef.Schema)
+		d.Insert(value.Tuple{
+			value.NewString(fmt.Sprintf("sx%06d", seq)),
+			value.NewString(item),
+			value.NewInt(int64(1 + seq%5)),
+		}, 1)
+		return txn.Transaction{Type: th.typeInsS, Updates: map[string]*delta.Delta{"S": d}}
+	}
+	// Hot-item price change.
+	tDef := th.db.Catalog.MustGet("T")
+	item := th.hot[seq%len(th.hot)]
+	old := th.price[item]
+	next := int64(10 + (seq*7+3)%97)
+	if next == old {
+		next++
+	}
+	th.price[item] = next
+	d := delta.New(tDef.Schema)
+	d.Modify(
+		value.Tuple{value.NewString(item), value.NewInt(old)},
+		value.Tuple{value.NewString(item), value.NewInt(next)},
+		1)
+	return txn.Transaction{Type: th.typeModT, Updates: map[string]*delta.Delta{"T": d}}
+}
+
+// Run executes n transactions of the workload in windows of size batch
+// (batch <= 1 takes the per-transaction Apply path — the baseline the
+// pipeline is measured against) and returns the page I/Os charged.
+func (th *Throughput) Run(n, batch int) (storage.IOCounter, error) {
+	io0 := *th.db.Store.IO
+	if batch <= 1 {
+		for i := 0; i < n; i++ {
+			t := th.nextTxn()
+			if _, err := th.m.Apply(t.Type, t.Updates); err != nil {
+				return storage.IOCounter{}, err
+			}
+		}
+		return th.db.Store.IO.Sub(io0), nil
+	}
+	for done := 0; done < n; {
+		size := batch
+		if n-done < size {
+			size = n - done
+		}
+		window := make([]txn.Transaction, size)
+		for i := range window {
+			window[i] = th.nextTxn()
+		}
+		if _, err := th.m.ApplyBatch(window); err != nil {
+			return storage.IOCounter{}, err
+		}
+		done += size
+	}
+	return th.db.Store.IO.Sub(io0), nil
+}
+
+// Drift verifies every materialized view against full recomputation,
+// returning a description of the first mismatch ("" when consistent).
+func (th *Throughput) Drift() (string, error) {
+	for _, e := range th.d.NonLeafEqs() {
+		drift, err := th.m.Drift(e)
+		if err != nil {
+			return "", err
+		}
+		if drift != "" {
+			return fmt.Sprintf("node %s: %s", e, drift), nil
+		}
+	}
+	return "", nil
+}
+
+// ThroughputRow is one (batch size, workers) measurement.
+type ThroughputRow struct {
+	Batch      int     `json:"batch"`
+	Workers    int     `json:"workers"`
+	Txns       int     `json:"txns"`
+	TxnsPerSec float64 `json:"txns_per_sec"`
+	IOPerTxn   float64 `json:"page_io_per_txn"`
+}
+
+// MeasureThroughput runs n transactions for one (batch, workers)
+// configuration on a fresh system, self-timed, and verifies the final
+// views against the oracle.
+func MeasureThroughput(cfg corpus.Figure5Config, n, batch, workers int) (ThroughputRow, error) {
+	th, err := NewThroughput(cfg, workers)
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	start := time.Now()
+	io, err := th.Run(n, batch)
+	elapsed := time.Since(start)
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	if drift, err := th.Drift(); err != nil {
+		return ThroughputRow{}, err
+	} else if drift != "" {
+		return ThroughputRow{}, fmt.Errorf("throughput run drifted: %s", drift)
+	}
+	return ThroughputRow{
+		Batch:      batch,
+		Workers:    workers,
+		Txns:       n,
+		TxnsPerSec: float64(n) / elapsed.Seconds(),
+		IOPerTxn:   float64(io.Total()) / float64(n),
+	}, nil
+}
+
+// ThroughputTable measures the batch-size × worker grid and renders the
+// comparison (the README's reproduction artifact).
+func ThroughputTable(cfg corpus.Figure5Config, n int, batches, workers []int) ([]ThroughputRow, string, error) {
+	var rows []ThroughputRow
+	var base float64
+	var b strings.Builder
+	b.WriteString("Batched maintenance throughput (Figure 5 schema, 80% hot-item >T, 20% +S)\n")
+	fmt.Fprintf(&b, "%-8s %-8s %14s %14s %10s\n", "batch", "workers", "txns/sec", "pageIO/txn", "speedup")
+	for _, bs := range batches {
+		for _, w := range workers {
+			row, err := MeasureThroughput(cfg, n, bs, w)
+			if err != nil {
+				return nil, "", err
+			}
+			rows = append(rows, row)
+			if base == 0 {
+				base = row.TxnsPerSec
+			}
+			fmt.Fprintf(&b, "%-8d %-8d %14.0f %14.2f %9.2fx\n",
+				row.Batch, row.Workers, row.TxnsPerSec, row.IOPerTxn, row.TxnsPerSec/base)
+		}
+	}
+	return rows, b.String(), nil
+}

@@ -39,6 +39,39 @@ func (r *Relation) ApplyBatch(batch []Mutation) {
 	if len(batch) == 0 {
 		return
 	}
+	if len(batch) == 1 {
+		// Fast path: a single mutation touches at most two buckets per
+		// index, so the charges are computed directly, skipping the
+		// per-bucket bookkeeping maps. Charge order and amounts match
+		// the general path exactly.
+		m := batch[0]
+		for _, ix := range r.indexes {
+			switch {
+			case m.IsInsert():
+				id := r.indexPageID(ix.def.Name, ix.keyOf(m.New))
+				r.chargeIndexRead(id)
+				r.chargeIndexWrite(id)
+			case m.IsDelete():
+				id := r.indexPageID(ix.def.Name, ix.keyOf(m.Old))
+				r.chargeIndexRead(id)
+				r.chargeIndexWrite(id)
+			case m.IsModify():
+				ob, nb := ix.keyOf(m.Old), ix.keyOf(m.New)
+				oid := r.indexPageID(ix.def.Name, ob)
+				if ob == nb {
+					r.chargeIndexRead(oid)
+				} else {
+					nid := r.indexPageID(ix.def.Name, nb)
+					r.chargeIndexRead(oid)
+					r.chargeIndexWrite(oid)
+					r.chargeIndexRead(nid)
+					r.chargeIndexWrite(nid)
+				}
+			}
+		}
+		r.applyMutations(batch)
+		return
+	}
 	// Index page charges, per distinct touched bucket.
 	for _, ix := range r.indexes {
 		touched := map[string]bool{} // bucket -> dirty
@@ -75,6 +108,12 @@ func (r *Relation) ApplyBatch(batch []Mutation) {
 			}
 		}
 	}
+	r.applyMutations(batch)
+}
+
+// applyMutations performs the tuple-level part of ApplyBatch: relation
+// page charges plus the in-memory mutations themselves.
+func (r *Relation) applyMutations(batch []Mutation) {
 	for _, m := range batch {
 		count := m.Count
 		if count == 0 {

@@ -74,10 +74,12 @@ type hashIndex struct {
 	def     catalog.IndexDef
 	colPos  []int
 	buckets map[string][]string // projected-key → tuple keys
+	scratch []byte              // reused bucket-key encoding buffer
 }
 
 func (ix *hashIndex) keyOf(t value.Tuple) string {
-	return t.Project(ix.colPos).Key()
+	ix.scratch = value.AppendProjectedKey(ix.scratch[:0], t, ix.colPos)
+	return string(ix.scratch)
 }
 
 // Relation is a stored multiset relation with hash indexes.
@@ -169,6 +171,19 @@ func (s *Store) Names() []string {
 
 // Card returns the number of distinct tuples currently stored.
 func (r *Relation) Card() int { return r.liveTuples }
+
+// SetIOCounter redirects the relation's I/O charges to c; nil restores
+// the store's shared counter. The batched maintenance pipeline gives
+// each worker a private counter so that applying deltas to independent
+// views in parallel needs no locks on the charging path. Callers must
+// ensure no buffer is attached (buffered charging mutates shared LRU
+// state) and that the relation is touched by one goroutine at a time.
+func (r *Relation) SetIOCounter(c *IOCounter) {
+	if c == nil {
+		c = r.store.IO
+	}
+	r.io = c
+}
 
 // Page identities: every stored tuple is its own page and every hash
 // bucket is its own index page (the unclustered model of §3.6).

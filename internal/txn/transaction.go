@@ -1,0 +1,115 @@
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/delta"
+)
+
+// Transaction is one concrete transaction instance: the type it was
+// drawn from and the actual per-base-relation deltas it performs. Type
+// may be nil — it only informs cost-based track selection, never
+// correctness — in which case the batch pipeline infers an update
+// description from the delta shapes.
+type Transaction struct {
+	Type    *Type
+	Updates map[string]*delta.Delta
+}
+
+// MergedType synthesizes a transaction type describing a whole batch
+// window, given its coalesced per-relation deltas: per relation the
+// update size is the net change count, kinds collapse to Modify when
+// the window mixes them, and modified column sets union. Only relations
+// with non-empty net deltas appear, so annihilated updates do not
+// influence track choice. The name is deterministic in the window's
+// update signature and doubles as a plan-cache key.
+func MergedType(txns []Transaction, merged map[string]*delta.Delta) *Type {
+	rels := make([]string, 0, len(merged))
+	for rel := range merged {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+
+	out := &Type{Weight: 1}
+	parts := make([]string, 0, len(rels))
+	for _, rel := range rels {
+		kind, cols, typed := declaredUpdate(txns, rel)
+		if !typed {
+			kind = inferKind(merged[rel])
+		}
+		u := RelUpdate{Rel: rel, Kind: kind, Size: float64(merged[rel].Size()), Cols: cols}
+		out.Updates = append(out.Updates, u)
+		parts = append(parts, fmt.Sprintf("%s:%s:%s:%g", rel, kind, strings.Join(cols, "+"), u.Size))
+	}
+	out.Name = "batch[" + strings.Join(parts, " ") + "]"
+	return out
+}
+
+// declaredUpdate folds the declared update specs for rel across the
+// window's typed transactions: a uniform kind survives, mixed kinds
+// become Modify, and modified columns union (sorted for determinism).
+func declaredUpdate(txns []Transaction, rel string) (Kind, []string, bool) {
+	var kind Kind
+	seen := false
+	mixed := false
+	colSet := map[string]bool{}
+	for _, t := range txns {
+		if t.Type == nil {
+			continue
+		}
+		if d, ok := t.Updates[rel]; !ok || d.Empty() {
+			continue
+		}
+		u, ok := t.Type.UpdateOf(rel)
+		if !ok {
+			continue
+		}
+		if !seen {
+			kind = u.Kind
+			seen = true
+		} else if u.Kind != kind {
+			mixed = true
+		}
+		for _, c := range u.Cols {
+			colSet[c] = true
+		}
+	}
+	if !seen {
+		return Modify, nil, false
+	}
+	if mixed {
+		kind = Modify
+	}
+	cols := make([]string, 0, len(colSet))
+	for c := range colSet {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	return kind, cols, true
+}
+
+// inferKind classifies a coalesced delta by its change shapes: pure
+// insertions, pure deletions, or (for mixtures) Modify.
+func inferKind(d *delta.Delta) Kind {
+	ins, del := false, false
+	for _, c := range d.Changes {
+		switch {
+		case c.IsInsert():
+			ins = true
+		case c.IsDelete():
+			del = true
+		default:
+			return Modify
+		}
+	}
+	switch {
+	case ins && !del:
+		return Insert
+	case del && !ins:
+		return Delete
+	default:
+		return Modify
+	}
+}

@@ -1,0 +1,94 @@
+package value
+
+import (
+	"testing"
+)
+
+func encTuples() []Tuple {
+	return []Tuple{
+		nil,
+		{},
+		{NewInt(0)},
+		{NewInt(-1), NewInt(1)},
+		{NewFloat(3.5), NewFloat(-0.0)},
+		{NewString(""), NewString("a"), NewString("ab\xffc")},
+		{NewBool(true), NewBool(false)},
+		{NewNull(), NewInt(7), NewString("x"), NewFloat(1e-9), NewBool(true)},
+	}
+}
+
+// TestAppendKeyMatchesTupleKey pins the encoder to the canonical Tuple.Key
+// encoding byte for byte: keys from either form must collide exactly.
+func TestAppendKeyMatchesTupleKey(t *testing.T) {
+	for _, tup := range encTuples() {
+		want := tup.Key()
+		if got := string(AppendKey(nil, tup)); got != want {
+			t.Errorf("AppendKey(%v) = %q, want %q", tup, got, want)
+		}
+	}
+}
+
+// TestProjectedKeyMatchesProjectKey verifies the projection form against
+// the allocate-then-encode path on every subset of positions.
+func TestProjectedKeyMatchesProjectKey(t *testing.T) {
+	tup := Tuple{NewInt(1), NewString("dept"), NewFloat(2.5), NewBool(false)}
+	var enc KeyEncoder
+	for _, pos := range [][]int{{}, {0}, {3, 1}, {0, 1, 2, 3}, {2, 2}} {
+		want := tup.Project(pos).Key()
+		if got := string(enc.ProjectedKey(tup, pos)); got != want {
+			t.Errorf("ProjectedKey(%v, %v) = %q, want %q", tup, pos, got, want)
+		}
+	}
+}
+
+// TestKeyEncoderReuse confirms the buffer is reused across calls and
+// distinct tuples never alias to the same bytes.
+func TestKeyEncoderReuse(t *testing.T) {
+	var enc KeyEncoder
+	a := Tuple{NewString("long-enough-to-allocate"), NewInt(1)}
+	b := Tuple{NewInt(2)}
+	ka := string(enc.Key(a))
+	kb := string(enc.Key(b))
+	if ka == kb {
+		t.Fatal("distinct tuples encoded identically")
+	}
+	if ka != a.Key() || kb != b.Key() {
+		t.Fatal("reused buffer corrupted an encoding")
+	}
+}
+
+// TestKeyInjective spot-checks that adjacent values do not collide across
+// field boundaries (the 0xFF terminator plus length prefix rule).
+func TestKeyInjective(t *testing.T) {
+	pairs := [][2]Tuple{
+		{{NewString("ab"), NewString("c")}, {NewString("a"), NewString("bc")}},
+		{{NewString("a")}, {NewString("a"), NewString("")}},
+		{{NewInt(1)}, {NewFloat(1)}},
+	}
+	for _, p := range pairs {
+		if p[0].Key() == p[1].Key() {
+			t.Errorf("tuples %v and %v collide", p[0], p[1])
+		}
+	}
+}
+
+func BenchmarkTupleKey(b *testing.B) {
+	tup := Tuple{NewString("e017_03"), NewString("d017"), NewInt(120)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tup.Key()
+	}
+}
+
+func BenchmarkKeyEncoder(b *testing.B) {
+	tup := Tuple{NewString("e017_03"), NewString("d017"), NewInt(120)}
+	m := map[string]int{tup.Key(): 1}
+	var enc KeyEncoder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m[string(enc.Key(tup))] != 1 {
+			b.Fatal("lookup failed")
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package value
 
 import (
-	"encoding/binary"
-	"math"
 	"strings"
 )
 
@@ -67,31 +65,7 @@ func (t Tuple) Project(idx []int) Tuple {
 // knowable here, so ints and floats encode distinctly by design: mixed
 // int/float grouping keys are normalized by the executor before hashing).
 func (t Tuple) Key() string {
-	var b strings.Builder
-	var buf [8]byte
-	for _, v := range t {
-		b.WriteByte(byte(v.Kind))
-		switch v.Kind {
-		case Int:
-			binary.BigEndian.PutUint64(buf[:], uint64(v.I))
-			b.Write(buf[:])
-		case Float:
-			binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.F))
-			b.Write(buf[:])
-		case String:
-			binary.BigEndian.PutUint64(buf[:], uint64(len(v.S)))
-			b.Write(buf[:])
-			b.WriteString(v.S)
-		case Bool:
-			if v.B {
-				b.WriteByte(1)
-			} else {
-				b.WriteByte(0)
-			}
-		}
-		b.WriteByte(0xFF)
-	}
-	return b.String()
+	return string(AppendKey(make([]byte, 0, 16*len(t)), t))
 }
 
 // String renders the tuple as (v1, v2, ...).
