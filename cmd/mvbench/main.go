@@ -14,6 +14,12 @@
 //
 // -j sets worker counts everywhere (alias: -workers). -cpuprofile and
 // -memprofile write pprof profiles of whatever modes were run.
+//
+// Observability: -metrics dumps the global metrics snapshot as JSON to
+// stderr when the run finishes (-metrics-out FILE writes it to a file
+// instead), and -http ADDR serves /metrics, /spans, /spans/summary and
+// /debug/pprof while the process runs, then blocks so the endpoints stay
+// inspectable (Ctrl-C to exit).
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/corpus"
+	"repro/internal/obs"
 	"repro/internal/paper"
 )
 
@@ -43,7 +50,27 @@ func main() {
 	dot := flag.Bool("dot", false, "emit the ProblemDept expression DAG as Graphviz DOT")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	metrics := flag.Bool("metrics", false, "dump the metrics snapshot as JSON to stderr on exit")
+	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot JSON to this file on exit (implies -metrics)")
+	httpAddr := flag.String("http", "", "serve /metrics, /spans and /debug/pprof on this address (e.g. :8080) and block after the run")
 	flag.Parse()
+
+	if *httpAddr != "" {
+		addr, err := obs.Serve(*httpAddr, obs.Default, obs.Trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("metrics: serving http://%s/metrics (also /spans, /spans/summary, /debug/pprof)", addr)
+	}
+	defer func() {
+		if *metrics || *metricsOut != "" {
+			dumpMetrics(*metricsOut)
+		}
+		if *httpAddr != "" {
+			log.Printf("metrics: run complete; endpoints stay up until interrupted")
+			select {}
+		}
+	}()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -182,4 +209,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// dumpMetrics writes the global registry snapshot (and the span
+// self-time summary, to stderr only) when the run finishes. An empty
+// path means stderr.
+func dumpMetrics(path string) {
+	data := obs.SnapshotJSON(obs.Default)
+	if path == "" {
+		fmt.Fprintln(os.Stderr, string(data))
+		fmt.Fprint(os.Stderr, obs.Trace.SummaryTable())
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Printf("metrics: %v", err)
+		return
+	}
+	log.Printf("metrics: snapshot written to %s", path)
 }

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	mvmaint "repro"
+	"repro/internal/obs"
 	"repro/internal/txn"
 )
 
@@ -91,12 +92,39 @@ func main() {
 	seed := flag.Int64("seed", 0, "chunk-order seed for -method parallel (result is seed-independent)")
 	var txns txnFlags
 	flag.Var(&txns, "txn", "transaction type kind:rel[:cols]:size:weight (repeatable)")
+	metrics := flag.Bool("metrics", false, "dump the metrics snapshot as JSON to stderr on exit")
+	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot JSON to this file on exit (implies -metrics)")
+	httpAddr := flag.String("http", "", "serve /metrics, /spans and /debug/pprof on this address (e.g. :8080) and block after the run")
 	flag.Parse()
 
 	if *schema == "" || *view == "" || len(txns) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *httpAddr != "" {
+		addr, err := obs.Serve(*httpAddr, obs.Default, obs.Trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("metrics: serving http://%s/metrics (also /spans, /spans/summary, /debug/pprof)", addr)
+	}
+	defer func() {
+		if *metrics || *metricsOut != "" {
+			data := obs.SnapshotJSON(obs.Default)
+			if *metricsOut == "" {
+				fmt.Fprintln(os.Stderr, string(data))
+				fmt.Fprint(os.Stderr, obs.Trace.SummaryTable())
+			} else if err := os.WriteFile(*metricsOut, data, 0o644); err != nil {
+				log.Printf("metrics: %v", err)
+			} else {
+				log.Printf("metrics: snapshot written to %s", *metricsOut)
+			}
+		}
+		if *httpAddr != "" {
+			log.Printf("metrics: run complete; endpoints stay up until interrupted")
+			select {}
+		}
+	}()
 	sql, err := os.ReadFile(*schema)
 	if err != nil {
 		log.Fatal(err)

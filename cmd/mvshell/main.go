@@ -10,6 +10,7 @@
 //	.explain         show the optimizer's decision
 //	.view name       print a maintained view's rows
 //	.io              print cumulative page I/O counters
+//	.stats           print the metrics registry and span self-time summary
 //	.quit            exit
 package main
 
@@ -18,9 +19,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	mvmaint "repro"
+	"repro/internal/obs"
 	"repro/internal/txn"
 )
 
@@ -44,7 +47,7 @@ func main() {
 	for sc.Scan() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
-		if buf.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+		if buf.Len() == 0 && (strings.HasPrefix(trimmed, ".") || strings.HasPrefix(trimmed, "\\")) {
 			if !meta(db, &sys, trimmed) {
 				return
 			}
@@ -106,10 +109,52 @@ func meta(db *mvmaint.DB, sys **mvmaint.System, cmd string) bool {
 		fmt.Printf("  (%d rows)\n", len(rows))
 	case ".io":
 		fmt.Println(" ", db.Store.IO.String())
+	case ".stats", "\\stats":
+		printStats()
 	default:
 		fmt.Println("unknown meta command:", fields[0])
 	}
 	return true
+}
+
+// printStats renders the global metrics registry (non-zero counters,
+// gauges and histogram quantiles, sorted by name) plus the span
+// self-time summary.
+func printStats() {
+	s := obs.Default.Snapshot()
+	names := make([]string, 0, len(s.Counters))
+	for n, v := range s.Counters {
+		if v != 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-44s %d\n", n, s.Counters[n])
+	}
+	gnames := make([]string, 0, len(s.Gauges))
+	for n := range s.Gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		fmt.Printf("  %-44s %g\n", n, s.Gauges[n])
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for n, h := range s.Histograms {
+		if h.Count != 0 {
+			hnames = append(hnames, n)
+		}
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := s.Histograms[n]
+		fmt.Printf("  %-44s count=%d sum=%d p50<=%d p99<=%d\n",
+			n, h.Count, h.Sum, h.Quantile(0.5), h.Quantile(0.99))
+	}
+	if out := obs.Trace.SummaryTable(); out != "" {
+		fmt.Print(out)
+	}
 }
 
 // defaultWorkload synthesizes one modify type per base relation (equal

@@ -22,6 +22,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/cost"
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/tracks"
 	"repro/internal/txn"
 )
@@ -114,6 +115,9 @@ func (o *Optimizer) candidates() []*dag.EqNode {
 // are costed and the result carries Truncated instead of an error; only
 // a candidate count too large for a 63-bit mask still errors.
 func (o *Optimizer) Exhaustive() (*Result, error) {
+	sp := obs.Trace.Start("core.exhaustive", 0)
+	defer sp.Finish()
+	obsSearchRuns.Inc()
 	cands := o.candidates()
 	if len(cands) >= 63 {
 		return nil, fmt.Errorf("core: %d candidate views overflow the enumeration bitmask; use Shielded or a heuristic", len(cands))
@@ -140,6 +144,8 @@ func (o *Optimizer) Exhaustive() (*Result, error) {
 	}
 	res.Explored = len(res.All)
 	res.Pruned = (1 << len(cands)) - res.Explored
+	obsSearchNodes.Add(int64(res.Explored))
+	obsSearchEvaluated.Add(int64(res.Explored))
 	sortEvaluated(res.All)
 	res.Best = res.All[0]
 	return res, nil

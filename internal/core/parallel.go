@@ -32,7 +32,18 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/tracks"
+)
+
+// Registry mirrors of search effort. Workers tally privately and fold
+// once per run, so the DFS hot path carries no shared atomics beyond
+// the incumbent it already has.
+var (
+	obsSearchRuns      = obs.C("core.search.runs")
+	obsSearchNodes     = obs.C("core.search.nodes_expanded")
+	obsSearchEvaluated = obs.C("core.search.evaluated")
+	obsSearchPruned    = obs.C("core.search.bound_prunes")
 )
 
 // MethodParallel is the Result.Method reported by Parallel. It is a
@@ -45,6 +56,9 @@ const MethodParallel = "parallel-bnb"
 // modulo sets provably more expensive than the optimum) while costing
 // far fewer view sets, using Parallelism workers.
 func (o *Optimizer) Parallel() (*Result, error) {
+	sp := obs.Trace.Start("core.parallel", 0)
+	defer sp.Finish()
+	obsSearchRuns.Inc()
 	cands := o.candidates()
 	if len(cands) >= 63 {
 		return nil, fmt.Errorf("core: %d candidate views overflow the enumeration bitmask; use Shielded or a heuristic", len(cands))
@@ -99,6 +113,7 @@ func (o *Optimizer) Parallel() (*Result, error) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	results := make([][]pathEval, workers)
+	stats := make([]searchStats, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -108,11 +123,16 @@ func (o *Optimizer) Parallel() (*Result, error) {
 				if i >= chunks {
 					return
 				}
-				s.chunk(order[i], prefixBits, &results[w])
+				s.chunk(order[i], prefixBits, &results[w], &stats[w])
 			}
 		}(w)
 	}
 	wg.Wait()
+	for i := range stats {
+		obsSearchNodes.Add(stats[i].nodes)
+		obsSearchEvaluated.Add(stats[i].evaluated)
+		obsSearchPruned.Add(stats[i].pruned)
+	}
 
 	res := &Result{Method: MethodParallel, Truncated: s.truncated.Load()}
 	var evaluated []pathEval
@@ -147,6 +167,14 @@ func (o *Optimizer) Parallel() (*Result, error) {
 type pathEval struct {
 	ev      Evaluated
 	pathMax float64
+}
+
+// searchStats is one worker's private effort tally, folded into the
+// registry when the search completes.
+type searchStats struct {
+	nodes     int64 // dfs nodes expanded (partial assignments visited)
+	evaluated int64 // full view sets costed
+	pruned    int64 // subtrees cut by the additive lower bound
 }
 
 // parSearch is the state shared by all workers of one Parallel call.
@@ -196,7 +224,7 @@ func (s *parSearch) setOf(mask uint64) tracks.ViewSet {
 // the chunk id) and then DFSes the remaining low bits. Bound checks along
 // the prefix mirror the DFS 1-branch checks, so a whole chunk is skipped
 // as soon as its forced views alone exceed the incumbent.
-func (s *parSearch) chunk(c, prefixBits int, out *[]pathEval) {
+func (s *parSearch) chunk(c, prefixBits int, out *[]pathEval, st *searchStats) {
 	n := len(s.cands)
 	mask := uint64(0)
 	lb := 0.0
@@ -207,10 +235,11 @@ func (s *parSearch) chunk(c, prefixBits int, out *[]pathEval) {
 		mask |= 1 << (n - 1 - k)
 		lb += s.candLB[n-1-k]
 		if lb > s.bound() {
+			st.pruned++
 			return
 		}
 	}
-	s.dfs(n-1-prefixBits, mask, lb, out)
+	s.dfs(n-1-prefixBits, mask, lb, out, st)
 }
 
 // dfs assigns candidate bits from idx down to 0, 0-branch first. The
@@ -219,7 +248,7 @@ func (s *parSearch) chunk(c, prefixBits int, out *[]pathEval) {
 // a true upper bound on the optimum at all times. The bound only grows
 // along a path, so a leaf's lb is also the maximum bound on its path —
 // the determinism filter key.
-func (s *parSearch) dfs(idx int, mask uint64, lb float64, out *[]pathEval) {
+func (s *parSearch) dfs(idx int, mask uint64, lb float64, out *[]pathEval, st *searchStats) {
 	if s.exhausted() {
 		// An unpruned subtree reached after the budget expired is work
 		// the unbudgeted search would have done: genuine truncation.
@@ -228,6 +257,7 @@ func (s *parSearch) dfs(idx int, mask uint64, lb float64, out *[]pathEval) {
 		s.truncated.Store(true)
 		return
 	}
+	st.nodes++
 	if idx < 0 {
 		if s.evals.Add(1) > s.budget {
 			s.truncated.Store(true)
@@ -235,13 +265,15 @@ func (s *parSearch) dfs(idx int, mask uint64, lb float64, out *[]pathEval) {
 		}
 		ev := s.o.evaluate(s.setOf(mask))
 		s.observe(ev.Weighted)
+		st.evaluated++
 		*out = append(*out, pathEval{ev: ev, pathMax: lb})
 		return
 	}
-	s.dfs(idx-1, mask, lb, out)
+	s.dfs(idx-1, mask, lb, out, st)
 	lb2 := lb + s.candLB[idx]
 	if lb2 > s.bound() {
+		st.pruned++
 		return
 	}
-	s.dfs(idx-1, mask|1<<idx, lb2, out)
+	s.dfs(idx-1, mask|1<<idx, lb2, out, st)
 }

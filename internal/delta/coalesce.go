@@ -1,7 +1,71 @@
 package delta
 
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Registry mirrors of coalescing work: how many signed-row units
+// entered a window, how many survived netting, and how many annihilated
+// — the measured counterpart of the batching win the §3.6 arithmetic
+// only estimates. Units are signed rows (|Count| per tuple side, so a
+// modification is two: −old and +new), the currency Normalize nets in;
+// counting raw Change entries would let out exceed in whenever a
+// modification survives as a split delete+insert pair.
+var (
+	obsCoalesceWindows     = obs.C("delta.coalesce.windows")
+	obsCoalesceChangesIn   = obs.C("delta.coalesce.changes_in")
+	obsCoalesceChangesOut  = obs.C("delta.coalesce.changes_out")
+	obsCoalesceAnnihilated = obs.C("delta.coalesce.annihilated")
+)
+
+// signedUnits is the netting currency of a delta: per change, |Count|
+// for each non-nil tuple side. Netting can only cancel units, never
+// mint them, so the metric in − out is always ≥ 0.
+func signedUnits(d *Delta) int64 {
+	var n int64
+	for _, c := range d.Changes {
+		k := c.Count
+		if k < 0 {
+			k = -k
+		}
+		if c.Old != nil {
+			n += k
+		}
+		if c.New != nil {
+			n += k
+		}
+	}
+	return n
+}
+
+// RelDelta is one base relation's net delta within a coalesced window.
+type RelDelta struct {
+	Rel   string
+	Delta *Delta
+}
+
+// Coalesced is a window's net effect: one entry per base relation with
+// a non-empty net delta, sorted by relation name. The ordering is part
+// of the contract — batch logs, metrics snapshots and downstream plan
+// keys all iterate it, so it must be identical across runs.
+type Coalesced []RelDelta
+
+// Get returns the net delta for a relation (nil when the relation's
+// window effect annihilated or the relation was untouched).
+func (c Coalesced) Get(rel string) *Delta {
+	for _, rd := range c {
+		if rd.Rel == rel {
+			return rd.Delta
+		}
+	}
+	return nil
+}
+
 // Coalesce merges a window of per-transaction update maps into one net
-// delta per base relation, valid against the pre-batch state.
+// delta per base relation, valid against the pre-batch state, sorted by
+// relation name.
 //
 // Composition is signed bag addition: applying d1 then d2 to a relation
 // leaves it in the same state as applying their concatenation, so the
@@ -15,13 +79,16 @@ package delta
 // The result contains only insertions and deletions: modification
 // pairing does not survive tuple-wise netting (the old and new halves
 // may cancel against other transactions independently).
-func Coalesce(windows []map[string]*Delta) map[string]*Delta {
+func Coalesce(windows []map[string]*Delta) Coalesced {
+	obsCoalesceWindows.Inc()
 	concat := map[string]*Delta{}
+	var changesIn int64
 	for _, updates := range windows {
 		for rel, d := range updates {
 			if d.Empty() {
 				continue
 			}
+			changesIn += signedUnits(d)
 			acc, ok := concat[rel]
 			if !ok {
 				acc = New(d.Schema)
@@ -30,11 +97,17 @@ func Coalesce(windows []map[string]*Delta) map[string]*Delta {
 			acc.Changes = append(acc.Changes, d.Changes...)
 		}
 	}
-	out := map[string]*Delta{}
+	var out Coalesced
+	var changesOut int64
 	for rel, acc := range concat {
 		if net := acc.Normalize(); !net.Empty() {
-			out[rel] = net
+			out = append(out, RelDelta{Rel: rel, Delta: net})
+			changesOut += signedUnits(net)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rel < out[j].Rel })
+	obsCoalesceChangesIn.Add(changesIn)
+	obsCoalesceChangesOut.Add(changesOut)
+	obsCoalesceAnnihilated.Add(changesIn - changesOut)
 	return out
 }

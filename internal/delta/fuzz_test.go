@@ -150,7 +150,7 @@ func FuzzDeltaApply(f *testing.F) {
 		// script delta (signed bag addition — this is what licenses the
 		// batch pipeline to propagate once per window).
 		merged := delta.Coalesce(windows)
-		mergedEmp := merged["Emp"]
+		mergedEmp := merged.Get("Emp")
 		if mergedEmp == nil {
 			mergedEmp = delta.New(join.L.Schema())
 		}

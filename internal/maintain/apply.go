@@ -9,9 +9,19 @@ import (
 	"repro/internal/dag"
 	"repro/internal/delta"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/tracks"
 	"repro/internal/value"
+)
+
+// Registry mirrors of the per-transaction probe cache — the runtime
+// counterpart of the track-level multi-query optimization. A high hit
+// rate is the measured form of the sharing the cost model assumes when
+// it charges each distinct query once per transaction.
+var (
+	obsProbeHits   = obs.C("maintain.probe.hits")
+	obsProbeMisses = obs.C("maintain.probe.misses")
 )
 
 // opDelta computes the delta of one equivalence node through its chosen
@@ -258,8 +268,10 @@ func (m *Maintainer) countProbe(parent *dag.EqNode, child *dag.EqNode, cache map
 func (m *Maintainer) answerQuery(target *dag.EqNode, cols []string, key value.Tuple, cache map[string][]storage.Row) ([]storage.Row, error) {
 	ckb := queryCacheKey(make([]byte, 0, 64), target.ID, cols, key)
 	if rows, ok := cache[string(ckb)]; ok {
+		obsProbeHits.Inc()
 		return rows, nil
 	}
+	obsProbeMisses.Inc()
 	ck := string(ckb)
 	var rows []storage.Row
 	if target.IsLeaf() {

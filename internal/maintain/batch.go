@@ -2,14 +2,27 @@ package maintain
 
 import (
 	"fmt"
-	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/delta"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/tracks"
 	"repro/internal/txn"
 )
+
+// obsBatchWindow records the transaction count of each coalesced window
+// — the batching knob §3.6's space-for-time trade is parameterized by.
+var obsBatchWindow = obs.H("maintain.batch.window")
+
+// workerHist returns the apply-latency histogram for one view-apply
+// worker slot (nanoseconds per view applied). Registration is lazy and
+// idempotent, so repeated batches share one histogram per slot; a
+// skewed slot reveals an unbalanced view partition.
+func workerHist(w int) *obs.Histogram {
+	return obs.H(fmt.Sprintf("maintain.apply.worker%02d.ns", w))
+}
 
 // BatchReport describes one maintained window of transactions, with the
 // same I/O split as Report. QueryIO covers the single propagation pass
@@ -31,8 +44,9 @@ type BatchReport struct {
 	// Deltas holds the computed change at every affected node.
 	Deltas map[int]*delta.Delta
 	// Merged holds the coalesced per-base-relation deltas the window
-	// nets out to (what was actually propagated and applied).
-	Merged map[string]*delta.Delta
+	// nets out to (what was actually propagated and applied), sorted by
+	// relation name.
+	Merged delta.Coalesced
 }
 
 // PaperTotal is the quantity §3.6 reports: query I/O plus
@@ -60,6 +74,9 @@ func (r *BatchReport) PaperTotal() int64 { return r.QueryIO.Total() + r.ViewIO.T
 // contents are identical to applying the window transaction by
 // transaction; only the I/O spent getting there differs.
 func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
+	sp := obs.Trace.Start("maintain.batch", 0)
+	defer sp.Finish()
+	obsBatchWindow.Observe(int64(len(txns)))
 	windows := make([]map[string]*delta.Delta, len(txns))
 	for i, t := range txns {
 		windows[i] = t.Updates
@@ -87,51 +104,56 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 	}
 	rep.Track = tr
 
-	// Seed leaf deltas from the merged window.
+	// Seed leaf deltas from the merged window. Coalesce emits only
+	// non-empty net deltas, so a Get hit is always worth seeding.
 	for _, e := range m.D.Eqs() {
 		if e.IsLeaf() {
-			if du, ok := merged[e.BaseRel]; ok && !du.Empty() {
+			if du := merged.Get(e.BaseRel); du != nil {
 				rep.Deltas[e.ID] = du
 			}
 		}
 	}
 
 	// One propagation pass for the whole window, charging queries.
+	prop := obs.Trace.Start("maintain.propagate", sp.ID())
 	probeCache := map[string][]storage.Row{}
-	io0 := *m.Store.IO
+	io0 := m.Store.IO.Snapshot()
 	for _, e := range tr.Order {
 		op := tr.Choice[e.ID]
 		d, err := m.opDelta(e, op, rep.Deltas, tr, probeCache)
 		if err != nil {
+			prop.Finish()
 			return nil, fmt.Errorf("maintain: %s at %s: %w", bt.Name, e, err)
 		}
 		rep.Deltas[e.ID] = d
+		obsDeltaChanges.Observe(int64(len(d.Changes)))
 	}
-	rep.QueryIO = m.Store.IO.Sub(io0)
+	rep.QueryIO = m.Store.IO.Snapshot().Sub(io0)
+	prop.Finish()
 
 	// Apply deltas to the materialized views. Sidecar updates ride with
 	// the owning view's worker: they only read the (now fully computed)
 	// delta map and write that view's private live/stale/pending state.
-	if err := m.applyViews(rep, tr); err != nil {
+	av := obs.Trace.Start("maintain.apply_views", sp.ID())
+	err := m.applyViews(rep, tr)
+	av.Finish()
+	if err != nil {
 		return nil, err
 	}
 
-	// Finally apply the base relation updates, one batch per relation,
-	// in deterministic order.
-	rels := make([]string, 0, len(merged))
-	for rel := range merged {
-		rels = append(rels, rel)
-	}
-	sort.Strings(rels)
-	before := *m.Store.IO
-	for _, rel := range rels {
-		r, ok := m.Store.Get(rel)
+	// Finally apply the base relation updates, one batch per relation.
+	// Coalesce sorts by relation name, so the order is deterministic.
+	ab := obs.Trace.Start("maintain.apply_base", sp.ID())
+	defer ab.Finish()
+	before := m.Store.IO.Snapshot()
+	for _, rd := range merged {
+		r, ok := m.Store.Get(rd.Rel)
 		if !ok {
-			return nil, fmt.Errorf("maintain: unknown relation %q", rel)
+			return nil, fmt.Errorf("maintain: unknown relation %q", rd.Rel)
 		}
-		r.ApplyBatch(merged[rel].ToMutations())
+		r.ApplyBatch(rd.Delta.ToMutations())
 	}
-	rep.BaseIO = m.Store.IO.Sub(before)
+	rep.BaseIO = m.Store.IO.Snapshot().Sub(before)
 	return rep, nil
 }
 
@@ -160,11 +182,13 @@ func (m *Maintainer) applyViews(rep *BatchReport, tr *tracks.Track) error {
 	}
 
 	if workers <= 1 {
+		hist := workerHist(0)
 		for _, w := range work {
+			t0 := time.Now()
 			if d := rep.Deltas[w.v.Eq.ID]; !d.Empty() {
-				before := *m.Store.IO
+				before := m.Store.IO.Snapshot()
 				w.v.Rel.ApplyBatch(d.ToMutations())
-				used := m.Store.IO.Sub(before)
+				used := m.Store.IO.Snapshot().Sub(before)
 				if w.root {
 					rep.RootIO = addIO(rep.RootIO, used)
 				} else {
@@ -174,6 +198,7 @@ func (m *Maintainer) applyViews(rep *BatchReport, tr *tracks.Track) error {
 			if err := m.updateSidecar(w.v, rep.Deltas, tr); err != nil {
 				return err
 			}
+			hist.Observe(time.Since(t0).Nanoseconds())
 		}
 		return nil
 	}
@@ -186,29 +211,36 @@ func (m *Maintainer) applyViews(rep *BatchReport, tr *tracks.Track) error {
 	jobs := make(chan viewWork)
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			hist := workerHist(w)
+			// wio is this worker's private counter: the charge paths
+			// mutate it atomically, and nobody else holds a pointer to
+			// it, so the plain copy/Sub below are race-free (see the
+			// IOCounter concurrency contract in internal/storage).
 			var wio, rootSum, viewSum storage.IOCounter
 			var werr error
-			for w := range jobs {
+			for j := range jobs {
 				if werr != nil {
 					continue // drain after a failure
 				}
-				if d := rep.Deltas[w.v.Eq.ID]; !d.Empty() {
+				t0 := time.Now()
+				if d := rep.Deltas[j.v.Eq.ID]; !d.Empty() {
 					before := wio
-					w.v.Rel.SetIOCounter(&wio)
-					w.v.Rel.ApplyBatch(d.ToMutations())
-					w.v.Rel.SetIOCounter(nil)
+					j.v.Rel.SetIOCounter(&wio)
+					j.v.Rel.ApplyBatch(d.ToMutations())
+					j.v.Rel.SetIOCounter(nil)
 					used := wio.Sub(before)
-					if w.root {
+					if j.root {
 						rootSum = addIO(rootSum, used)
 					} else {
 						viewSum = addIO(viewSum, used)
 					}
 				}
-				if err := m.updateSidecar(w.v, rep.Deltas, tr); err != nil {
+				if err := m.updateSidecar(j.v, rep.Deltas, tr); err != nil {
 					werr = err
 				}
+				hist.Observe(time.Since(t0).Nanoseconds())
 			}
 			mu.Lock()
 			rep.RootIO = addIO(rep.RootIO, rootSum)
@@ -217,7 +249,7 @@ func (m *Maintainer) applyViews(rep *BatchReport, tr *tracks.Track) error {
 				firstErr = werr
 			}
 			mu.Unlock()
-		}()
+		}(i)
 	}
 	for _, w := range work {
 		jobs <- w
@@ -226,6 +258,10 @@ func (m *Maintainer) applyViews(rep *BatchReport, tr *tracks.Track) error {
 	wg.Wait()
 	// Fold the workers' private charges back into the store's shared
 	// counter so global accounting matches the sequential path exactly.
-	*m.Store.IO = addIO(*m.Store.IO, addIO(rep.RootIO, rep.ViewIO))
+	// AddCounter mutates atomically: the store counter may be read (or
+	// Reset) concurrently by monitoring goroutines — e.g. a /metrics
+	// scrape — and the ownership rule is that only quiescent or
+	// goroutine-private counters may be accessed non-atomically.
+	m.Store.IO.AddCounter(addIO(rep.RootIO, rep.ViewIO))
 	return firstErr
 }

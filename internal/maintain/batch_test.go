@@ -186,7 +186,7 @@ func TestApplyBatchWorkerIOIndependence(t *testing.T) {
 		if _, err := many.m.ApplyBatch(window); err != nil {
 			t.Fatal(err)
 		}
-		if a, b := *one.db.Store.IO, *many.db.Store.IO; a != b {
+		if a, b := one.db.Store.IO.Snapshot(), many.db.Store.IO.Snapshot(); a != b {
 			t.Fatalf("window %d: worker count changed I/O accounting:\n1 worker:  %s\n8 workers: %s",
 				w, a.String(), b.String())
 		}
@@ -212,7 +212,7 @@ func TestApplyBatchAnnihilation(t *testing.T) {
 	tyDel := &txn.Type{Name: "-Emp", Weight: 1, Updates: []txn.RelUpdate{{Rel: "Emp", Kind: txn.Delete, Size: 1}}}
 
 	before := sortedContents(mir.m, mir.checked[0])
-	io0 := *mir.db.Store.IO
+	io0 := mir.db.Store.IO.Snapshot()
 	rep, err := mir.m.ApplyBatch([]txn.Transaction{
 		{Type: tyIns, Updates: map[string]*delta.Delta{"Emp": ins}},
 		{Type: tyDel, Updates: map[string]*delta.Delta{"Emp": del}},
@@ -223,7 +223,7 @@ func TestApplyBatchAnnihilation(t *testing.T) {
 	if len(rep.Merged) != 0 {
 		t.Fatalf("annihilating window left a net delta: %v", rep.Merged)
 	}
-	if got := mir.db.Store.IO.Sub(io0); got.Total() != 0 {
+	if got := mir.db.Store.IO.Snapshot().Sub(io0); got.Total() != 0 {
 		t.Fatalf("annihilating window charged I/O: %s", got)
 	}
 	if after := sortedContents(mir.m, mir.checked[0]); !rowsEqual(before, after) {

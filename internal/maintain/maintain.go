@@ -15,11 +15,19 @@ import (
 	"repro/internal/dag"
 	"repro/internal/delta"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/tracks"
 	"repro/internal/txn"
 	"repro/internal/value"
 )
+
+// obsDeltaChanges records the cardinality of every delta computed along
+// an update track (leaves excluded — they are the transaction's input,
+// not propagation output). The distribution shows how deltas grow or
+// shrink as they climb the track, the quantity the paper's per-node
+// update charges are proportional to.
+var obsDeltaChanges = obs.H("maintain.delta.changes")
 
 // View is one materialized equivalence node with its backing store and
 // (for aggregates and duplicate elimination) the live-count sidecar that
@@ -225,6 +233,8 @@ func (r *Report) PaperTotal() int64 { return r.QueryIO.Total() + r.ViewIO.Total(
 // and finally to the base relations, as in the paper's differential
 // formalism (R_old, V_old).
 func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Report, error) {
+	sp := obs.Trace.Start("maintain.apply", 0)
+	defer sp.Finish()
 	tr := m.plans[t.Name]
 	if tr == nil {
 		best, _ := m.Cost.CostViewSet(m.VS, t)
@@ -246,17 +256,21 @@ func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Repor
 	}
 
 	// Compute deltas bottom-up along the track, charging queries.
+	prop := obs.Trace.Start("maintain.propagate", sp.ID())
 	probeCache := map[string][]storage.Row{}
-	io0 := *m.Store.IO
+	io0 := m.Store.IO.Snapshot()
 	for _, e := range tr.Order {
 		op := tr.Choice[e.ID]
 		d, err := m.opDelta(e, op, rep.Deltas, tr, probeCache)
 		if err != nil {
+			prop.Finish()
 			return nil, fmt.Errorf("maintain: %s at %s: %w", t.Name, e, err)
 		}
 		rep.Deltas[e.ID] = d
+		obsDeltaChanges.Observe(int64(len(d.Changes)))
 	}
-	rep.QueryIO = m.Store.IO.Sub(io0)
+	rep.QueryIO = m.Store.IO.Snapshot().Sub(io0)
+	prop.Finish()
 
 	// Apply deltas to materialized views (sidecars first need the child
 	// deltas, which are all computed by now).
@@ -266,9 +280,9 @@ func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Repor
 			continue
 		}
 		if d := rep.Deltas[e.ID]; !d.Empty() {
-			before := *m.Store.IO
+			before := m.Store.IO.Snapshot()
 			v.Rel.ApplyBatch(d.ToMutations())
-			used := m.Store.IO.Sub(before)
+			used := m.Store.IO.Snapshot().Sub(before)
 			if m.D.IsRoot(e) {
 				rep.RootIO = addIO(rep.RootIO, used)
 			} else {
@@ -285,7 +299,7 @@ func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Repor
 	}
 
 	// Finally apply the base relation updates.
-	before := *m.Store.IO
+	before := m.Store.IO.Snapshot()
 	for rel, du := range updates {
 		r, ok := m.Store.Get(rel)
 		if !ok {
@@ -293,7 +307,7 @@ func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Repor
 		}
 		r.ApplyBatch(du.ToMutations())
 	}
-	rep.BaseIO = m.Store.IO.Sub(before)
+	rep.BaseIO = m.Store.IO.Snapshot().Sub(before)
 	return rep, nil
 }
 

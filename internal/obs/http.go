@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry and tracer over HTTP:
+//
+//	/metrics        registry snapshot as JSON (expvar-style)
+//	/spans          buffered spans as JSON, oldest first
+//	/spans/summary  per-name self-time table (text)
+//	/debug/pprof/   the standard pprof handlers
+//
+// Nil registry or tracer arguments fall back to the package defaults.
+func Handler(r *Registry, t *Tracer) http.Handler {
+	if r == nil {
+		r = Default
+	}
+	if t == nil {
+		t = Trace
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		spans, dropped := t.Spans()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Dropped uint64 `json:"dropped"`
+			Spans   []Span `json:"spans"`
+		}{Dropped: dropped, Spans: spans})
+	})
+	mux.HandleFunc("/spans/summary", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(t.SummaryTable()))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for Handler(r, t) on addr in a background
+// goroutine, returning the bound address (useful with ":0") or an error
+// if the listener cannot be opened.
+func Serve(addr string, r *Registry, t *Tracer) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler(r, t)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// SnapshotJSON renders the registry snapshot as indented JSON — what
+// the -metrics CLI flags dump on exit.
+func SnapshotJSON(r *Registry) []byte {
+	if r == nil {
+		r = Default
+	}
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return []byte("{}")
+	}
+	return append(data, '\n')
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one finished traced operation. Timestamps are nanoseconds
+// since the tracer's epoch, so exported spans from one process line up
+// on a common axis.
+type Span struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Start  int64  `json:"start_ns"`
+	Dur    int64  `json:"dur_ns"`
+}
+
+// Tracer records spans into a fixed-size ring: starting a span is two
+// atomic ops and a clock read; finishing takes a short mutex to publish
+// into the ring. Old spans are overwritten once the ring wraps (Dropped
+// reports how many), so tracing is always on without unbounded memory.
+type Tracer struct {
+	epoch time.Time
+	now   func() time.Time // replaceable for deterministic tests
+
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []Span
+	total uint64 // finished spans ever recorded
+}
+
+// NewTracer returns a tracer whose ring holds the most recent capacity
+// finished spans (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{
+		epoch: time.Now(),
+		now:   time.Now,
+		ring:  make([]Span, 0, capacity),
+	}
+}
+
+// Active is an in-flight span; call Finish to record it.
+type Active struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+}
+
+// Start begins a span. parent is the ID of the enclosing span (0 for a
+// root). Safe on a nil tracer (returns a no-op Active).
+func (t *Tracer) Start(name string, parent uint64) *Active {
+	if t == nil {
+		return nil
+	}
+	return &Active{
+		tr:     t,
+		id:     t.nextID.Add(1),
+		parent: parent,
+		name:   name,
+		start:  t.now(),
+	}
+}
+
+// ID returns the span's ID for use as a child's parent (0 on nil).
+func (a *Active) ID() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.id
+}
+
+// Finish records the span into the tracer's ring.
+func (a *Active) Finish() {
+	if a == nil {
+		return
+	}
+	t := a.tr
+	sp := Span{
+		ID:     a.id,
+		Parent: a.parent,
+		Name:   a.name,
+		Start:  a.start.Sub(t.epoch).Nanoseconds(),
+		Dur:    t.now().Sub(a.start).Nanoseconds(),
+	}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, sp)
+	} else {
+		t.ring[t.total%uint64(cap(t.ring))] = sp
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns the buffered finished spans ordered by start time, plus
+// the number of spans that have been overwritten since the tracer was
+// created.
+func (t *Tracer) Spans() (spans []Span, dropped uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	spans = make([]Span, len(t.ring))
+	copy(spans, t.ring)
+	total := t.total
+	t.mu.Unlock()
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	if n := uint64(len(spans)); total > n {
+		dropped = total - n
+	}
+	return spans, dropped
+}
+
+// NameStat is one row of the self-time summary.
+type NameStat struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+	// Total is the summed wall time of spans with this name.
+	Total int64 `json:"total_ns"`
+	// Self is Total minus the time spent in buffered child spans —
+	// where this operation itself did work rather than delegating.
+	Self int64 `json:"self_ns"`
+}
+
+// Summary aggregates the buffered spans by name with self time (span
+// duration minus the durations of its buffered children). Children
+// whose parents were overwritten count as roots; a parent whose
+// children were overwritten over-reports self time — the summary is a
+// profile of the retained window, not an exact account of all time.
+// Rows are sorted by Self descending, then name.
+func (t *Tracer) Summary() []NameStat {
+	spans, _ := t.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	childDur := map[uint64]int64{} // parent ID -> summed child duration
+	for _, sp := range spans {
+		if sp.Parent != 0 {
+			childDur[sp.Parent] += sp.Dur
+		}
+	}
+	byName := map[string]*NameStat{}
+	for _, sp := range spans {
+		st, ok := byName[sp.Name]
+		if !ok {
+			st = &NameStat{Name: sp.Name}
+			byName[sp.Name] = st
+		}
+		st.Count++
+		st.Total += sp.Dur
+		self := sp.Dur - childDur[sp.ID]
+		if self < 0 {
+			self = 0
+		}
+		st.Self += self
+	}
+	out := make([]NameStat, 0, len(byName))
+	for _, st := range byName {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Self != out[j].Self {
+			return out[i].Self > out[j].Self
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// SummaryTable renders the self-time summary as an aligned text table.
+func (t *Tracer) SummaryTable() string {
+	rows := t.Summary()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %8s %14s %14s\n", "span", "count", "total", "self")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-32s %8d %14s %14s\n",
+			r.Name, r.Count, time.Duration(r.Total), time.Duration(r.Self))
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a tracer deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func newTestTracer(capacity int) (*Tracer, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	tr := NewTracer(capacity)
+	tr.epoch = clk.t
+	tr.now = clk.now
+	return tr, clk
+}
+
+// TestSpanNesting checks parent/child linkage and the self-time
+// arithmetic: a parent's self time excludes its recorded children.
+func TestSpanNesting(t *testing.T) {
+	tr, clk := newTestTracer(64)
+
+	root := tr.Start("batch", 0)
+	clk.advance(10 * time.Millisecond)
+	child := tr.Start("propagate", root.ID())
+	clk.advance(30 * time.Millisecond)
+	grand := tr.Start("probe", child.ID())
+	clk.advance(5 * time.Millisecond)
+	grand.Finish() // 5ms
+	clk.advance(5 * time.Millisecond)
+	child.Finish() // 40ms, self 35ms
+	clk.advance(10 * time.Millisecond)
+	root.Finish() // 60ms, self 20ms
+
+	spans, dropped := tr.Spans()
+	if dropped != 0 || len(spans) != 3 {
+		t.Fatalf("spans = %d dropped = %d, want 3/0", len(spans), dropped)
+	}
+	byName := map[string]Span{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if byName["propagate"].Parent != byName["batch"].ID {
+		t.Errorf("propagate's parent = %d, want %d", byName["propagate"].Parent, byName["batch"].ID)
+	}
+	if byName["probe"].Parent != byName["propagate"].ID {
+		t.Errorf("probe's parent = %d, want %d", byName["probe"].Parent, byName["propagate"].ID)
+	}
+	if spans[0].Name != "batch" {
+		t.Errorf("spans not start-ordered: first is %q", spans[0].Name)
+	}
+
+	self := map[string]int64{}
+	total := map[string]int64{}
+	for _, st := range tr.Summary() {
+		self[st.Name], total[st.Name] = st.Self, st.Total
+	}
+	ms := int64(time.Millisecond)
+	if total["batch"] != 60*ms || self["batch"] != 20*ms {
+		t.Errorf("batch total/self = %d/%d ms, want 60/20", total["batch"]/ms, self["batch"]/ms)
+	}
+	if total["propagate"] != 40*ms || self["propagate"] != 35*ms {
+		t.Errorf("propagate total/self = %d/%d ms, want 40/35", total["propagate"]/ms, self["propagate"]/ms)
+	}
+	if total["probe"] != 5*ms || self["probe"] != 5*ms {
+		t.Errorf("probe total/self = %d/%d ms, want 5/5", total["probe"]/ms, self["probe"]/ms)
+	}
+}
+
+func TestSpanRingEviction(t *testing.T) {
+	tr, clk := newTestTracer(16)
+	for i := 0; i < 40; i++ {
+		sp := tr.Start("op", 0)
+		clk.advance(time.Millisecond)
+		sp.Finish()
+	}
+	spans, dropped := tr.Spans()
+	if len(spans) != 16 {
+		t.Fatalf("ring holds %d spans, want 16", len(spans))
+	}
+	if dropped != 24 {
+		t.Fatalf("dropped = %d, want 24", dropped)
+	}
+	// The retained spans are the most recent ones.
+	for _, sp := range spans {
+		if sp.ID <= 24 {
+			t.Fatalf("span %d survived eviction; oldest retained should be 25", sp.ID)
+		}
+	}
+
+	// Nil tracer and nil active are no-ops.
+	var nt *Tracer
+	sp := nt.Start("x", 0)
+	sp.Finish()
+	if id := sp.ID(); id != 0 {
+		t.Fatalf("nil active ID = %d, want 0", id)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http.test.count").Add(3)
+	tr, clk := newTestTracer(16)
+	sp := tr.Start("served", 0)
+	clk.advance(time.Millisecond)
+	sp.Finish()
+
+	srv := httptest.NewServer(Handler(r, tr))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return b.String()
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, `"http.test.count": 3`) {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/spans"); !strings.Contains(body, `"name": "served"`) {
+		t.Errorf("/spans missing span:\n%s", body)
+	}
+	if body := get("/spans/summary"); !strings.Contains(body, "served") {
+		t.Errorf("/spans/summary missing row:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}

@@ -124,7 +124,7 @@ func (th *Throughput) nextTxn() txn.Transaction {
 // (batch <= 1 takes the per-transaction Apply path — the baseline the
 // pipeline is measured against) and returns the page I/Os charged.
 func (th *Throughput) Run(n, batch int) (storage.IOCounter, error) {
-	io0 := *th.db.Store.IO
+	io0 := th.db.Store.IO.Snapshot()
 	if batch <= 1 {
 		for i := 0; i < n; i++ {
 			t := th.nextTxn()
@@ -132,7 +132,7 @@ func (th *Throughput) Run(n, batch int) (storage.IOCounter, error) {
 				return storage.IOCounter{}, err
 			}
 		}
-		return th.db.Store.IO.Sub(io0), nil
+		return th.db.Store.IO.Snapshot().Sub(io0), nil
 	}
 	for done := 0; done < n; {
 		size := batch
@@ -148,7 +148,7 @@ func (th *Throughput) Run(n, batch int) (storage.IOCounter, error) {
 		}
 		done += size
 	}
-	return th.db.Store.IO.Sub(io0), nil
+	return th.db.Store.IO.Snapshot().Sub(io0), nil
 }
 
 // Drift verifies every materialized view against full recomputation,

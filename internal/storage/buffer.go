@@ -1,6 +1,16 @@
 package storage
 
-import "container/list"
+import (
+	"container/list"
+
+	"repro/internal/obs"
+)
+
+// Process-wide mirrors of read-probe outcomes across all buffers.
+var (
+	obsBufferHits   = obs.C("storage.buffer.hits")
+	obsBufferMisses = obs.C("storage.buffer.misses")
+)
 
 // Buffer is an LRU page cache. The paper's Section 3.6 assumes "none of
 // the data is memory-resident initially" and charges every page touch;
@@ -51,9 +61,11 @@ func (b *Buffer) read(id string) (hit bool) {
 	if el, ok := b.index[id]; ok {
 		b.lru.MoveToFront(el)
 		b.Hits++
+		obsBufferHits.Inc()
 		return true
 	}
 	b.Misses++
+	obsBufferMisses.Inc()
 	b.admit(id)
 	return false
 }

@@ -22,12 +22,33 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
+// Registry mirrors of the I/O charges, by kind. They are incremented in
+// exactly the places an IOCounter is charged — same Resident and buffer
+// gating — so their accounting is charge-identical to the paper's,
+// aggregated process-wide across stores.
+var (
+	obsIndexReads  = obs.C("storage.io.index_reads")
+	obsIndexWrites = obs.C("storage.io.index_writes")
+	obsPageReads   = obs.C("storage.io.page_reads")
+	obsPageWrites  = obs.C("storage.io.page_writes")
+)
+
 // IOCounter accumulates page I/O charges.
+//
+// Concurrency contract: all mutation goes through atomic operations
+// (the charge paths, AddCounter and Reset), so a counter may be read
+// with Snapshot/Total at any time — including by the metrics endpoint —
+// without synchronizing with chargers. Plain field access and
+// whole-struct copies are only safe on counters no other goroutine is
+// touching (private per-worker counters, or any counter between
+// operations in single-threaded code, which is what the tests do).
 type IOCounter struct {
 	IndexReads  int64
 	IndexWrites int64
@@ -37,11 +58,38 @@ type IOCounter struct {
 
 // Total returns the total number of page I/Os.
 func (c *IOCounter) Total() int64 {
-	return c.IndexReads + c.IndexWrites + c.PageReads + c.PageWrites
+	s := c.Snapshot()
+	return s.IndexReads + s.IndexWrites + s.PageReads + s.PageWrites
+}
+
+// Snapshot returns an atomically read copy of the counter, safe against
+// concurrent charging.
+func (c *IOCounter) Snapshot() IOCounter {
+	return IOCounter{
+		IndexReads:  atomic.LoadInt64(&c.IndexReads),
+		IndexWrites: atomic.LoadInt64(&c.IndexWrites),
+		PageReads:   atomic.LoadInt64(&c.PageReads),
+		PageWrites:  atomic.LoadInt64(&c.PageWrites),
+	}
+}
+
+// AddCounter atomically folds o's charges into c. The batched
+// maintenance pipeline uses it to merge per-worker counters back into
+// the store's shared counter while readers may be watching.
+func (c *IOCounter) AddCounter(o IOCounter) {
+	atomic.AddInt64(&c.IndexReads, o.IndexReads)
+	atomic.AddInt64(&c.IndexWrites, o.IndexWrites)
+	atomic.AddInt64(&c.PageReads, o.PageReads)
+	atomic.AddInt64(&c.PageWrites, o.PageWrites)
 }
 
 // Reset zeroes the counter.
-func (c *IOCounter) Reset() { *c = IOCounter{} }
+func (c *IOCounter) Reset() {
+	atomic.StoreInt64(&c.IndexReads, 0)
+	atomic.StoreInt64(&c.IndexWrites, 0)
+	atomic.StoreInt64(&c.PageReads, 0)
+	atomic.StoreInt64(&c.PageWrites, 0)
+}
 
 // Sub returns the difference c - o (I/Os charged since snapshot o).
 func (c IOCounter) Sub(o IOCounter) IOCounter {
@@ -204,14 +252,16 @@ func (r *Relation) chargeIndexRead(pageID string) {
 	if r.store != nil && r.store.Buffer.read(pageID) {
 		return
 	}
-	r.io.IndexReads++
+	atomic.AddInt64(&r.io.IndexReads, 1)
+	obsIndexReads.Inc()
 }
 
 func (r *Relation) chargeIndexWrite(pageID string) {
 	if r.Resident {
 		return
 	}
-	r.io.IndexWrites++
+	atomic.AddInt64(&r.io.IndexWrites, 1)
+	obsIndexWrites.Inc()
 	if r.store != nil {
 		r.store.Buffer.write(pageID)
 	}
@@ -224,14 +274,16 @@ func (r *Relation) chargePageRead(pageID string) {
 	if r.store != nil && r.store.Buffer.read(pageID) {
 		return
 	}
-	r.io.PageReads++
+	atomic.AddInt64(&r.io.PageReads, 1)
+	obsPageReads.Inc()
 }
 
 func (r *Relation) chargePageWrite(pageID string) {
 	if r.Resident {
 		return
 	}
-	r.io.PageWrites++
+	atomic.AddInt64(&r.io.PageWrites, 1)
+	obsPageWrites.Inc()
 	if r.store != nil {
 		r.store.Buffer.write(pageID)
 	}

@@ -52,9 +52,11 @@ func (c *Costing) bundleFor(vs ViewSet, t *txn.Type) *trackBundle {
 	key = append(key, t.Name...)
 	if v, ok := c.bundles.Load(string(key)); ok {
 		c.cache.hits.Add(1)
+		obsBundleHits.Inc()
 		return v.(*trackBundle)
 	}
 	c.cache.misses.Add(1)
+	obsBundleMisses.Inc()
 	trs, trunc := enumerateFromRoots(c.D, roots, aff)
 	b := &trackBundle{tracks: trs, truncated: trunc}
 	ctx := newCostCtx(vs)

@@ -1,13 +1,37 @@
 package tracks
 
 import (
+	"fmt"
 	"hash/maphash"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/txn"
 )
+
+// Registry mirrors of the cost-cache traffic. The aggregate counters
+// split the two cache layers (SetCost entries vs track bundles), which
+// CacheStats folds together; the per-shard counters expose the SetCost
+// cache's shard balance, the knob that decides whether the parallel
+// search serializes on shard mutexes.
+var (
+	obsSetCostHits   = obs.C("tracks.setcost.hits")
+	obsSetCostMisses = obs.C("tracks.setcost.misses")
+	obsBundleHits    = obs.C("tracks.bundle.hits")
+	obsBundleMisses  = obs.C("tracks.bundle.misses")
+
+	obsShardHits   [cacheShards]*obs.Counter
+	obsShardMisses [cacheShards]*obs.Counter
+)
+
+func init() {
+	for i := range obsShardHits {
+		obsShardHits[i] = obs.C(fmt.Sprintf("tracks.setcost.shard%02d.hits", i))
+		obsShardMisses[i] = obs.C(fmt.Sprintf("tracks.setcost.shard%02d.misses", i))
+	}
+}
 
 // SetCost is the cached pricing of one (view set, transaction type) pair:
 // the best update track by total cost, plus the cheapest update-only cost
@@ -57,25 +81,30 @@ func newCostCache() *costCache {
 	return c
 }
 
-func (c *costCache) shard(key string) *costShard {
-	return &c.shards[maphash.String(c.seed, key)&(cacheShards-1)]
+func (c *costCache) shardIndex(key string) int {
+	return int(maphash.String(c.seed, key) & (cacheShards - 1))
 }
 
 func (c *costCache) get(key string) (SetCost, bool) {
-	s := c.shard(key)
+	i := c.shardIndex(key)
+	s := &c.shards[i]
 	s.mu.Lock()
 	sc, ok := s.m[key]
 	s.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
+		obsSetCostHits.Inc()
+		obsShardHits[i].Inc()
 	} else {
 		c.misses.Add(1)
+		obsSetCostMisses.Inc()
+		obsShardMisses[i].Inc()
 	}
 	return sc, ok
 }
 
 func (c *costCache) put(key string, sc SetCost) {
-	s := c.shard(key)
+	s := &c.shards[c.shardIndex(key)]
 	s.mu.Lock()
 	s.m[key] = sc
 	s.mu.Unlock()

@@ -24,24 +24,19 @@ type Transaction struct {
 // the window mixes them, and modified column sets union. Only relations
 // with non-empty net deltas appear, so annihilated updates do not
 // influence track choice. The name is deterministic in the window's
-// update signature and doubles as a plan-cache key.
-func MergedType(txns []Transaction, merged map[string]*delta.Delta) *Type {
-	rels := make([]string, 0, len(merged))
-	for rel := range merged {
-		rels = append(rels, rel)
-	}
-	sort.Strings(rels)
-
+// update signature — merged is already sorted by relation name — and
+// doubles as a plan-cache key.
+func MergedType(txns []Transaction, merged delta.Coalesced) *Type {
 	out := &Type{Weight: 1}
-	parts := make([]string, 0, len(rels))
-	for _, rel := range rels {
-		kind, cols, typed := declaredUpdate(txns, rel)
+	parts := make([]string, 0, len(merged))
+	for _, rd := range merged {
+		kind, cols, typed := declaredUpdate(txns, rd.Rel)
 		if !typed {
-			kind = inferKind(merged[rel])
+			kind = inferKind(rd.Delta)
 		}
-		u := RelUpdate{Rel: rel, Kind: kind, Size: float64(merged[rel].Size()), Cols: cols}
+		u := RelUpdate{Rel: rd.Rel, Kind: kind, Size: float64(rd.Delta.Size()), Cols: cols}
 		out.Updates = append(out.Updates, u)
-		parts = append(parts, fmt.Sprintf("%s:%s:%s:%g", rel, kind, strings.Join(cols, "+"), u.Size))
+		parts = append(parts, fmt.Sprintf("%s:%s:%s:%g", rd.Rel, kind, strings.Join(cols, "+"), u.Size))
 	}
 	out.Name = "batch[" + strings.Join(parts, " ") + "]"
 	return out
