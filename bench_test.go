@@ -263,6 +263,18 @@ func BenchmarkMaintainThroughput(b *testing.B) {
 	cfg := corpus.DefaultFigure5Config()
 	const txnsPerOp = 256
 	var results []paper.ThroughputRow
+	// The framework may invoke a sub-benchmark several times while
+	// calibrating b.N; keep only the final (largest-N, least noisy)
+	// measurement per grid cell.
+	record := func(row paper.ThroughputRow) {
+		for i := range results {
+			if results[i].Batch == row.Batch && results[i].Workers == row.Workers {
+				results[i] = row
+				return
+			}
+		}
+		results = append(results, row)
+	}
 	for _, batch := range []int{1, 16, 64} {
 		for _, workers := range []int{1, 4} {
 			batch, workers := batch, workers
@@ -277,7 +289,7 @@ func BenchmarkMaintainThroughput(b *testing.B) {
 				}
 				b.ReportMetric(last.TxnsPerSec, "txns/sec")
 				b.ReportMetric(last.IOPerTxn, "pageIO/txn")
-				results = append(results, last)
+				record(last)
 			})
 		}
 	}

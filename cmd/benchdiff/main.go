@@ -1,0 +1,128 @@
+// Command benchdiff gates maintenance-throughput regressions: it
+// compares a freshly generated BENCH_maintain.json against the
+// committed one and exits non-zero when the batched pipeline slowed
+// down beyond a threshold.
+//
+// Usage:
+//
+//	benchdiff -old /tmp/bench_committed.json -new BENCH_maintain.json
+//
+// Raw txns/sec is machine-dependent (the committed file records the
+// author's machine; CI runs on whatever runner it gets), so the gate
+// compares each file's *speedup*: batch-N txns/sec normalized by that
+// same file's batch-1/workers-1 baseline. The batching advantage is a
+// property of the pipeline, not the host, so a shrinking speedup is a
+// real regression no matter how fast the runner is. The gate checks
+// every (batch, workers) row with batch == -batch (default 64) present
+// in both files and fails when the fresh speedup falls more than
+// -threshold (default 0.20) below the committed one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/paper"
+)
+
+type benchFile struct {
+	Workload string                `json:"workload"`
+	Rows     []paper.ThroughputRow `json:"rows"`
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no rows", path)
+	}
+	return &f, nil
+}
+
+// baseline returns the batch-1/workers-1 txns/sec of f.
+func baseline(f *benchFile) (float64, error) {
+	for _, r := range f.Rows {
+		if r.Batch == 1 && r.Workers == 1 {
+			if r.TxnsPerSec <= 0 {
+				return 0, fmt.Errorf("non-positive batch-1 baseline")
+			}
+			return r.TxnsPerSec, nil
+		}
+	}
+	return 0, fmt.Errorf("no batch-1/workers-1 baseline row")
+}
+
+func main() {
+	log.SetFlags(0)
+	oldPath := flag.String("old", "", "committed BENCH_maintain.json (e.g. from git show HEAD:...)")
+	newPath := flag.String("new", "BENCH_maintain.json", "freshly generated BENCH_maintain.json")
+	batch := flag.Int("batch", 64, "batch size to gate on")
+	threshold := flag.Float64("threshold", 0.20, "maximum allowed relative speedup regression")
+	flag.Parse()
+	if *oldPath == "" {
+		log.Fatal("benchdiff: -old is required")
+	}
+	oldF, err := load(*oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newF, err := load(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oldBase, err := baseline(oldF)
+	if err != nil {
+		log.Fatalf("benchdiff: %s: %v", *oldPath, err)
+	}
+	newBase, err := baseline(newF)
+	if err != nil {
+		log.Fatalf("benchdiff: %s: %v", *newPath, err)
+	}
+
+	// Keep the last row per workers count — older files may carry
+	// duplicate calibration rows.
+	gateRows := func(f *benchFile) map[int]float64 {
+		out := map[int]float64{} // workers → txns/sec at *batch
+		for _, r := range f.Rows {
+			if r.Batch == *batch {
+				out[r.Workers] = r.TxnsPerSec
+			}
+		}
+		return out
+	}
+	oldGate, newGate := gateRows(oldF), gateRows(newF)
+	checked := 0
+	failed := false
+	for workers, tps := range newGate {
+		oldTps, ok := oldGate[workers]
+		if !ok {
+			continue
+		}
+		checked++
+		was, got := oldTps/oldBase, tps/newBase
+		rel := got/was - 1
+		status := "ok"
+		if got < was*(1-*threshold) {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("batch %d workers %d: speedup %.2fx → %.2fx (%+.1f%%) %s\n",
+			*batch, workers, was, got, 100*rel, status)
+	}
+	if checked == 0 {
+		log.Fatalf("benchdiff: no common batch-%d rows between %s and %s", *batch, *oldPath, *newPath)
+	}
+	if failed {
+		log.Fatalf("benchdiff: batch-%d speedup regressed more than %.0f%%", *batch, 100**threshold)
+	}
+	fmt.Printf("benchdiff: %d row(s) within %.0f%% of committed speedup\n", checked, 100**threshold)
+}

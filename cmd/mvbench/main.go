@@ -9,8 +9,10 @@
 //	mvbench -sweeps      # the ablation sweeps recorded in EXPERIMENTS.md
 //	mvbench -parallel    # parallel branch-and-bound vs exhaustive search
 //	                     # (tune with -j workers and -seed n)
-//	mvbench -throughput  # batched maintenance throughput grid
-//	                     # (-j pins the worker count; default measures 1 and 4)
+//	mvbench -throughput  # batched maintenance throughput grid, with
+//	                     # apply-latency p50/p99 from the maintain.apply.ns
+//	                     # histogram (-j pins the worker count; default
+//	                     # measures 1 and 4)
 //
 // -j sets worker counts everywhere (alias: -workers). -cpuprofile and
 // -memprofile write pprof profiles of whatever modes were run.

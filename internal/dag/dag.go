@@ -127,6 +127,7 @@ type DAG struct {
 	nextEq   int
 	nextOp   int
 	baseRels map[int][]string // eq ID → sorted base relations beneath
+	fps      map[int]string   // eq ID → structural fingerprint (see Fingerprint)
 }
 
 // New returns an empty DAG.
@@ -135,6 +136,7 @@ func New() *DAG {
 		byLabel:  map[string]*EqNode{},
 		opIndex:  map[string]*OpNode{},
 		baseRels: map[int][]string{},
+		fps:      map[int]string{},
 	}
 }
 
@@ -440,7 +442,10 @@ func dedupeOps(ops []*OpNode) []*OpNode {
 	return out
 }
 
-func (d *DAG) invalidate() { d.baseRels = map[int][]string{} }
+func (d *DAG) invalidate() {
+	d.baseRels = map[int][]string{}
+	d.fps = map[int]string{}
+}
 
 // BaseRelsOf returns the sorted base relation names reachable below an
 // equivalence node.

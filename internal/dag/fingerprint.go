@@ -1,0 +1,65 @@
+package dag
+
+import (
+	"strings"
+
+	"repro/internal/algebra"
+)
+
+// Fingerprint returns a structural fingerprint of an equivalence node:
+// the canonical label of its representative tree with Ref leaves
+// expanded recursively down to base relations. Unlike canonicalLabel —
+// which embeds class IDs and is only stable within one DAG instance —
+// the fingerprint is a pure function of the expression structure, so two
+// classes (even across DAG instances over the same catalog) that
+// represent the same subexpression collide. The maintenance runtime
+// keys its per-window subplan memo on it: any rep-tree subexpression
+// posed by more than one query along an update track maps to one memo
+// slot and is evaluated once per window.
+//
+// Fingerprints are memoized per class (including every class visited
+// along the way) and the cache is cleared whenever the DAG mutates,
+// alongside the base-relation cache. Not safe for concurrent first use;
+// compute fingerprints during (single-threaded) plan compilation, after
+// which reads hit the memo.
+func (d *DAG) Fingerprint(e *EqNode) string {
+	if fp, ok := d.fps[e.ID]; ok {
+		return fp
+	}
+	var fp string
+	if e.IsLeaf() {
+		fp = e.Expr.Label()
+	} else {
+		var b strings.Builder
+		d.appendNodeFingerprint(&b, e.Expr)
+		fp = b.String()
+	}
+	if d.fps == nil {
+		d.fps = map[int]string{}
+	}
+	d.fps[e.ID] = fp
+	return fp
+}
+
+// appendNodeFingerprint renders a template tree, recursing through Ref
+// leaves into their classes' (memoized) fingerprints.
+func (d *DAG) appendNodeFingerprint(b *strings.Builder, n algebra.Node) {
+	if r, ok := n.(Ref); ok {
+		b.WriteString(d.Fingerprint(r.Eq))
+		return
+	}
+	children := n.Children()
+	if len(children) == 0 {
+		b.WriteString(n.Label())
+		return
+	}
+	b.WriteString(n.OpLabel())
+	b.WriteByte('(')
+	for i, c := range children {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		d.appendNodeFingerprint(b, c)
+	}
+	b.WriteByte(')')
+}

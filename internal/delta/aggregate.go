@@ -49,28 +49,20 @@ func Decomposable(specs []algebra.AggSpec, d *Delta) bool {
 // (value.Tuple.Key() form), which the caller persists alongside the view
 // to detect group emptiness.
 func AggregateIncremental(a *algebra.Aggregate, d *Delta, oldAgg OldAgg) (*Delta, map[string]int64, error) {
+	p, err := CompileAggregate(a, d.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.Incremental(d, oldAgg)
+}
+
+// Incremental is the compiled form of AggregateIncremental: the group-by
+// positions and argument accessors come from the plan instead of being
+// re-resolved per call. It requires Decomposable for this delta.
+func (p *AggregatePlan) Incremental(d *Delta, oldAgg OldAgg) (*Delta, map[string]int64, error) {
+	a, gpos, argFns := p.a, p.gpos, p.argFns
 	if !Decomposable(a.Aggs, d) {
 		return nil, nil, fmt.Errorf("delta: aggregate %s is not decomposable for this delta", a.OpLabel())
-	}
-	in := d.Schema
-	gpos := make([]int, len(a.GroupBy))
-	for i, g := range a.GroupBy {
-		j, err := in.Resolve(g)
-		if err != nil {
-			return nil, nil, err
-		}
-		gpos[i] = j
-	}
-	argFns := make([]func(value.Tuple) value.Value, len(a.Aggs))
-	for i, ag := range a.Aggs {
-		if ag.Arg == nil {
-			continue
-		}
-		f, err := ag.Arg.Compile(in)
-		if err != nil {
-			return nil, nil, err
-		}
-		argFns[i] = f
 	}
 	// Accumulate signed contributions per group.
 	type acc struct {

@@ -30,6 +30,12 @@ func FuzzDeltaApply(f *testing.F) {
 	f.Add([]byte{0, 1, 1, 40, 1, 6, 0, 0})
 	f.Add([]byte{0, 0, 2, 10, 0, 0, 2, 10, 1, 6, 0, 0, 1, 6, 0, 0})
 	f.Add([]byte{2, 0, 1, 60, 2, 0, 2, 60, 2, 0, 1, 60})
+	// Merged batch with a shared subexpression: two modifies move distinct
+	// rows into the same department at the same salary (their group-key
+	// probes collapse to one shared query along the track), then a hire
+	// lands in the dangling department — the coalesced window poses the
+	// same σ[DName=k] subexpression from multiple changes.
+	f.Add([]byte{2, 0, 1, 55, 2, 1, 1, 55, 0, 0, 3, 20})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 96 {
 			data = data[:96]

@@ -1,0 +1,376 @@
+package delta
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Compiled propagation plans: the compile-once/apply-many split of the
+// per-operator delta functions. Select/Project/JoinSide resolve column
+// positions and compile predicates against the child schema every call;
+// along a cached update track those are the same schema and the same
+// expressions window after window, so the maintenance runtime compiles
+// each step once per (view set, transaction type) and replays it with
+// zero per-window schema resolution or predicate compilation. Plans own
+// their scratch buffers (KeyEncoder, probe cache map), so one plan must
+// not be applied concurrently — matching the single-threaded
+// propagation pass that uses them.
+
+// SelectPlan is a compiled Select propagation step.
+type SelectPlan struct {
+	sel  *algebra.Select
+	pred func(value.Tuple) value.Value
+}
+
+// CompileSelect compiles sel's predicate against the child schema.
+func CompileSelect(sel *algebra.Select, in *catalog.Schema) (*SelectPlan, error) {
+	f, err := sel.Pred.Compile(in)
+	if err != nil {
+		return nil, err
+	}
+	return &SelectPlan{sel: sel, pred: f}, nil
+}
+
+// Apply propagates d through the compiled selection.
+func (p *SelectPlan) Apply(d *Delta) (*Delta, error) {
+	out := New(d.Schema)
+	for _, c := range d.Changes {
+		oldIn := c.Old != nil && p.pred(c.Old).Truth()
+		newIn := c.New != nil && p.pred(c.New).Truth()
+		switch {
+		case oldIn && newIn:
+			out.Modify(c.Old, c.New, c.Count)
+		case oldIn:
+			out.Delete(c.Old, c.Count)
+		case newIn:
+			out.Insert(c.New, c.Count)
+		}
+	}
+	return out, nil
+}
+
+// ProjectPlan is a compiled Project propagation step.
+type ProjectPlan struct {
+	p   *algebra.Project
+	fs  []func(value.Tuple) value.Value
+	out *catalog.Schema
+}
+
+// CompileProject compiles p's items against the child schema.
+func CompileProject(p *algebra.Project, in *catalog.Schema) (*ProjectPlan, error) {
+	fs := make([]func(value.Tuple) value.Value, len(p.Items))
+	for i, it := range p.Items {
+		f, err := it.E.Compile(in)
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	return &ProjectPlan{p: p, fs: fs, out: p.Schema()}, nil
+}
+
+// Apply propagates d through the compiled projection.
+func (p *ProjectPlan) Apply(d *Delta) (*Delta, error) {
+	apply := func(t value.Tuple) value.Tuple {
+		if t == nil {
+			return nil
+		}
+		out := make(value.Tuple, len(p.fs))
+		for i, f := range p.fs {
+			out[i] = f(t)
+		}
+		return out
+	}
+	out := New(p.out)
+	for _, c := range d.Changes {
+		o, n := apply(c.Old), apply(c.New)
+		switch {
+		case o != nil && n != nil:
+			out.Modify(o, n, c.Count)
+		case o != nil:
+			out.Delete(o, c.Count)
+		case n != nil:
+			out.Insert(n, c.Count)
+		}
+	}
+	return out, nil
+}
+
+// JoinSidePlan is a compiled one-sided join propagation step: the join
+// key positions in the delta-side schema and the compiled residual, plus
+// a reusable per-window probe cache keyed by encoded join key.
+type JoinSidePlan struct {
+	j         *algebra.Join
+	side      int
+	pos       []int
+	outSchema *catalog.Schema
+	residual  func(value.Tuple) value.Value
+	cache     map[string][]storage.Row
+	enc       value.KeyEncoder
+}
+
+// CompileJoinSide compiles the side-`side` propagation of j (0 = delta
+// arrives on j.L) against that side's child schema.
+func CompileJoinSide(j *algebra.Join, side int, in *catalog.Schema) (*JoinSidePlan, error) {
+	var myCols []string
+	if side == 0 {
+		myCols = j.LeftCols()
+	} else {
+		myCols = j.RightCols()
+	}
+	pos := make([]int, len(myCols))
+	for i, c := range myCols {
+		k, err := in.Resolve(c)
+		if err != nil {
+			return nil, err
+		}
+		pos[i] = k
+	}
+	outSchema := j.Schema()
+	p := &JoinSidePlan{j: j, side: side, pos: pos, outSchema: outSchema}
+	if j.Residual != nil {
+		f, err := j.Residual.Compile(outSchema)
+		if err != nil {
+			return nil, err
+		}
+		p.residual = f
+	}
+	return p, nil
+}
+
+// Apply propagates d (arriving on the plan's side) using probe for the
+// other side's pre-update rows. The plan-level probe cache mirrors the
+// one-query-per-key cost model within this call; it is cleared on entry,
+// so stale pre-states never leak across windows.
+func (p *JoinSidePlan) Apply(d *Delta, probe Probe) (*Delta, error) {
+	if p.cache == nil {
+		p.cache = map[string][]storage.Row{}
+	} else {
+		clear(p.cache)
+	}
+	concat := func(mine, other value.Tuple) value.Tuple {
+		t := make(value.Tuple, 0, len(mine)+len(other))
+		if p.side == 0 {
+			t = append(append(t, mine...), other...)
+		} else {
+			t = append(append(t, other...), mine...)
+		}
+		return t
+	}
+	keep := func(t value.Tuple) bool {
+		return p.residual == nil || p.residual(t).Truth()
+	}
+	matches := func(t value.Tuple) ([]storage.Row, error) {
+		kb := p.enc.ProjectedKey(t, p.pos)
+		if rows, ok := p.cache[string(kb)]; ok {
+			return rows, nil
+		}
+		k := string(kb)
+		rows, err := probe(t.Project(p.pos))
+		if err != nil {
+			return nil, err
+		}
+		p.cache[k] = rows
+		return rows, nil
+	}
+	out := New(p.outSchema)
+	for _, c := range d.Changes {
+		switch {
+		case c.IsInsert():
+			rows, err := matches(c.New)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rows {
+				if t := concat(c.New, r.Tuple); keep(t) {
+					out.Insert(t, c.Count*r.Count)
+				}
+			}
+		case c.IsDelete():
+			rows, err := matches(c.Old)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rows {
+				if t := concat(c.Old, r.Tuple); keep(t) {
+					out.Delete(t, c.Count*r.Count)
+				}
+			}
+		default: // modify
+			if projEqual(c.Old, c.New, p.pos) {
+				rows, err := matches(c.Old)
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range rows {
+					ot, nt := concat(c.Old, r.Tuple), concat(c.New, r.Tuple)
+					oin, nin := keep(ot), keep(nt)
+					switch {
+					case oin && nin:
+						out.Modify(ot, nt, c.Count*r.Count)
+					case oin:
+						out.Delete(ot, c.Count*r.Count)
+					case nin:
+						out.Insert(nt, c.Count*r.Count)
+					}
+				}
+			} else {
+				oldRows, err := matches(c.Old)
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range oldRows {
+					if t := concat(c.Old, r.Tuple); keep(t) {
+						out.Delete(t, c.Count*r.Count)
+					}
+				}
+				newRows, err := matches(c.New)
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range newRows {
+					if t := concat(c.New, r.Tuple); keep(t) {
+						out.Insert(t, c.Count*r.Count)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// JoinPlan bundles the compiled pieces a join step can need: both side
+// plans and the ΔL⋈ΔR positions for the both-sides-changed case.
+type JoinPlan struct {
+	j          *algebra.Join
+	Left       *JoinSidePlan
+	Right      *JoinSidePlan
+	lpos, rpos []int
+	outSchema  *catalog.Schema
+	residual   func(value.Tuple) value.Value
+	enc        value.KeyEncoder
+}
+
+// CompileJoin compiles both propagation directions of j against the
+// children's schemas (lin for j.L, rin for j.R).
+func CompileJoin(j *algebra.Join, lin, rin *catalog.Schema) (*JoinPlan, error) {
+	left, err := CompileJoinSide(j, 0, lin)
+	if err != nil {
+		return nil, err
+	}
+	right, err := CompileJoinSide(j, 1, rin)
+	if err != nil {
+		return nil, err
+	}
+	lpos := make([]int, len(j.On))
+	rpos := make([]int, len(j.On))
+	for i, c := range j.On {
+		li, err := lin.Resolve(c.Left)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := rin.Resolve(c.Right)
+		if err != nil {
+			return nil, err
+		}
+		lpos[i], rpos[i] = li, ri
+	}
+	p := &JoinPlan{j: j, Left: left, Right: right, lpos: lpos, rpos: rpos, outSchema: j.Schema()}
+	if j.Residual != nil {
+		f, err := j.Residual.Compile(p.outSchema)
+		if err != nil {
+			return nil, err
+		}
+		p.residual = f
+	}
+	return p, nil
+}
+
+// ApplyBoth combines the three differential terms when both inputs
+// changed (the compiled form of JoinBoth).
+func (p *JoinPlan) ApplyBoth(dl, dr *Delta, probeL, probeR Probe) (*Delta, error) {
+	a, err := p.Left.Apply(dl, probeR)
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.Right.Apply(dr, probeL)
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.applyDeltaDelta(dl, dr)
+	if err != nil {
+		return nil, err
+	}
+	out := New(p.outSchema)
+	out.Changes = append(out.Changes, a.Changes...)
+	out.Changes = append(out.Changes, b.Changes...)
+	out.Changes = append(out.Changes, c.Changes...)
+	return out.Normalize(), nil
+}
+
+// applyDeltaDelta computes the signed join ΔL⋈ΔR with precompiled
+// positions.
+func (p *JoinPlan) applyDeltaDelta(dl, dr *Delta) (*Delta, error) {
+	rsigned := dr.signedRows()
+	build := make(map[string][]signedRow, len(rsigned))
+	for _, sr := range rsigned {
+		kb := p.enc.ProjectedKey(sr.tuple, p.rpos)
+		build[string(kb)] = append(build[string(kb)], sr)
+	}
+	out := New(p.outSchema)
+	for _, lsr := range dl.signedRows() {
+		kb := p.enc.ProjectedKey(lsr.tuple, p.lpos)
+		for _, rsr := range build[string(kb)] {
+			t := make(value.Tuple, 0, len(lsr.tuple)+len(rsr.tuple))
+			t = append(append(t, lsr.tuple...), rsr.tuple...)
+			if p.residual != nil && !p.residual(t).Truth() {
+				continue
+			}
+			n := lsr.count * rsr.count
+			switch {
+			case n > 0:
+				out.Insert(t, n)
+			case n < 0:
+				out.Delete(t, -n)
+			}
+		}
+	}
+	return out, nil
+}
+
+// AggregatePlan is the compiled static part of aggregate maintenance:
+// group-by positions and aggregate argument accessors resolved against
+// the child schema once.
+type AggregatePlan struct {
+	a      *algebra.Aggregate
+	gpos   []int
+	argFns []func(value.Tuple) value.Value
+	out    *catalog.Schema
+}
+
+// CompileAggregate resolves a's group-by columns and compiles its
+// aggregate arguments against the child schema.
+func CompileAggregate(a *algebra.Aggregate, in *catalog.Schema) (*AggregatePlan, error) {
+	gpos := make([]int, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		j, err := in.Resolve(g)
+		if err != nil {
+			return nil, err
+		}
+		gpos[i] = j
+	}
+	argFns := make([]func(value.Tuple) value.Value, len(a.Aggs))
+	for i, ag := range a.Aggs {
+		if ag.Arg == nil {
+			continue
+		}
+		f, err := ag.Arg.Compile(in)
+		if err != nil {
+			return nil, err
+		}
+		argFns[i] = f
+	}
+	return &AggregatePlan{a: a, gpos: gpos, argFns: argFns, out: a.Schema()}, nil
+}

@@ -17,62 +17,25 @@ type CountProbe func(t value.Tuple) (int64, error)
 
 // Select propagates d through a selection: changes whose tuples fail the
 // predicate are dropped or downgraded (a modification that crosses the
-// predicate boundary becomes an insertion or deletion).
+// predicate boundary becomes an insertion or deletion). One-shot form of
+// CompileSelect + Apply.
 func Select(sel *algebra.Select, d *Delta) (*Delta, error) {
-	f, err := sel.Pred.Compile(d.Schema)
+	p, err := CompileSelect(sel, d.Schema)
 	if err != nil {
 		return nil, err
 	}
-	out := New(d.Schema)
-	for _, c := range d.Changes {
-		oldIn := c.Old != nil && f(c.Old).Truth()
-		newIn := c.New != nil && f(c.New).Truth()
-		switch {
-		case oldIn && newIn:
-			out.Modify(c.Old, c.New, c.Count)
-		case oldIn:
-			out.Delete(c.Old, c.Count)
-		case newIn:
-			out.Insert(c.New, c.Count)
-		}
-	}
-	return out, nil
+	return p.Apply(d)
 }
 
 // Project propagates d through a projection. Modifications whose old and
-// new tuples collapse to the same projected tuple are dropped.
+// new tuples collapse to the same projected tuple are dropped. One-shot
+// form of CompileProject + Apply.
 func Project(p *algebra.Project, d *Delta) (*Delta, error) {
-	fs := make([]func(value.Tuple) value.Value, len(p.Items))
-	for i, it := range p.Items {
-		f, err := it.E.Compile(d.Schema)
-		if err != nil {
-			return nil, err
-		}
-		fs[i] = f
+	pl, err := CompileProject(p, d.Schema)
+	if err != nil {
+		return nil, err
 	}
-	apply := func(t value.Tuple) value.Tuple {
-		if t == nil {
-			return nil
-		}
-		out := make(value.Tuple, len(fs))
-		for i, f := range fs {
-			out[i] = f(t)
-		}
-		return out
-	}
-	out := New(p.Schema())
-	for _, c := range d.Changes {
-		o, n := apply(c.Old), apply(c.New)
-		switch {
-		case o != nil && n != nil:
-			out.Modify(o, n, c.Count)
-		case o != nil:
-			out.Delete(o, c.Count)
-		case n != nil:
-			out.Insert(n, c.Count)
-		}
-	}
-	return out, nil
+	return pl.Apply(d)
 }
 
 // JoinSide propagates a delta arriving on one side of an equijoin.
@@ -83,123 +46,11 @@ func Project(p *algebra.Project, d *Delta) (*Delta, error) {
 // with each matching row); one that moves the tuple across join keys
 // becomes a deletion of the old matches plus an insertion of the new.
 func JoinSide(j *algebra.Join, d *Delta, side int, probe Probe) (*Delta, error) {
-	var myCols []string
-	if side == 0 {
-		myCols = j.LeftCols()
-	} else {
-		myCols = j.RightCols()
+	p, err := CompileJoinSide(j, side, d.Schema)
+	if err != nil {
+		return nil, err
 	}
-	pos := make([]int, len(myCols))
-	for i, c := range myCols {
-		k, err := d.Schema.Resolve(c)
-		if err != nil {
-			return nil, err
-		}
-		pos[i] = k
-	}
-	outSchema := j.Schema()
-	var residual func(value.Tuple) value.Value
-	if j.Residual != nil {
-		f, err := j.Residual.Compile(outSchema)
-		if err != nil {
-			return nil, err
-		}
-		residual = f
-	}
-	concat := func(mine, other value.Tuple) value.Tuple {
-		t := make(value.Tuple, 0, len(mine)+len(other))
-		if side == 0 {
-			t = append(append(t, mine...), other...)
-		} else {
-			t = append(append(t, other...), mine...)
-		}
-		return t
-	}
-	keep := func(t value.Tuple) bool {
-		return residual == nil || residual(t).Truth()
-	}
-	// Cache probes per join-key to mirror the one-query-per-key cost
-	// model (and avoid re-reading). The cache key is encoded in place;
-	// the projected key tuple is only materialized on a cache miss.
-	cache := map[string][]storage.Row{}
-	var enc value.KeyEncoder
-	matches := func(t value.Tuple) ([]storage.Row, error) {
-		kb := enc.ProjectedKey(t, pos)
-		if rows, ok := cache[string(kb)]; ok {
-			return rows, nil
-		}
-		k := string(kb)
-		rows, err := probe(t.Project(pos))
-		if err != nil {
-			return nil, err
-		}
-		cache[k] = rows
-		return rows, nil
-	}
-	out := New(outSchema)
-	for _, c := range d.Changes {
-		switch {
-		case c.IsInsert():
-			rows, err := matches(c.New)
-			if err != nil {
-				return nil, err
-			}
-			for _, r := range rows {
-				if t := concat(c.New, r.Tuple); keep(t) {
-					out.Insert(t, c.Count*r.Count)
-				}
-			}
-		case c.IsDelete():
-			rows, err := matches(c.Old)
-			if err != nil {
-				return nil, err
-			}
-			for _, r := range rows {
-				if t := concat(c.Old, r.Tuple); keep(t) {
-					out.Delete(t, c.Count*r.Count)
-				}
-			}
-		default: // modify
-			if projEqual(c.Old, c.New, pos) {
-				rows, err := matches(c.Old)
-				if err != nil {
-					return nil, err
-				}
-				for _, r := range rows {
-					ot, nt := concat(c.Old, r.Tuple), concat(c.New, r.Tuple)
-					oin, nin := keep(ot), keep(nt)
-					switch {
-					case oin && nin:
-						out.Modify(ot, nt, c.Count*r.Count)
-					case oin:
-						out.Delete(ot, c.Count*r.Count)
-					case nin:
-						out.Insert(nt, c.Count*r.Count)
-					}
-				}
-			} else {
-				oldRows, err := matches(c.Old)
-				if err != nil {
-					return nil, err
-				}
-				for _, r := range oldRows {
-					if t := concat(c.Old, r.Tuple); keep(t) {
-						out.Delete(t, c.Count*r.Count)
-					}
-				}
-				newRows, err := matches(c.New)
-				if err != nil {
-					return nil, err
-				}
-				for _, r := range newRows {
-					if t := concat(c.New, r.Tuple); keep(t) {
-						out.Insert(t, c.Count*r.Count)
-					}
-				}
-			}
-		}
-	}
-	return out, nil
+	return p.Apply(d, probe)
 }
 
 // JoinBoth combines the three terms of the bag-join differential when
@@ -212,74 +63,11 @@ func JoinSide(j *algebra.Join, d *Delta, side int, probe Probe) (*Delta, error) 
 // -old/+new), so re-pairing of modifications is not preserved across this
 // term — the result is returned normalized.
 func JoinBoth(j *algebra.Join, dl, dr *Delta, probeL, probeR Probe) (*Delta, error) {
-	a, err := JoinSide(j, dl, 0, probeR)
+	p, err := CompileJoin(j, dl.Schema, dr.Schema)
 	if err != nil {
 		return nil, err
 	}
-	b, err := JoinSide(j, dr, 1, probeL)
-	if err != nil {
-		return nil, err
-	}
-	c, err := joinDeltaDelta(j, dl, dr)
-	if err != nil {
-		return nil, err
-	}
-	out := New(j.Schema())
-	out.Changes = append(out.Changes, a.Changes...)
-	out.Changes = append(out.Changes, b.Changes...)
-	out.Changes = append(out.Changes, c.Changes...)
-	return out.Normalize(), nil
-}
-
-// joinDeltaDelta computes the signed join ΔL⋈ΔR.
-func joinDeltaDelta(j *algebra.Join, dl, dr *Delta) (*Delta, error) {
-	lpos := make([]int, len(j.On))
-	rpos := make([]int, len(j.On))
-	for i, c := range j.On {
-		li, err := dl.Schema.Resolve(c.Left)
-		if err != nil {
-			return nil, err
-		}
-		ri, err := dr.Schema.Resolve(c.Right)
-		if err != nil {
-			return nil, err
-		}
-		lpos[i], rpos[i] = li, ri
-	}
-	outSchema := j.Schema()
-	var residual func(value.Tuple) value.Value
-	if j.Residual != nil {
-		f, err := j.Residual.Compile(outSchema)
-		if err != nil {
-			return nil, err
-		}
-		residual = f
-	}
-	build := map[string][]signedRow{}
-	var enc value.KeyEncoder
-	for _, sr := range dr.signedRows() {
-		kb := enc.ProjectedKey(sr.tuple, rpos)
-		build[string(kb)] = append(build[string(kb)], sr)
-	}
-	out := New(outSchema)
-	for _, lsr := range dl.signedRows() {
-		kb := enc.ProjectedKey(lsr.tuple, lpos)
-		for _, rsr := range build[string(kb)] {
-			t := make(value.Tuple, 0, len(lsr.tuple)+len(rsr.tuple))
-			t = append(append(t, lsr.tuple...), rsr.tuple...)
-			if residual != nil && !residual(t).Truth() {
-				continue
-			}
-			n := lsr.count * rsr.count
-			switch {
-			case n > 0:
-				out.Insert(t, n)
-			case n < 0:
-				out.Delete(t, -n)
-			}
-		}
-	}
-	return out, nil
+	return p.ApplyBoth(dl, dr, probeL, probeR)
 }
 
 // Distinct propagates d through duplicate elimination. countOf reports
@@ -420,4 +208,3 @@ func projEqual(a, b value.Tuple, pos []int) bool {
 	}
 	return true
 }
-

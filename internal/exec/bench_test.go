@@ -1,0 +1,62 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/corpus"
+	"repro/internal/expr"
+)
+
+// BenchmarkEvalOperators exercises the allocation-sensitive result
+// helpers (hashJoin, projectResult, distinctResult, unionResult) on a
+// moderately sized instance; run with -benchmem to track the effect of
+// the preallocated build/merge maps.
+func BenchmarkEvalOperators(b *testing.B) {
+	db := corpus.NewDatabase(corpus.Config{Departments: 50, EmpsPerDept: 20, ADeptsEveryN: 2})
+	ev := NewFree(db.Store)
+	join := algebra.NewJoin(
+		[]algebra.JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}},
+		algebra.Scan(db.Catalog.MustGet("Emp")),
+		algebra.Scan(db.Catalog.MustGet("Dept")),
+	)
+	proj := algebra.NewProject(
+		[]algebra.ProjectItem{{E: expr.C("Emp.DName")}, {E: expr.C("Dept.MName")}},
+		join,
+	)
+	dis := algebra.NewDistinct(proj)
+	tree := algebra.NewUnion(dis, dis)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Eval(tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalMemoShared measures the same tree with a per-iteration
+// memo installed: the duplicated Distinct input is evaluated once.
+func BenchmarkEvalMemoShared(b *testing.B) {
+	db := corpus.NewDatabase(corpus.Config{Departments: 50, EmpsPerDept: 20, ADeptsEveryN: 2})
+	ev := NewFree(db.Store)
+	join := algebra.NewJoin(
+		[]algebra.JoinCond{{Left: "Emp.DName", Right: "Dept.DName"}},
+		algebra.Scan(db.Catalog.MustGet("Emp")),
+		algebra.Scan(db.Catalog.MustGet("Dept")),
+	)
+	proj := algebra.NewProject(
+		[]algebra.ProjectItem{{E: expr.C("Emp.DName")}, {E: expr.C("Dept.MName")}},
+		join,
+	)
+	dis := algebra.NewDistinct(proj)
+	tree := algebra.NewUnion(dis, dis)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Memo = Memo{}
+		if _, err := ev.Eval(tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -60,6 +60,9 @@ type Evaluator struct {
 	Store *storage.Store
 	// Free suppresses I/O charging (scans and lookups become free).
 	Free bool
+	// Memo, when non-nil, shares full-evaluation results across repeated
+	// subtrees within one maintenance window (see Memo).
+	Memo Memo
 }
 
 // New returns a charging evaluator over the store.
@@ -68,8 +71,21 @@ func New(st *storage.Store) *Evaluator { return &Evaluator{Store: st} }
 // NewFree returns a non-charging evaluator (oracle / initial load).
 func NewFree(st *storage.Store) *Evaluator { return &Evaluator{Store: st, Free: true} }
 
-// Eval computes the full result of n.
+// Eval computes the full result of n. When a window memo is installed,
+// repeated subtrees are evaluated once and served from the memo after
+// that (results are shared — treat them as read-only).
 func (ev *Evaluator) Eval(n algebra.Node) (*Result, error) {
+	if res, ok := ev.evalMemo(n); ok {
+		return res, nil
+	}
+	res, err := ev.evalNode(n)
+	if err == nil && ev.Memo != nil {
+		ev.Memo[n] = res
+	}
+	return res, err
+}
+
+func (ev *Evaluator) evalNode(n algebra.Node) (*Result, error) {
 	switch t := n.(type) {
 	case *algebra.Rel:
 		rel, ok := ev.Store.Get(t.Def.Name)
@@ -166,8 +182,9 @@ func projectResult(in *Result, p *algebra.Project) (*Result, error) {
 		fs[i] = f
 	}
 	// Bag projection merges rows that collapse onto the same tuple.
-	merged := map[string]*storage.Row{}
-	var order []string
+	// Sized for the no-collapse case, the common one along update tracks.
+	merged := make(map[string]*storage.Row, len(in.Rows))
+	order := make([]string, 0, len(in.Rows))
 	var enc value.KeyEncoder
 	for _, row := range in.Rows {
 		t := make(value.Tuple, len(fs))
@@ -204,7 +221,7 @@ func hashJoin(j *algebra.Join, l, r *Result) (*Result, error) {
 		}
 		lpos[i], rpos[i] = li, ri
 	}
-	build := map[string][]storage.Row{}
+	build := make(map[string][]storage.Row, len(r.Rows))
 	var enc value.KeyEncoder
 	for _, row := range r.Rows {
 		kb := enc.ProjectedKey(row.Tuple, rpos)
@@ -219,7 +236,7 @@ func hashJoin(j *algebra.Join, l, r *Result) (*Result, error) {
 		}
 		residual = f
 	}
-	out := &Result{Schema: outSchema}
+	out := &Result{Schema: outSchema, Rows: make([]storage.Row, 0, len(l.Rows))}
 	for _, lrow := range l.Rows {
 		kb := enc.ProjectedKey(lrow.Tuple, lpos)
 		for _, rrow := range build[string(kb)] {
@@ -237,7 +254,7 @@ func hashJoin(j *algebra.Join, l, r *Result) (*Result, error) {
 
 func distinctResult(in *Result) *Result {
 	out := &Result{Schema: in.Schema}
-	seen := map[string]bool{}
+	seen := make(map[string]bool, len(in.Rows))
 	var enc value.KeyEncoder
 	for _, row := range in.Rows {
 		kb := enc.Key(row.Tuple)
@@ -250,8 +267,8 @@ func distinctResult(in *Result) *Result {
 }
 
 func unionResult(schema *catalog.Schema, l, r *Result, sign int64) *Result {
-	merged := map[string]*storage.Row{}
-	var order []string
+	merged := make(map[string]*storage.Row, len(l.Rows)+len(r.Rows))
+	order := make([]string, 0, len(l.Rows)+len(r.Rows))
 	var enc value.KeyEncoder
 	add := func(row storage.Row, mult int64) {
 		kb := enc.Key(row.Tuple)

@@ -1,0 +1,45 @@
+package exec
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/obs"
+)
+
+var obsSharedEvals = obs.C("exec.subplan.shared_evals")
+
+// Memo caches full-evaluation results per expression subtree within one
+// maintenance window. The key is the node pointer: the maintenance
+// runtime builds each query tree once per equivalence node (subtree
+// pointers are shared across the queries posed along a track), so two
+// queries that fall back to full evaluation of the same subexpression
+// hit the same slot — the multi-query optimization of the paper's §3
+// applied at the executor layer.
+//
+// Results stored in a memo are shared; callers must treat them as
+// read-only (every consumer in this package copies before mutating).
+// A memo is only valid while the underlying store does not change, so
+// the maintenance runtime installs a fresh one per window and discards
+// it before mutations are applied.
+type Memo map[algebra.Node]*Result
+
+// WithMemo installs m on the evaluator and returns it (chainable).
+// A nil memo disables sharing.
+func (ev *Evaluator) WithMemo(m Memo) *Evaluator {
+	ev.Memo = m
+	return ev
+}
+
+// evalMemo consults the memo before full evaluation. On a hit the
+// subexpression's I/O is not re-charged: the shared result was paid for
+// once, which is exactly the saving the cost model attributes to shared
+// subplans.
+func (ev *Evaluator) evalMemo(n algebra.Node) (*Result, bool) {
+	if ev.Memo == nil {
+		return nil, false
+	}
+	res, ok := ev.Memo[n]
+	if ok {
+		obsSharedEvals.Inc()
+	}
+	return res, ok
+}

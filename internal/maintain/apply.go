@@ -3,7 +3,6 @@ package maintain
 import (
 	"fmt"
 	"math"
-	"strconv"
 
 	"repro/internal/algebra"
 	"repro/internal/dag"
@@ -30,19 +29,41 @@ var (
 // tracks.opFlow: joins probe the unaffected side; aggregates skip their
 // group query when the parent is materialized with decomposable
 // aggregates, or when the delta covers whole groups.
-func (m *Maintainer) opDelta(e *dag.EqNode, op *dag.OpNode, deltas map[int]*delta.Delta, tr *tracks.Track, cache map[string][]storage.Row) (*delta.Delta, error) {
+//
+// st is the node's compiled plan step (may be nil); when present, the
+// precompiled propagation plans replace per-call schema resolution and
+// expression compilation.
+func (m *Maintainer) opDelta(e *dag.EqNode, op *dag.OpNode, deltas map[int]*delta.Delta, tr *tracks.Track, w *windowMemo, st *planStep) (*delta.Delta, error) {
 	childDelta := func(i int) *delta.Delta { return deltas[op.Children[i].ID] }
 	switch t := op.Template.(type) {
 	case *algebra.Select:
+		if st != nil && st.sel != nil {
+			return st.sel.Apply(childDelta(0))
+		}
 		return delta.Select(t, childDelta(0))
 
 	case *algebra.Project:
+		if st != nil && st.proj != nil {
+			return st.proj.Apply(childDelta(0))
+		}
 		return delta.Project(t, childDelta(0))
 
 	case *algebra.Join:
 		dl, dr := childDelta(0), childDelta(1)
-		probeL := m.probe(op.Children[0], t.LeftCols(), cache)
-		probeR := m.probe(op.Children[1], t.RightCols(), cache)
+		probeL := m.probe(op.Children[0], t.LeftCols(), w)
+		probeR := m.probe(op.Children[1], t.RightCols(), w)
+		if st != nil && st.join != nil {
+			switch {
+			case !dl.Empty() && !dr.Empty():
+				return st.join.ApplyBoth(dl, dr, probeL, probeR)
+			case !dl.Empty():
+				return st.join.Left.Apply(dl, probeR)
+			case !dr.Empty():
+				return st.join.Right.Apply(dr, probeL)
+			default:
+				return delta.New(t.Schema()), nil
+			}
+		}
 		switch {
 		case !dl.Empty() && !dr.Empty():
 			return delta.JoinBoth(t, dl, dr, probeL, probeR)
@@ -55,11 +76,11 @@ func (m *Maintainer) opDelta(e *dag.EqNode, op *dag.OpNode, deltas map[int]*delt
 		}
 
 	case *algebra.Aggregate:
-		return m.aggregateDelta(e, op, t, deltas, tr, cache)
+		return m.aggregateDelta(e, op, t, deltas, tr, w, st)
 
 	case *algebra.Distinct:
 		cd := childDelta(0)
-		countOf, err := m.countProbe(e, op.Children[0], cache)
+		countOf, err := m.countProbe(e, op.Children[0], w)
 		if err != nil {
 			return nil, err
 		}
@@ -75,11 +96,11 @@ func (m *Maintainer) opDelta(e *dag.EqNode, op *dag.OpNode, deltas map[int]*delt
 		return out, nil
 
 	case *algebra.Diff:
-		countL, err := m.countProbe(e, op.Children[0], cache)
+		countL, err := m.countProbe(e, op.Children[0], w)
 		if err != nil {
 			return nil, err
 		}
-		countR, err := m.countProbe(e, op.Children[1], cache)
+		countR, err := m.countProbe(e, op.Children[1], w)
 		if err != nil {
 			return nil, err
 		}
@@ -106,7 +127,7 @@ func (m *Maintainer) opDelta(e *dag.EqNode, op *dag.OpNode, deltas map[int]*delt
 // decomposable), covered (key-based, query-free) and full-group (queried)
 // aggregate maintenance strategies — the same three-way decision the cost
 // estimator prices.
-func (m *Maintainer) aggregateDelta(e *dag.EqNode, op *dag.OpNode, agg *algebra.Aggregate, deltas map[int]*delta.Delta, tr *tracks.Track, cache map[string][]storage.Row) (*delta.Delta, error) {
+func (m *Maintainer) aggregateDelta(e *dag.EqNode, op *dag.OpNode, agg *algebra.Aggregate, deltas map[int]*delta.Delta, tr *tracks.Track, w *windowMemo, st *planStep) (*delta.Delta, error) {
 	child := op.Children[0]
 	cd := deltas[child.ID]
 	if cd.Empty() {
@@ -129,7 +150,16 @@ func (m *Maintainer) aggregateDelta(e *dag.EqNode, op *dag.OpNode, agg *algebra.
 		}
 	}
 	if v != nil && v.aggOp == op && !staleTouched && delta.Decomposable(agg.Aggs, cd) {
-		out, live, err := delta.AggregateIncremental(agg, cd, m.oldAggProbe(v, agg))
+		var (
+			out  *delta.Delta
+			live map[string]int64
+			err  error
+		)
+		if st != nil && st.agg != nil {
+			out, live, err = st.agg.Incremental(cd, m.oldAggProbe(v, agg))
+		} else {
+			out, live, err = delta.AggregateIncremental(agg, cd, m.oldAggProbe(v, agg))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -158,9 +188,9 @@ func (m *Maintainer) aggregateDelta(e *dag.EqNode, op *dag.OpNode, agg *algebra.
 		oldGroup = fromDelta
 	} else {
 		// Full-group recomputation with a charged query per affected
-		// group (cached within the transaction).
+		// group (shared within the window through the memo).
 		oldGroup = func(gk value.Tuple) ([]storage.Row, error) {
-			return m.answerQuery(child, agg.GroupBy, gk, cache)
+			return m.answerQuery(child, agg.GroupBy, gk, w)
 		}
 	}
 	out, err := delta.AggregateFull(agg, cd, oldGroup)
@@ -215,19 +245,19 @@ func (m *Maintainer) oldAggProbe(v *View, agg *algebra.Aggregate) delta.OldAgg {
 
 // probe builds a join probe answering from the pre-update state of an
 // equivalence node, charged.
-func (m *Maintainer) probe(target *dag.EqNode, cols []string, cache map[string][]storage.Row) delta.Probe {
+func (m *Maintainer) probe(target *dag.EqNode, cols []string, w *windowMemo) delta.Probe {
 	return func(jk value.Tuple) ([]storage.Row, error) {
-		return m.answerQuery(target, cols, jk, cache)
+		return m.answerQuery(target, cols, jk, w)
 	}
 }
 
 // countProbe answers multiplicity questions for Distinct/Diff: from the
 // sidecar when this node's view tracks them, else by a charged point
 // query on the child.
-func (m *Maintainer) countProbe(parent *dag.EqNode, child *dag.EqNode, cache map[string][]storage.Row) (delta.CountProbe, error) {
+func (m *Maintainer) countProbe(parent *dag.EqNode, child *dag.EqNode, w *windowMemo) (delta.CountProbe, error) {
 	cols := child.Schema().ColumnNames()
 	query := func(t value.Tuple) (int64, error) {
-		rows, err := m.answerQuery(child, cols, t, cache)
+		rows, err := m.answerQuery(child, cols, t, w)
 		if err != nil {
 			return 0, err
 		}
@@ -263,11 +293,13 @@ func (m *Maintainer) countProbe(parent *dag.EqNode, child *dag.EqNode, cache map
 // database, charged, using the materialized view set: a materialized
 // target is probed through its index; otherwise the cheapest
 // view-aware expression tree is evaluated with the filter pushed down.
-// Results are cached per (target, cols, key) within one transaction —
-// the runtime counterpart of the track-level multi-query optimization.
-func (m *Maintainer) answerQuery(target *dag.EqNode, cols []string, key value.Tuple, cache map[string][]storage.Row) ([]storage.Row, error) {
-	ckb := queryCacheKey(make([]byte, 0, 64), target.ID, cols, key)
-	if rows, ok := cache[string(ckb)]; ok {
+// Results are shared through the window memo, keyed by the target's
+// structural fingerprint — the runtime counterpart of the track-level
+// multi-query optimization (queries posed by more than one consumer
+// along the track are answered once per window).
+func (m *Maintainer) answerQuery(target *dag.EqNode, cols []string, key value.Tuple, w *windowMemo) ([]storage.Row, error) {
+	ckb := m.memoKey(make([]byte, 0, 64), target, cols, key)
+	if rows, ok := w.get(ckb); ok {
 		obsProbeHits.Inc()
 		return rows, nil
 	}
@@ -284,28 +316,16 @@ func (m *Maintainer) answerQuery(target *dag.EqNode, cols []string, key value.Tu
 		rows = v.Rel.Lookup(cols, key)
 	} else {
 		tree := m.queryTree(target)
-		res, err := exec.New(m.Store).EvalFiltered(tree, cols, key)
+		ev := exec.New(m.Store)
+		ev.Memo = w.eval
+		res, err := ev.EvalFiltered(tree, cols, key)
 		if err != nil {
 			return nil, err
 		}
 		rows = res.Rows
 	}
-	cache[ck] = rows
+	w.put(ck, rows)
 	return rows, nil
-}
-
-// queryCacheKey builds the per-transaction probe-cache key for
-// σ[cols = key](target) without going through fmt: node id, column list
-// and the tuple's canonical key encoding.
-func queryCacheKey(dst []byte, id int, cols []string, key value.Tuple) []byte {
-	dst = strconv.AppendInt(dst, int64(id), 10)
-	dst = append(dst, '|')
-	for _, c := range cols {
-		dst = append(dst, c...)
-		dst = append(dst, ',')
-	}
-	dst = append(dst, '|')
-	return value.AppendKey(dst, key)
 }
 
 // queryTree builds (and memoizes) the cheapest view-aware evaluation tree

@@ -74,8 +74,12 @@ func (r *BatchReport) PaperTotal() int64 { return r.QueryIO.Total() + r.ViewIO.T
 // contents are identical to applying the window transaction by
 // transaction; only the I/O spent getting there differs.
 func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
+	t0 := time.Now()
 	sp := obs.Trace.Start("maintain.batch", 0)
-	defer sp.Finish()
+	defer func() {
+		sp.Finish()
+		obsApplyNs.Observe(time.Since(t0).Nanoseconds())
+	}()
 	obsBatchWindow.Observe(int64(len(txns)))
 	windows := make([]map[string]*delta.Delta, len(txns))
 	for i, t := range txns {
@@ -93,15 +97,11 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 		rep.Track = &tracks.Track{}
 		return rep, nil
 	}
-	tr := m.plans[bt.Name]
-	if tr == nil {
-		best, _ := m.Cost.CostViewSet(m.VS, bt)
-		tr = best.Track
-		if tr == nil {
-			tr = &tracks.Track{}
-		}
-		m.plans[bt.Name] = tr
+	plan, err := m.planFor(bt)
+	if err != nil {
+		return nil, err
 	}
+	tr := plan.track
 	rep.Track = tr
 
 	// Seed leaf deltas from the merged window. Coalesce emits only
@@ -114,13 +114,15 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 		}
 	}
 
-	// One propagation pass for the whole window, charging queries.
+	// One propagation pass for the whole window, charging queries; the
+	// window memo shares answered queries across every transaction the
+	// window coalesced.
 	prop := obs.Trace.Start("maintain.propagate", sp.ID())
-	probeCache := map[string][]storage.Row{}
+	w := m.newWindowMemo()
 	io0 := m.Store.IO.Snapshot()
 	for _, e := range tr.Order {
 		op := tr.Choice[e.ID]
-		d, err := m.opDelta(e, op, rep.Deltas, tr, probeCache)
+		d, err := m.opDelta(e, op, rep.Deltas, tr, w, plan.steps[e.ID])
 		if err != nil {
 			prop.Finish()
 			return nil, fmt.Errorf("maintain: %s at %s: %w", bt.Name, e, err)
@@ -135,7 +137,7 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 	// the owning view's worker: they only read the (now fully computed)
 	// delta map and write that view's private live/stale/pending state.
 	av := obs.Trace.Start("maintain.apply_views", sp.ID())
-	err := m.applyViews(rep, tr)
+	err = m.applyViews(rep, tr)
 	av.Finish()
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ package maintain
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/catalog"
@@ -28,6 +29,11 @@ import (
 // shrink as they climb the track, the quantity the paper's per-node
 // update charges are proportional to.
 var obsDeltaChanges = obs.H("maintain.delta.changes")
+
+// obsApplyNs records end-to-end apply latency per window (Apply and
+// ApplyBatch), in nanoseconds — the histogram the benchmark rows report
+// p50/p99 from.
+var obsApplyNs = obs.H("maintain.apply.ns")
 
 // View is one materialized equivalence node with its backing store and
 // (for aggregates and duplicate elimination) the live-count sidecar that
@@ -70,8 +76,13 @@ type Maintainer struct {
 	// sequentially (buffered charging mutates shared LRU state).
 	Workers int
 
+	// DisableMQO turns off the per-window shared subplan memo (every
+	// query goes back to storage). Test knob: the equivalence suite
+	// compares memo-shared propagation against this per-query oracle.
+	DisableMQO bool
+
 	views map[int]*View
-	plans map[string]*tracks.Track
+	plans map[string]*trackPlan
 	trees map[int]algebra.Node // memoized query trees per eq node
 }
 
@@ -87,7 +98,7 @@ func New(d *dag.DAG, st *storage.Store, model cost.Model, vs tracks.ViewSet) (*M
 		Cost:  tracks.NewCosting(d, model),
 		VS:    vs,
 		views: map[int]*View{},
-		plans: map[string]*tracks.Track{},
+		plans: map[string]*trackPlan{},
 		trees: map[int]algebra.Node{},
 	}
 	free := exec.NewFree(st)
@@ -233,17 +244,17 @@ func (r *Report) PaperTotal() int64 { return r.QueryIO.Total() + r.ViewIO.Total(
 // and finally to the base relations, as in the paper's differential
 // formalism (R_old, V_old).
 func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Report, error) {
+	t0 := time.Now()
 	sp := obs.Trace.Start("maintain.apply", 0)
-	defer sp.Finish()
-	tr := m.plans[t.Name]
-	if tr == nil {
-		best, _ := m.Cost.CostViewSet(m.VS, t)
-		tr = best.Track
-		if tr == nil {
-			tr = &tracks.Track{Choice: map[int]*dag.OpNode{}}
-		}
-		m.plans[t.Name] = tr
+	defer func() {
+		sp.Finish()
+		obsApplyNs.Observe(time.Since(t0).Nanoseconds())
+	}()
+	plan, err := m.planFor(t)
+	if err != nil {
+		return nil, err
 	}
+	tr := plan.track
 	rep := &Report{Txn: t.Name, Track: tr, Deltas: map[int]*delta.Delta{}}
 
 	// Seed leaf deltas.
@@ -255,13 +266,15 @@ func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Repor
 		}
 	}
 
-	// Compute deltas bottom-up along the track, charging queries.
+	// Compute deltas bottom-up along the track, charging queries. The
+	// window memo shares answered queries (and repeated subtree
+	// evaluations) across every step of this pass.
 	prop := obs.Trace.Start("maintain.propagate", sp.ID())
-	probeCache := map[string][]storage.Row{}
+	w := m.newWindowMemo()
 	io0 := m.Store.IO.Snapshot()
 	for _, e := range tr.Order {
 		op := tr.Choice[e.ID]
-		d, err := m.opDelta(e, op, rep.Deltas, tr, probeCache)
+		d, err := m.opDelta(e, op, rep.Deltas, tr, w, plan.steps[e.ID])
 		if err != nil {
 			prop.Finish()
 			return nil, fmt.Errorf("maintain: %s at %s: %w", t.Name, e, err)
@@ -491,4 +504,3 @@ func (m *Maintainer) Drift(e *dag.EqNode) (string, error) {
 	}
 	return "", nil
 }
-

@@ -143,6 +143,44 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return out
 }
 
+// Sub returns the observations recorded between o — an earlier snapshot
+// of the same histogram — and s: bucket counts and sums subtract
+// pairwise, and trailing empty buckets are trimmed. Benchmarks use this
+// to isolate one measurement window from a process-lifetime histogram.
+func (s HistogramSnapshot) Sub(o HistogramSnapshot) HistogramSnapshot {
+	var cur, old [histBuckets]int64
+	fill := func(dst *[histBuckets]int64, snap HistogramSnapshot) {
+		prev := int64(0)
+		for _, bk := range snap.Buckets {
+			// Invert the Le encoding: bucket 0 has Le 0, bucket b has
+			// Le 2^b - 1, so bits.Len64(Le) recovers the index.
+			dst[bits.Len64(bk.Le)] = bk.Count - prev
+			prev = bk.Count
+		}
+	}
+	fill(&cur, s)
+	fill(&old, o)
+	out := HistogramSnapshot{Sum: s.Sum - o.Sum}
+	last := -1
+	for b := range cur {
+		cur[b] -= old[b]
+		if cur[b] != 0 {
+			last = b
+		}
+	}
+	var cum int64
+	for b := 0; b <= last; b++ {
+		cum += cur[b]
+		le := uint64(0)
+		if b > 0 {
+			le = 1<<uint(b) - 1
+		}
+		out.Buckets = append(out.Buckets, Bucket{Le: le, Count: cum})
+	}
+	out.Count = cum
+	return out
+}
+
 // Quantile estimates the q-quantile (0 <= q <= 1) from the snapshot's
 // buckets: the upper bound of the first bucket whose cumulative count
 // reaches q of the total. Coarse (power-of-two resolution) but stable.

@@ -1,0 +1,21 @@
+package paper_test
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/paper"
+)
+
+func BenchmarkWindow64(b *testing.B) {
+	th, err := paper.NewThroughput(corpus.DefaultFigure5Config(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := th.Run(64, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

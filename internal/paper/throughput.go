@@ -9,6 +9,7 @@ package paper
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -17,12 +18,21 @@ import (
 	"repro/internal/dag"
 	"repro/internal/delta"
 	"repro/internal/maintain"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/storage"
 	"repro/internal/tracks"
 	"repro/internal/txn"
 	"repro/internal/value"
 )
+
+// BenchSchemaVersion stamps BENCH_maintain.json rows so the bench
+// trajectory stays machine-comparable across PRs: bump it whenever the
+// row layout or the meaning of a measured column changes.
+//
+//	1: batch/workers/txns/txns_per_sec/page_io_per_txn
+//	2: + apply_p50_ns/apply_p99_ns (maintain.apply.ns histogram window)
+const BenchSchemaVersion = 2
 
 // Throughput is a maintained Figure 5 system plus a deterministic
 // hot-item workload generator. The generator never consults database
@@ -168,11 +178,17 @@ func (th *Throughput) Drift() (string, error) {
 
 // ThroughputRow is one (batch size, workers) measurement.
 type ThroughputRow struct {
-	Batch      int     `json:"batch"`
-	Workers    int     `json:"workers"`
-	Txns       int     `json:"txns"`
-	TxnsPerSec float64 `json:"txns_per_sec"`
-	IOPerTxn   float64 `json:"page_io_per_txn"`
+	SchemaVersion int     `json:"schema_version"`
+	Batch         int     `json:"batch"`
+	Workers       int     `json:"workers"`
+	Txns          int     `json:"txns"`
+	TxnsPerSec    float64 `json:"txns_per_sec"`
+	IOPerTxn      float64 `json:"page_io_per_txn"`
+	// Apply-latency quantiles (nanoseconds per Apply/ApplyBatch call)
+	// from the maintain.apply.ns histogram, restricted to this run's
+	// window. Power-of-two bucket resolution.
+	ApplyP50Ns uint64 `json:"apply_p50_ns"`
+	ApplyP99Ns uint64 `json:"apply_p99_ns"`
 }
 
 // MeasureThroughput runs n transactions for one (batch, workers)
@@ -183,23 +199,33 @@ func MeasureThroughput(cfg corpus.Figure5Config, n, batch, workers int) (Through
 	if err != nil {
 		return ThroughputRow{}, err
 	}
+	applyHist := obs.H("maintain.apply.ns")
+	before := applyHist.Snapshot()
+	// Setup (materialization, statistics) leaves a heap of garbage whose
+	// collection would otherwise be charged to the timed window; quiesce
+	// the collector so the measurement covers maintenance work only.
+	runtime.GC()
 	start := time.Now()
 	io, err := th.Run(n, batch)
 	elapsed := time.Since(start)
 	if err != nil {
 		return ThroughputRow{}, err
 	}
+	window := applyHist.Snapshot().Sub(before)
 	if drift, err := th.Drift(); err != nil {
 		return ThroughputRow{}, err
 	} else if drift != "" {
 		return ThroughputRow{}, fmt.Errorf("throughput run drifted: %s", drift)
 	}
 	return ThroughputRow{
-		Batch:      batch,
-		Workers:    workers,
-		Txns:       n,
-		TxnsPerSec: float64(n) / elapsed.Seconds(),
-		IOPerTxn:   float64(io.Total()) / float64(n),
+		SchemaVersion: BenchSchemaVersion,
+		Batch:         batch,
+		Workers:       workers,
+		Txns:          n,
+		TxnsPerSec:    float64(n) / elapsed.Seconds(),
+		IOPerTxn:      float64(io.Total()) / float64(n),
+		ApplyP50Ns:    window.Quantile(0.50),
+		ApplyP99Ns:    window.Quantile(0.99),
 	}, nil
 }
 
@@ -210,7 +236,8 @@ func ThroughputTable(cfg corpus.Figure5Config, n int, batches, workers []int) ([
 	var base float64
 	var b strings.Builder
 	b.WriteString("Batched maintenance throughput (Figure 5 schema, 80% hot-item >T, 20% +S)\n")
-	fmt.Fprintf(&b, "%-8s %-8s %14s %14s %10s\n", "batch", "workers", "txns/sec", "pageIO/txn", "speedup")
+	fmt.Fprintf(&b, "%-8s %-8s %14s %14s %12s %12s %10s\n",
+		"batch", "workers", "txns/sec", "pageIO/txn", "p50(µs)", "p99(µs)", "speedup")
 	for _, bs := range batches {
 		for _, w := range workers {
 			row, err := MeasureThroughput(cfg, n, bs, w)
@@ -221,8 +248,9 @@ func ThroughputTable(cfg corpus.Figure5Config, n int, batches, workers []int) ([
 			if base == 0 {
 				base = row.TxnsPerSec
 			}
-			fmt.Fprintf(&b, "%-8d %-8d %14.0f %14.2f %9.2fx\n",
-				row.Batch, row.Workers, row.TxnsPerSec, row.IOPerTxn, row.TxnsPerSec/base)
+			fmt.Fprintf(&b, "%-8d %-8d %14.0f %14.2f %12.1f %12.1f %9.2fx\n",
+				row.Batch, row.Workers, row.TxnsPerSec, row.IOPerTxn,
+				float64(row.ApplyP50Ns)/1e3, float64(row.ApplyP99Ns)/1e3, row.TxnsPerSec/base)
 		}
 	}
 	return rows, b.String(), nil

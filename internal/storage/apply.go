@@ -48,24 +48,22 @@ func (r *Relation) ApplyBatch(batch []Mutation) {
 		for _, ix := range r.indexes {
 			switch {
 			case m.IsInsert():
-				id := r.indexPageID(ix.def.Name, ix.keyOf(m.New))
-				r.chargeIndexRead(id)
-				r.chargeIndexWrite(id)
+				bk := ix.keyOf(m.New)
+				r.chargeIndexRead(ix.def.Name, bk)
+				r.chargeIndexWrite(ix.def.Name, bk)
 			case m.IsDelete():
-				id := r.indexPageID(ix.def.Name, ix.keyOf(m.Old))
-				r.chargeIndexRead(id)
-				r.chargeIndexWrite(id)
+				bk := ix.keyOf(m.Old)
+				r.chargeIndexRead(ix.def.Name, bk)
+				r.chargeIndexWrite(ix.def.Name, bk)
 			case m.IsModify():
-				ob, nb := ix.keyOf(m.Old), ix.keyOf(m.New)
-				oid := r.indexPageID(ix.def.Name, ob)
-				if ob == nb {
-					r.chargeIndexRead(oid)
+				ob := ix.keyOf(m.Old)
+				if nb := ix.keyOf(m.New); ob == nb {
+					r.chargeIndexRead(ix.def.Name, ob)
 				} else {
-					nid := r.indexPageID(ix.def.Name, nb)
-					r.chargeIndexRead(oid)
-					r.chargeIndexWrite(oid)
-					r.chargeIndexRead(nid)
-					r.chargeIndexWrite(nid)
+					r.chargeIndexRead(ix.def.Name, ob)
+					r.chargeIndexWrite(ix.def.Name, ob)
+					r.chargeIndexRead(ix.def.Name, nb)
+					r.chargeIndexWrite(ix.def.Name, nb)
 				}
 			}
 		}
@@ -101,10 +99,9 @@ func (r *Relation) ApplyBatch(batch []Mutation) {
 			}
 		}
 		for _, bucket := range order {
-			id := r.indexPageID(ix.def.Name, bucket)
-			r.chargeIndexRead(id)
+			r.chargeIndexRead(ix.def.Name, bucket)
 			if touched[bucket] {
-				r.chargeIndexWrite(id)
+				r.chargeIndexWrite(ix.def.Name, bucket)
 			}
 		}
 	}
@@ -112,7 +109,9 @@ func (r *Relation) ApplyBatch(batch []Mutation) {
 }
 
 // applyMutations performs the tuple-level part of ApplyBatch: relation
-// page charges plus the in-memory mutations themselves.
+// page charges plus the in-memory mutations themselves. Each tuple's
+// canonical key is computed exactly once per mutation side and threaded
+// through charging, mutation and buffer bookkeeping.
 func (r *Relation) applyMutations(batch []Mutation) {
 	for _, m := range batch {
 		count := m.Count
@@ -121,24 +120,23 @@ func (r *Relation) applyMutations(batch []Mutation) {
 		}
 		switch {
 		case m.IsInsert():
-			r.chargePageWrite(r.tuplePageID(m.New.Key()))
-			r.insertRaw(m.New, count)
+			nk := m.New.Key()
+			r.chargePageWrite(nk)
+			r.insertRawKeyed(m.New, nk, count)
 		case m.IsDelete():
-			k := m.Old.Key()
-			r.chargePageRead(r.tuplePageID(k))
-			r.deleteRaw(m.Old, count)
-			if r.GetCount(m.Old) == 0 {
-				r.dropPage(r.tuplePageID(k))
+			ok := m.Old.Key()
+			r.chargePageRead(ok)
+			if r.deleteRawKeyed(m.Old, ok, count) == 0 {
+				r.dropPage(ok)
 			}
 		case m.IsModify():
-			oldID := r.tuplePageID(m.Old.Key())
-			r.chargePageRead(oldID)
-			r.deleteRaw(m.Old, count)
-			if r.GetCount(m.Old) == 0 && m.Old.Key() != m.New.Key() {
-				r.dropPage(oldID)
+			ok, nk := m.Old.Key(), m.New.Key()
+			r.chargePageRead(ok)
+			if r.deleteRawKeyed(m.Old, ok, count) == 0 && ok != nk {
+				r.dropPage(ok)
 			}
-			r.chargePageWrite(r.tuplePageID(m.New.Key()))
-			r.insertRaw(m.New, count)
+			r.chargePageWrite(nk)
+			r.insertRawKeyed(m.New, nk, count)
 		}
 	}
 }

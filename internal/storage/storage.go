@@ -235,6 +235,11 @@ func (r *Relation) SetIOCounter(c *IOCounter) {
 
 // Page identities: every stored tuple is its own page and every hash
 // bucket is its own index page (the unclustered model of §3.6).
+//
+// The charge helpers take raw tuple/bucket keys and materialize the
+// page-ID string only when an LRU buffer is attached: the unbuffered
+// path — the paper's cold-cache default and the maintenance hot path —
+// charges with one atomic add and no allocation.
 func (r *Relation) tuplePageID(tupleKey string) string {
 	return "t:" + r.Def.Name + "/" + tupleKey
 }
@@ -243,55 +248,57 @@ func (r *Relation) indexPageID(indexName, bucketKey string) string {
 	return "i:" + r.Def.Name + "/" + indexName + "/" + bucketKey
 }
 
+func (r *Relation) buffered() bool { return r.store != nil && r.store.Buffer != nil }
+
 // chargeIndexRead charges one index-page read (unless resident or
 // buffered).
-func (r *Relation) chargeIndexRead(pageID string) {
+func (r *Relation) chargeIndexRead(indexName, bucketKey string) {
 	if r.Resident {
 		return
 	}
-	if r.store != nil && r.store.Buffer.read(pageID) {
+	if r.buffered() && r.store.Buffer.read(r.indexPageID(indexName, bucketKey)) {
 		return
 	}
 	atomic.AddInt64(&r.io.IndexReads, 1)
 	obsIndexReads.Inc()
 }
 
-func (r *Relation) chargeIndexWrite(pageID string) {
+func (r *Relation) chargeIndexWrite(indexName, bucketKey string) {
 	if r.Resident {
 		return
 	}
 	atomic.AddInt64(&r.io.IndexWrites, 1)
 	obsIndexWrites.Inc()
-	if r.store != nil {
-		r.store.Buffer.write(pageID)
+	if r.buffered() {
+		r.store.Buffer.write(r.indexPageID(indexName, bucketKey))
 	}
 }
 
-func (r *Relation) chargePageRead(pageID string) {
+func (r *Relation) chargePageRead(tupleKey string) {
 	if r.Resident {
 		return
 	}
-	if r.store != nil && r.store.Buffer.read(pageID) {
+	if r.buffered() && r.store.Buffer.read(r.tuplePageID(tupleKey)) {
 		return
 	}
 	atomic.AddInt64(&r.io.PageReads, 1)
 	obsPageReads.Inc()
 }
 
-func (r *Relation) chargePageWrite(pageID string) {
+func (r *Relation) chargePageWrite(tupleKey string) {
 	if r.Resident {
 		return
 	}
 	atomic.AddInt64(&r.io.PageWrites, 1)
 	obsPageWrites.Inc()
-	if r.store != nil {
-		r.store.Buffer.write(pageID)
+	if r.buffered() {
+		r.store.Buffer.write(r.tuplePageID(tupleKey))
 	}
 }
 
-func (r *Relation) dropPage(pageID string) {
-	if r.store != nil {
-		r.store.Buffer.drop(pageID)
+func (r *Relation) dropPage(tupleKey string) {
+	if r.buffered() {
+		r.store.Buffer.drop(r.tuplePageID(tupleKey))
 	}
 }
 
@@ -303,7 +310,7 @@ func (r *Relation) Scan() []Row {
 		e := r.rows[k]
 		if e != nil && e.count > 0 {
 			out = append(out, Row{Tuple: e.tuple, Count: e.count})
-			r.chargePageRead(r.tuplePageID(k))
+			r.chargePageRead(k)
 		}
 	}
 	return out
@@ -386,7 +393,7 @@ func (r *Relation) Lookup(cols []string, key value.Tuple) []Row {
 		subKey[i] = key[p]
 	}
 	bucket := subKey.Key()
-	r.chargeIndexRead(r.indexPageID(ix.def.Name, bucket))
+	r.chargeIndexRead(ix.def.Name, bucket)
 	pos := make([]int, len(cols))
 	for i, c := range cols {
 		pos[i] = r.Def.Schema.MustResolve(c)
@@ -397,7 +404,7 @@ func (r *Relation) Lookup(cols []string, key value.Tuple) []Row {
 		if e == nil || e.count <= 0 {
 			continue
 		}
-		r.chargePageRead(r.tuplePageID(tk))
+		r.chargePageRead(tk)
 		if e.tuple.Project(pos).Equal(key) {
 			out = append(out, Row{Tuple: e.tuple, Count: e.count})
 		}
@@ -453,7 +460,7 @@ func (r *Relation) scanMatch(cols []string, key value.Tuple) []Row {
 			continue
 		}
 		// A scan touches every live tuple's page.
-		r.chargePageRead(r.tuplePageID(k))
+		r.chargePageRead(k)
 		if e.tuple.Project(pos).Equal(key) {
 			out = append(out, Row{Tuple: e.tuple, Count: e.count})
 		}
@@ -483,7 +490,14 @@ func (r *Relation) indexDelete(t value.Tuple, tk string) {
 		bucket := ix.buckets[bk]
 		for i, k := range bucket {
 			if k == tk {
-				ix.buckets[bk] = append(bucket[:i:i], bucket[i+1:]...)
+				// In-place, order-preserving removal. Bucket slices are
+				// never retained outside the index (Lookup copies rows out),
+				// so shrinking the shared array is safe — and hot buckets
+				// see many deletes per window, where a copy-on-delete
+				// bucket costs a fresh O(len) array every time.
+				copy(bucket[i:], bucket[i+1:])
+				bucket[len(bucket)-1] = ""
+				ix.buckets[bk] = bucket[:len(bucket)-1]
 				break
 			}
 		}
@@ -492,7 +506,13 @@ func (r *Relation) indexDelete(t value.Tuple, tk string) {
 
 // insertRaw adds count copies of t with no I/O accounting.
 func (r *Relation) insertRaw(t value.Tuple, count int64) {
-	tk := t.Key()
+	r.insertRawKeyed(t, t.Key(), count)
+}
+
+// insertRawKeyed is insertRaw with the tuple's canonical key already
+// computed — the batch apply path computes each key once and threads it
+// through charging, mutation and buffer bookkeeping.
+func (r *Relation) insertRawKeyed(t value.Tuple, tk string, count int64) {
 	if e, ok := r.rows[tk]; ok {
 		if e.count == 0 {
 			r.indexInsert(t, tk)
@@ -510,10 +530,15 @@ func (r *Relation) insertRaw(t value.Tuple, count int64) {
 // deleteRaw removes count copies of t with no I/O accounting. Counts
 // floor at zero; a tuple whose count reaches zero leaves the indexes.
 func (r *Relation) deleteRaw(t value.Tuple, count int64) {
-	tk := t.Key()
+	r.deleteRawKeyed(t, t.Key(), count)
+}
+
+// deleteRawKeyed is deleteRaw with the key precomputed; it returns the
+// tuple's remaining multiplicity (zero when absent or fully deleted).
+func (r *Relation) deleteRawKeyed(t value.Tuple, tk string, count int64) int64 {
 	e, ok := r.rows[tk]
 	if !ok || e.count == 0 {
-		return
+		return 0
 	}
 	e.count -= count
 	if e.count <= 0 {
@@ -521,6 +546,7 @@ func (r *Relation) deleteRaw(t value.Tuple, count int64) {
 		r.indexDelete(t, tk)
 		r.liveTuples--
 	}
+	return e.count
 }
 
 // Load bulk-inserts rows without I/O accounting (initial population; the
@@ -545,11 +571,21 @@ func (r *Relation) LoadTuples(tuples []value.Tuple) {
 // relation's table definition.
 func (r *Relation) RefreshStats() {
 	rows := r.ScanFree()
-	distinct := map[string]float64{}
+	distinct := make(map[string]float64, len(r.Def.Schema.Cols))
+	// One reused encoder + single-value tuple + seen-set across columns:
+	// the only per-row cost is an encode into the scratch buffer, and a
+	// string is allocated only once per distinct value.
+	var enc value.KeyEncoder
+	one := make(value.Tuple, 1)
+	seen := map[string]struct{}{}
 	for ci, col := range r.Def.Schema.Cols {
-		seen := map[string]bool{}
+		clear(seen)
 		for _, row := range rows {
-			seen[value.Tuple{row.Tuple[ci]}.Key()] = true
+			one[0] = row.Tuple[ci]
+			kb := enc.Key(one)
+			if _, ok := seen[string(kb)]; !ok {
+				seen[string(kb)] = struct{}{}
+			}
 		}
 		distinct[col.Name] = float64(len(seen))
 	}

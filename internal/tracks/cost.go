@@ -98,6 +98,11 @@ type TrackCost struct {
 // Total is the paper's q_j + m_j.
 func (tc TrackCost) Total() float64 { return tc.QueryCost + tc.UpdateCost }
 
+// SharedQueries counts the queries along the track that the multi-query
+// optimization merges away: posed by more than one consumer but priced
+// (and, in the runtime's window memo, evaluated) only once.
+func (tc TrackCost) SharedQueries() int { return len(tc.Queries) - len(MQO(tc.Queries)) }
+
 // CostTrack prices one track for one transaction type under a view set:
 // the multi-query-optimized cost of the queries posed along the track
 // plus the cost of applying deltas to every affected materialized view.
