@@ -19,6 +19,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/cost"
 	"repro/internal/paper"
+	"repro/internal/wal"
 )
 
 // printOnce gates artifact printing so -bench output stays readable
@@ -256,9 +257,11 @@ func BenchmarkMaintainedTransaction(b *testing.B) {
 // BenchmarkMaintainThroughput measures the batched maintenance pipeline
 // on the Figure 5 hot-item workload: transactions per second and page
 // I/Os per transaction across batch sizes 1 (the per-transaction Apply
-// baseline), 16 and 64, with 1 and 4 view-application workers. The grid
-// is also written to BENCH_maintain.json so CI records the perf
-// trajectory. Final view contents are oracle-verified on every run.
+// baseline), 16 and 64, with 1 and 4 view-application workers, plus
+// durable (write-ahead-logged) rows at batch 1 and 64 with their fsync
+// p99 and recovery replay rate. The grid is written to
+// BENCH_maintain.json so CI records the perf trajectory. Final view
+// contents are oracle-verified on every run.
 func BenchmarkMaintainThroughput(b *testing.B) {
 	cfg := corpus.DefaultFigure5Config()
 	const txnsPerOp = 256
@@ -268,7 +271,8 @@ func BenchmarkMaintainThroughput(b *testing.B) {
 	// measurement per grid cell.
 	record := func(row paper.ThroughputRow) {
 		for i := range results {
-			if results[i].Batch == row.Batch && results[i].Workers == row.Workers {
+			if results[i].Batch == row.Batch && results[i].Workers == row.Workers &&
+				results[i].Durable == row.Durable {
 				results[i] = row
 				return
 			}
@@ -293,6 +297,31 @@ func BenchmarkMaintainThroughput(b *testing.B) {
 			})
 		}
 	}
+	// Durable rows (schema v3): the same workload with a WAL attached —
+	// group commit, one fsync per window — then a timed recovery. Each
+	// iteration needs a fresh directory because Attach refuses to reuse
+	// existing durable state.
+	for _, batch := range []int{1, 64} {
+		batch := batch
+		b.Run(fmt.Sprintf("durable/batch%d/workers1", batch), func(b *testing.B) {
+			var last paper.ThroughputRow
+			for i := 0; i < b.N; i++ {
+				dir, err := os.MkdirTemp(b.TempDir(), "wal-*")
+				if err != nil {
+					b.Fatal(err)
+				}
+				row, err := paper.MeasureThroughputDurable(cfg, txnsPerOp, batch, 1, wal.OSFS{}, dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = row
+			}
+			b.ReportMetric(last.TxnsPerSec, "txns/sec")
+			b.ReportMetric(float64(last.FsyncP99Ns), "fsyncP99-ns")
+			b.ReportMetric(last.RecoveryReplayTxnsSec, "replay-txns/sec")
+			record(last)
+		})
+	}
 	if data, err := json.MarshalIndent(struct {
 		Workload string                `json:"workload"`
 		Rows     []paper.ThroughputRow `json:"rows"`
@@ -301,12 +330,23 @@ func BenchmarkMaintainThroughput(b *testing.B) {
 			b.Logf("BENCH_maintain.json: %v", err)
 		}
 	}
-	if len(results) > 0 {
-		base := results[0].TxnsPerSec
-		top := results[len(results)-1].TxnsPerSec
+	var base, top *paper.ThroughputRow
+	for i := range results {
+		r := &results[i]
+		if r.Durable {
+			continue
+		}
+		if r.Batch == 1 && r.Workers == 1 {
+			base = r
+		}
+		if r.Batch == 64 {
+			top = r
+		}
+	}
+	if base != nil && top != nil {
 		emitOnce(b, "thr", fmt.Sprintf(
 			"Maintain throughput: %.0f txns/sec per-transaction → %.0f txns/sec at batch 64 (%.1fx), pageIO/txn %.1f → %.1f\n",
-			base, top, top/base, results[0].IOPerTxn, results[len(results)-1].IOPerTxn))
+			base.TxnsPerSec, top.TxnsPerSec, top.TxnsPerSec/base.TxnsPerSec, base.IOPerTxn, top.IOPerTxn))
 	}
 }
 

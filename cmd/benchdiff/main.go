@@ -16,6 +16,13 @@
 // every (batch, workers) row with batch == -batch (default 64) present
 // in both files and fails when the fresh speedup falls more than
 // -threshold (default 0.20) below the committed one.
+//
+// When the fresh file carries durable rows (schema v3), a second gate
+// compares durable against in-memory throughput at the same (batch,
+// workers) *within the fresh file* — both sides ran on the same host,
+// so the ratio is host-independent. It fails when durable batch-64
+// drops below -durable-floor (default 0.60) of the in-memory rate;
+// -durable-floor 0 disables the gate.
 package main
 
 import (
@@ -48,10 +55,10 @@ func load(path string) (*benchFile, error) {
 	return &f, nil
 }
 
-// baseline returns the batch-1/workers-1 txns/sec of f.
+// baseline returns the in-memory batch-1/workers-1 txns/sec of f.
 func baseline(f *benchFile) (float64, error) {
 	for _, r := range f.Rows {
-		if r.Batch == 1 && r.Workers == 1 {
+		if r.Batch == 1 && r.Workers == 1 && !r.Durable {
 			if r.TxnsPerSec <= 0 {
 				return 0, fmt.Errorf("non-positive batch-1 baseline")
 			}
@@ -67,6 +74,7 @@ func main() {
 	newPath := flag.String("new", "BENCH_maintain.json", "freshly generated BENCH_maintain.json")
 	batch := flag.Int("batch", 64, "batch size to gate on")
 	threshold := flag.Float64("threshold", 0.20, "maximum allowed relative speedup regression")
+	durableFloor := flag.Float64("durable-floor", 0.60, "minimum durable/in-memory throughput ratio at -batch (0 disables)")
 	flag.Parse()
 	if *oldPath == "" {
 		log.Fatal("benchdiff: -old is required")
@@ -90,16 +98,16 @@ func main() {
 
 	// Keep the last row per workers count — older files may carry
 	// duplicate calibration rows.
-	gateRows := func(f *benchFile) map[int]float64 {
+	gateRows := func(f *benchFile, durable bool) map[int]float64 {
 		out := map[int]float64{} // workers → txns/sec at *batch
 		for _, r := range f.Rows {
-			if r.Batch == *batch {
+			if r.Batch == *batch && r.Durable == durable {
 				out[r.Workers] = r.TxnsPerSec
 			}
 		}
 		return out
 	}
-	oldGate, newGate := gateRows(oldF), gateRows(newF)
+	oldGate, newGate := gateRows(oldF, false), gateRows(newF, false)
 	checked := 0
 	failed := false
 	for workers, tps := range newGate {
@@ -125,4 +133,37 @@ func main() {
 		log.Fatalf("benchdiff: batch-%d speedup regressed more than %.0f%%", *batch, 100**threshold)
 	}
 	fmt.Printf("benchdiff: %d row(s) within %.0f%% of committed speedup\n", checked, 100**threshold)
+
+	// Durable gate: within the fresh file, the WAL'd pipeline must keep
+	// at least -durable-floor of the in-memory rate at the gated batch.
+	if *durableFloor > 0 {
+		durGate := gateRows(newF, true)
+		if len(durGate) == 0 {
+			fmt.Printf("benchdiff: no durable batch-%d rows in %s; durability gate skipped\n", *batch, *newPath)
+			return
+		}
+		durFailed := false
+		durChecked := 0
+		for workers, dtps := range durGate {
+			mtps, ok := newGate[workers]
+			if !ok || mtps <= 0 {
+				continue
+			}
+			durChecked++
+			ratio := dtps / mtps
+			status := "ok"
+			if ratio < *durableFloor {
+				status = "TOO SLOW"
+				durFailed = true
+			}
+			fmt.Printf("durable batch %d workers %d: %.0f vs %.0f in-memory txns/sec (%.0f%%) %s\n",
+				*batch, workers, dtps, mtps, 100*ratio, status)
+		}
+		if durChecked == 0 {
+			log.Fatalf("benchdiff: durable batch-%d rows lack in-memory counterparts in %s", *batch, *newPath)
+		}
+		if durFailed {
+			log.Fatalf("benchdiff: durable batch-%d throughput below %.0f%% of in-memory", *batch, 100**durableFloor)
+		}
+	}
 }

@@ -13,6 +13,10 @@
 //	                     # apply-latency p50/p99 from the maintain.apply.ns
 //	                     # histogram (-j pins the worker count; default
 //	                     # measures 1 and 4)
+//	mvbench -durable     # durable (write-ahead-logged) throughput next to
+//	                     # the in-memory baseline, plus recovery timings;
+//	                     # -waldir picks the log directory (default: a
+//	                     # temporary directory, removed afterwards)
 //
 // -j sets worker counts everywhere (alias: -workers). -cpuprofile and
 // -memprofile write pprof profiles of whatever modes were run.
@@ -45,6 +49,8 @@ func main() {
 	sweeps := flag.Bool("sweeps", false, "run the ablation sweeps")
 	parallel := flag.Bool("parallel", false, "compare parallel branch-and-bound vs exhaustive")
 	throughput := flag.Bool("throughput", false, "measure batched maintenance throughput")
+	durable := flag.Bool("durable", false, "measure WAL-attached throughput and recovery")
+	waldir := flag.String("waldir", "", "directory for -durable WAL state; must not hold prior state (default: fresh temp dir)")
 	var workers int
 	flag.IntVar(&workers, "j", 0, "worker count for -parallel and -throughput (0 = default)")
 	flag.IntVar(&workers, "workers", 0, "alias for -j")
@@ -98,7 +104,7 @@ func main() {
 		}()
 	}
 
-	all := *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*throughput && !*dot
+	all := *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*throughput && !*durable && !*dot
 
 	var f *paper.Fixture
 	needFixture := all || *table > 0 || *figure == 1 || *figure == 2 || *dot
@@ -180,6 +186,26 @@ func main() {
 		}
 		emit(out)
 	}
+	if all || *durable {
+		dir := *waldir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "mvbench-wal-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		w := workers
+		if w <= 0 {
+			w = 1
+		}
+		_, out, err := paper.DurableThroughputTable(corpus.DefaultFigure5Config(), 512, []int{1, 16, 64}, w, dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(out)
+	}
 	if all || *sweeps {
 		_, out, err := paper.SweepFanout(1000, []int{1, 2, 5, 10, 20, 50, 100})
 		if err != nil {
@@ -207,7 +233,7 @@ func main() {
 		}
 		emit(out)
 	}
-	if !all && *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*throughput && !*dot {
+	if !all && *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*throughput && !*durable && !*dot {
 		flag.Usage()
 		os.Exit(2)
 	}

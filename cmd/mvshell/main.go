@@ -4,11 +4,20 @@
 // through the maintenance engine with live page-I/O reporting and
 // assertion checking.
 //
-// Meta commands:
+// With -waldir DIR the shell is durable: .build attaches a write-ahead
+// log in DIR (one fsync per maintained statement) and records the
+// session's DDL in the checkpoint metadata, so a later mvshell -waldir
+// DIR session can '.recover' the whole system — catalog, base
+// relations, materialized views and log tail — without re-running the
+// setup script.
+//
+// Meta commands ('\' works in place of '.'):
 //
 //	.build names     optimize + materialize for the named views/assertions
 //	.explain         show the optimizer's decision
 //	.view name       print a maintained view's rows
+//	.checkpoint      write a durable checkpoint (after .build, with -waldir)
+//	.recover         rebuild the system from -waldir's durable state
 //	.io              print cumulative page I/O counters
 //	.stats           print the metrics registry and span self-time summary
 //	.quit            exit
@@ -16,6 +25,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -25,14 +35,37 @@ import (
 	mvmaint "repro"
 	"repro/internal/obs"
 	"repro/internal/txn"
+	"repro/internal/wal"
 )
+
+// shell is the mutable session state the meta commands operate on.
+type shell struct {
+	db     *mvmaint.DB
+	sys    *mvmaint.System
+	mgr    *wal.Manager
+	waldir string
+	ddl    []string // CREATE statements run this session, persisted at checkpoint
+	names  []string // view/assertion names passed to .build
+}
 
 func main() {
 	log.SetFlags(0)
-	db := mvmaint.Open()
-	var sys *mvmaint.System
+	waldir := flag.String("waldir", "", "directory for durable state (enables .checkpoint/.recover)")
+	flag.Parse()
+
+	sh := &shell{db: mvmaint.Open(), waldir: *waldir}
+	defer func() {
+		if sh.mgr != nil {
+			if err := sh.mgr.Close(); err != nil {
+				fmt.Println("wal close:", err)
+			}
+		}
+	}()
 
 	fmt.Println("mvmaint shell — SQL statements end with ';', meta commands start with '.'")
+	if sh.waldir != "" {
+		fmt.Printf("durable mode: WAL directory %s\n", sh.waldir)
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -48,7 +81,7 @@ func main() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && (strings.HasPrefix(trimmed, ".") || strings.HasPrefix(trimmed, "\\")) {
-			if !meta(db, &sys, trimmed) {
+			if !sh.meta(trimmed) {
 				return
 			}
 			prompt()
@@ -59,46 +92,60 @@ func main() {
 		if strings.HasSuffix(trimmed, ";") {
 			sql := buf.String()
 			buf.Reset()
-			runSQL(db, sys, sql)
+			sh.runSQL(sql)
 		}
 		prompt()
 	}
 }
 
 // meta handles dot-commands; returns false to quit.
-func meta(db *mvmaint.DB, sys **mvmaint.System, cmd string) bool {
+func (sh *shell) meta(cmd string) bool {
 	fields := strings.Fields(cmd)
-	switch fields[0] {
-	case ".quit", ".exit":
+	name := strings.TrimLeft(fields[0], ".\\")
+	switch name {
+	case "quit", "exit":
 		return false
-	case ".build":
+	case "build":
 		if len(fields) < 2 {
 			fmt.Println("usage: .build view1,view2")
 			return true
 		}
 		names := strings.Split(fields[1], ",")
-		s, err := db.Build(names, mvmaint.Config{
-			Workload: defaultWorkload(db),
+		s, err := sh.db.Build(names, mvmaint.Config{
+			Workload: defaultWorkload(sh.db),
 			Method:   mvmaint.Exhaustive,
 		})
 		if err != nil {
 			fmt.Println("error:", err)
 			return true
 		}
-		*sys = s
+		sh.sys, sh.names = s, names
 		fmt.Print(s.Explain())
-	case ".explain":
-		if *sys == nil {
+		sh.attach()
+	case "checkpoint":
+		if sh.mgr == nil {
+			fmt.Println("no durable system (start with -waldir, then .build)")
+			return true
+		}
+		if err := sh.mgr.Checkpoint(nil); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Printf("  checkpoint written at LSN %d\n", sh.mgr.LastLSN())
+	case "recover":
+		sh.recover()
+	case "explain":
+		if sh.sys == nil {
 			fmt.Println("no system built yet (.build first)")
 			return true
 		}
-		fmt.Print((*sys).Explain())
-	case ".view":
-		if *sys == nil || len(fields) < 2 {
+		fmt.Print(sh.sys.Explain())
+	case "view":
+		if sh.sys == nil || len(fields) < 2 {
 			fmt.Println("usage (after .build): .view name")
 			return true
 		}
-		rows, err := (*sys).ViewRows(fields[1])
+		rows, err := sh.sys.ViewRows(fields[1])
 		if err != nil {
 			fmt.Println("error:", err)
 			return true
@@ -107,14 +154,84 @@ func meta(db *mvmaint.DB, sys **mvmaint.System, cmd string) bool {
 			fmt.Printf("  %s ×%d\n", r.Tuple, r.Count)
 		}
 		fmt.Printf("  (%d rows)\n", len(rows))
-	case ".io":
-		fmt.Println(" ", db.Store.IO.String())
-	case ".stats", "\\stats":
+	case "io":
+		fmt.Println(" ", sh.db.Store.IO.String())
+	case "stats":
 		printStats()
 	default:
 		fmt.Println("unknown meta command:", fields[0])
 	}
 	return true
+}
+
+// attach arms durability after .build when -waldir was given. The DDL
+// recorded so far and the build names travel in the checkpoint metadata
+// so .recover can rebuild the catalog and system without the script.
+func (sh *shell) attach() {
+	if sh.waldir == "" || sh.sys == nil {
+		return
+	}
+	if has, err := wal.HasState(wal.OSFS{}, sh.waldir); err != nil {
+		fmt.Println("wal:", err)
+		return
+	} else if has {
+		fmt.Printf("  %s already holds durable state — use .recover to reopen it\n", sh.waldir)
+		return
+	}
+	mgr, err := sh.sys.AttachDurability(wal.OSFS{}, sh.waldir, wal.Options{
+		Meta: map[string]string{
+			"ddl":   strings.Join(sh.ddl, "\n"),
+			"build": strings.Join(sh.names, ","),
+		},
+	})
+	if err != nil {
+		fmt.Println("wal:", err)
+		return
+	}
+	sh.mgr = mgr
+	fmt.Printf("  durability attached: WAL in %s, checkpoint at LSN %d\n", sh.waldir, mgr.LastLSN())
+}
+
+// recover replaces the session's DB and system with the durable state
+// in -waldir: DDL from the checkpoint metadata rebuilds the catalog on
+// a fresh DB, the checkpoint restores relations and views, and the
+// committed log tail replays through incremental maintenance.
+func (sh *shell) recover() {
+	if sh.waldir == "" {
+		fmt.Println("no WAL directory (restart with -waldir DIR)")
+		return
+	}
+	meta, err := wal.ReadMeta(wal.OSFS{}, sh.waldir)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if meta["ddl"] == "" || meta["build"] == "" {
+		fmt.Println("checkpoint carries no ddl/build metadata; recover manually with the original script")
+		return
+	}
+	db := mvmaint.Open()
+	if err := db.Exec(meta["ddl"]); err != nil {
+		fmt.Println("ddl replay:", err)
+		return
+	}
+	names := strings.Split(meta["build"], ",")
+	sys, mgr, err := mvmaint.Recover(db, names, mvmaint.Config{
+		Workload: defaultWorkload(db),
+		Method:   mvmaint.Exhaustive,
+	}, wal.OSFS{}, sh.waldir, wal.Options{Meta: meta})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if sh.mgr != nil {
+		sh.mgr.Close()
+	}
+	sh.db, sh.sys, sh.mgr = db, sys, mgr
+	sh.names = names
+	sh.ddl = strings.Split(meta["ddl"], "\n")
+	fmt.Printf("  recovered to LSN %d: %d windows (%d txns) replayed, %d views recomputed\n",
+		mgr.RecoveredLSN, mgr.ReplayedWindows, mgr.ReplayedTxns, mgr.RecomputedViews)
 }
 
 // printStats renders the global metrics registry (non-zero counters,
@@ -175,11 +292,26 @@ func defaultWorkload(db *mvmaint.DB) []*txn.Type {
 	return out
 }
 
-func runSQL(db *mvmaint.DB, sys *mvmaint.System, sql string) {
+// stripComments drops '--' line comments so statement classification
+// (and DDL recording) sees the first real token, not a header comment.
+func stripComments(sql string) string {
+	lines := strings.Split(sql, "\n")
+	out := lines[:0]
+	for _, l := range lines {
+		if t := strings.TrimSpace(l); t == "" || strings.HasPrefix(t, "--") {
+			continue
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}
+
+func (sh *shell) runSQL(sql string) {
+	sql = stripComments(sql)
 	trimmed := strings.ToUpper(strings.TrimSpace(sql))
 	switch {
 	case strings.HasPrefix(trimmed, "SELECT"):
-		res, err := db.Query(sql)
+		res, err := sh.db.Query(sql)
 		if err != nil {
 			fmt.Println("error:", err)
 			return
@@ -189,9 +321,9 @@ func runSQL(db *mvmaint.DB, sys *mvmaint.System, sql string) {
 			fmt.Printf("  %s ×%d\n", r.Tuple, r.Count)
 		}
 		fmt.Printf("  (%d rows)\n", res.Card())
-	case sys != nil && (strings.HasPrefix(trimmed, "INSERT") ||
+	case sh.sys != nil && (strings.HasPrefix(trimmed, "INSERT") ||
 		strings.HasPrefix(trimmed, "DELETE") || strings.HasPrefix(trimmed, "UPDATE")):
-		out, err := sys.Execute(sql)
+		out, err := sh.sys.Execute(sql)
 		if err != nil {
 			fmt.Println("error:", err)
 			return
@@ -199,6 +331,9 @@ func runSQL(db *mvmaint.DB, sys *mvmaint.System, sql string) {
 		rep := out.Report
 		fmt.Printf("  maintained: query I/O %d, view I/O %d (paper metric %d)\n",
 			rep.QueryIO.Total(), rep.ViewIO.Total(), rep.PaperTotal())
+		if sh.mgr != nil && !out.RolledBack {
+			fmt.Printf("  durable at LSN %d\n", rep.LSN)
+		}
 		for _, v := range out.Violations {
 			fmt.Println(" ", v)
 		}
@@ -206,9 +341,12 @@ func runSQL(db *mvmaint.DB, sys *mvmaint.System, sql string) {
 			fmt.Println("  transaction ROLLED BACK")
 		}
 	default:
-		if err := db.Exec(sql); err != nil {
+		if err := sh.db.Exec(sql); err != nil {
 			fmt.Println("error:", err)
 			return
+		}
+		if strings.HasPrefix(trimmed, "CREATE") {
+			sh.ddl = append(sh.ddl, strings.TrimSpace(sql))
 		}
 		fmt.Println("  ok")
 	}

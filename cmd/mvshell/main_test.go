@@ -31,41 +31,45 @@ func captureStdout(t *testing.T, f func()) string {
 	return <-done
 }
 
-func shellDB(t *testing.T) *mvmaint.DB {
-	t.Helper()
-	db := mvmaint.Open()
-	db.MustExec(`
+const shellDDL = `
 CREATE TABLE Dept (DName VARCHAR(20) PRIMARY KEY, MName VARCHAR(20), Budget INT);
 CREATE TABLE Emp  (EName VARCHAR(20) PRIMARY KEY, DName VARCHAR(20), Salary INT);
 CREATE INDEX dept_dname ON Dept (DName);
 CREATE INDEX emp_dname  ON Emp (DName);
-INSERT INTO Dept VALUES ('d0', 'm0', 900), ('d1', 'm1', 900);
-INSERT INTO Emp VALUES ('a', 'd0', 100), ('b', 'd0', 100), ('c', 'd1', 100);
 CREATE VIEW ProblemDept (DName) AS
 SELECT Dept.DName FROM Emp, Dept
 WHERE Dept.DName = Emp.DName
 GROUP BY Dept.DName, Budget
 HAVING SUM(Salary) > Budget;
+`
+
+func shellSession(t *testing.T, waldir string) *shell {
+	t.Helper()
+	sh := &shell{db: mvmaint.Open(), waldir: waldir}
+	sh.runSQL(shellDDL)
+	sh.db.MustExec(`
+INSERT INTO Dept VALUES ('d0', 'm0', 900), ('d1', 'm1', 900);
+INSERT INTO Emp VALUES ('a', 'd0', 100), ('b', 'd0', 100), ('c', 'd1', 100);
 `)
-	return db
+	return sh
 }
 
 func TestShellSelectAndDDL(t *testing.T) {
-	db := shellDB(t)
+	sh := shellSession(t, "")
 	out := captureStdout(t, func() {
-		runSQL(db, nil, `SELECT DName, SUM(Salary) AS s FROM Emp GROUP BY DName;`)
+		sh.runSQL(`SELECT DName, SUM(Salary) AS s FROM Emp GROUP BY DName;`)
 	})
 	if !strings.Contains(out, "(2 rows)") {
 		t.Errorf("select output:\n%s", out)
 	}
 	out = captureStdout(t, func() {
-		runSQL(db, nil, `INSERT INTO Emp VALUES ('d', 'd1', 50);`)
+		sh.runSQL(`INSERT INTO Emp VALUES ('d', 'd1', 50);`)
 	})
 	if !strings.Contains(out, "ok") {
 		t.Errorf("ddl output:\n%s", out)
 	}
 	out = captureStdout(t, func() {
-		runSQL(db, nil, `SELECT nonsense FROM Nowhere;`)
+		sh.runSQL(`SELECT nonsense FROM Nowhere;`)
 	})
 	if !strings.Contains(out, "error") {
 		t.Errorf("bad select should report an error:\n%s", out)
@@ -73,28 +77,27 @@ func TestShellSelectAndDDL(t *testing.T) {
 }
 
 func TestShellBuildAndMaintainedDML(t *testing.T) {
-	db := shellDB(t)
-	var sys *mvmaint.System
+	sh := shellSession(t, "")
 	out := captureStdout(t, func() {
-		meta(db, &sys, ".build ProblemDept")
+		sh.meta(".build ProblemDept")
 	})
-	if sys == nil || !strings.Contains(out, "chosen view set") {
+	if sh.sys == nil || !strings.Contains(out, "chosen view set") {
 		t.Fatalf("build output:\n%s", out)
 	}
 	out = captureStdout(t, func() {
-		runSQL(db, sys, `UPDATE Emp SET Salary = 2000 WHERE EName = 'a';`)
+		sh.runSQL(`UPDATE Emp SET Salary = 2000 WHERE EName = 'a';`)
 	})
 	if !strings.Contains(out, "maintained") {
 		t.Errorf("maintained DML output:\n%s", out)
 	}
 	out = captureStdout(t, func() {
-		meta(db, &sys, ".view ProblemDept")
+		sh.meta(".view ProblemDept")
 	})
 	if !strings.Contains(out, "(1 rows)") {
 		t.Errorf("view output should show the violation:\n%s", out)
 	}
 	out = captureStdout(t, func() {
-		meta(db, &sys, ".io")
+		sh.meta(".io")
 	})
 	if !strings.Contains(out, "total=") {
 		t.Errorf("io output:\n%s", out)
@@ -102,18 +105,74 @@ func TestShellBuildAndMaintainedDML(t *testing.T) {
 }
 
 func TestShellMetaEdgeCases(t *testing.T) {
-	db := shellDB(t)
-	var sys *mvmaint.System
-	if !meta(db, &sys, ".explain") { // no system yet: message, keep running
+	sh := shellSession(t, "")
+	if !sh.meta(".explain") { // no system yet: message, keep running
 		t.Error(".explain should not quit")
 	}
-	if !meta(db, &sys, ".unknown") {
+	if !sh.meta(".unknown") {
 		t.Error("unknown meta should not quit")
 	}
-	if meta(db, &sys, ".quit") {
+	if sh.meta(".quit") {
 		t.Error(".quit should return false")
 	}
-	if !meta(db, &sys, ".build") { // missing args: usage, keep running
+	if !sh.meta(".build") { // missing args: usage, keep running
 		t.Error(".build usage should not quit")
+	}
+	if !sh.meta("\\checkpoint") { // not durable: message, keep running
+		t.Error(".checkpoint should not quit")
+	}
+	out := captureStdout(t, func() { sh.meta(".recover") })
+	if !strings.Contains(out, "no WAL directory") {
+		t.Errorf(".recover without -waldir:\n%s", out)
+	}
+}
+
+// TestShellDurableSession drives the durable shell round trip: .build
+// attaches the WAL, maintained DML reports its LSN, \checkpoint
+// persists, and a second session .recovers the full system (catalog
+// from the recorded DDL, state from the checkpoint + log tail).
+func TestShellDurableSession(t *testing.T) {
+	dir := t.TempDir()
+	sh := shellSession(t, dir)
+	out := captureStdout(t, func() { sh.meta(".build ProblemDept") })
+	if sh.mgr == nil || !strings.Contains(out, "durability attached") {
+		t.Fatalf("durable build output:\n%s", out)
+	}
+	out = captureStdout(t, func() {
+		sh.runSQL(`UPDATE Emp SET Salary = 150 WHERE EName = 'a';`)
+	})
+	if !strings.Contains(out, "durable at LSN 1") {
+		t.Fatalf("maintained DML should report its LSN:\n%s", out)
+	}
+	out = captureStdout(t, func() { sh.meta("\\checkpoint") })
+	if !strings.Contains(out, "checkpoint written at LSN 1") {
+		t.Fatalf("checkpoint output:\n%s", out)
+	}
+	sh.runSQL(`INSERT INTO Emp VALUES ('d', 'd1', 50);`) // log tail past the checkpoint
+	if err := sh.mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sh2 := &shell{db: mvmaint.Open(), waldir: dir}
+	out = captureStdout(t, func() { sh2.meta(".recover") })
+	if !strings.Contains(out, "recovered to LSN 2") || !strings.Contains(out, "0 views recomputed") {
+		t.Fatalf("recover output:\n%s", out)
+	}
+	defer sh2.mgr.Close()
+	out = captureStdout(t, func() {
+		sh2.runSQL(`SELECT Salary FROM Emp WHERE EName = 'a';`)
+	})
+	if !strings.Contains(out, "150") {
+		t.Fatalf("recovered state lost the update:\n%s", out)
+	}
+	// A rebuilt session pointed at the same directory must refuse to
+	// attach over the existing state.
+	sh3 := shellSession(t, dir)
+	out = captureStdout(t, func() { sh3.meta(".build ProblemDept") })
+	if !strings.Contains(out, "already holds durable state") {
+		t.Fatalf("attach over existing state should be refused:\n%s", out)
+	}
+	if sh3.mgr != nil {
+		t.Fatal("attach should not have armed a manager")
 	}
 }

@@ -131,7 +131,9 @@ func (db *DB) exec(s sqlparser.Statement) error {
 			return err
 		}
 		rel := db.Store.MustGet(t.Table)
-		rel.Load(rowsOf(d))
+		// ApplyBatch (not Load) so the store's mutation hook — the WAL,
+		// when attached — observes raw INSERTs too.
+		applyUncharged(rel, d)
 		rel.RefreshStats()
 		return nil
 	case *sqlparser.Delete:
@@ -163,20 +165,6 @@ func (db *DB) exec(s sqlparser.Statement) error {
 	default:
 		return fmt.Errorf("mvmaint: unsupported statement %T", s)
 	}
-}
-
-func rowsOf(d *delta.Delta) []storage.Row {
-	var out []storage.Row
-	for _, c := range d.Changes {
-		if c.IsInsert() {
-			n := c.Count
-			if n == 0 {
-				n = 1
-			}
-			out = append(out, storage.Row{Tuple: c.New, Count: n})
-		}
-	}
-	return out
 }
 
 func applyUncharged(rel *storage.Relation, d *delta.Delta) {

@@ -1,0 +1,219 @@
+// Codec: the binary encode/decode pair for tuples, changes, deltas and
+// whole coalesced windows. The tuple bytes are exactly the engine's key
+// encoding (value.AppendKey / value.KeyEncoder) prefixed with an arity
+// uvarint, so the WAL frames the same bytes the maintenance hot paths
+// already hash — one serialization format shared by the log, the
+// checkpoint writer and the fuzz corpus, with value.DecodeValue as the
+// single inverse.
+//
+// Every decoder is corruption-robust: truncated, over-long or malformed
+// input returns an error wrapping value.ErrCorrupt and never panics or
+// invents data, which is the contract the log scanner's torn-tail
+// detection relies on.
+package delta
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/value"
+)
+
+// Change tags in the wire format.
+const (
+	tagInsert = 0
+	tagDelete = 1
+	tagModify = 2
+)
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("delta: %w: %s", value.ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// AppendTuple appends the wire encoding of t: arity uvarint followed by
+// the key encoding of each value.
+func AppendTuple(dst []byte, t value.Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	return value.AppendKey(dst, t)
+}
+
+// DecodeTuple decodes one tuple from the front of b and returns the
+// remaining bytes.
+func DecodeTuple(b []byte) (value.Tuple, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, nil, corrupt("bad tuple arity")
+	}
+	b = b[sz:]
+	// Every encoded value takes at least two bytes (kind + terminator);
+	// bound the arity before allocating.
+	if n > uint64(len(b))/2 {
+		return nil, nil, corrupt("tuple arity %d exceeds input", n)
+	}
+	t := make(value.Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, rest, err := value.DecodeValue(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		t = append(t, v)
+		b = rest
+	}
+	return t, b, nil
+}
+
+// AppendChange appends the wire encoding of c: a shape tag, the bag
+// multiplicity (zero means one, per the Change contract) and the tuple
+// side(s) the shape carries.
+func AppendChange(dst []byte, c Change) []byte {
+	n := c.Count
+	if n <= 0 {
+		n = 1
+	}
+	switch {
+	case c.IsInsert():
+		dst = append(dst, tagInsert)
+		dst = binary.AppendUvarint(dst, uint64(n))
+		dst = AppendTuple(dst, c.New)
+	case c.IsDelete():
+		dst = append(dst, tagDelete)
+		dst = binary.AppendUvarint(dst, uint64(n))
+		dst = AppendTuple(dst, c.Old)
+	default:
+		dst = append(dst, tagModify)
+		dst = binary.AppendUvarint(dst, uint64(n))
+		dst = AppendTuple(dst, c.Old)
+		dst = AppendTuple(dst, c.New)
+	}
+	return dst
+}
+
+// DecodeChange decodes one change, validating each tuple side against
+// the expected arity.
+func DecodeChange(b []byte, arity int) (Change, []byte, error) {
+	if len(b) < 1 {
+		return Change{}, nil, corrupt("truncated change tag")
+	}
+	tag := b[0]
+	count, sz := binary.Uvarint(b[1:])
+	if sz <= 0 || count == 0 || count > 1<<62 {
+		return Change{}, nil, corrupt("bad change count")
+	}
+	b = b[1+sz:]
+	side := func() (value.Tuple, error) {
+		t, rest, err := DecodeTuple(b)
+		if err != nil {
+			return nil, err
+		}
+		if len(t) != arity {
+			return nil, corrupt("tuple arity %d, schema wants %d", len(t), arity)
+		}
+		b = rest
+		return t, nil
+	}
+	c := Change{Count: int64(count)}
+	var err error
+	switch tag {
+	case tagInsert:
+		c.New, err = side()
+	case tagDelete:
+		c.Old, err = side()
+	case tagModify:
+		if c.Old, err = side(); err == nil {
+			c.New, err = side()
+		}
+	default:
+		return Change{}, nil, corrupt("unknown change tag %d", tag)
+	}
+	if err != nil {
+		return Change{}, nil, err
+	}
+	return c, b, nil
+}
+
+// AppendDelta appends the wire encoding of d (change count, then each
+// change). The schema travels out of band: wire deltas are always scoped
+// to a named base relation whose schema the decoder resolves.
+func AppendDelta(dst []byte, d *Delta) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(d.Changes)))
+	for _, c := range d.Changes {
+		dst = AppendChange(dst, c)
+	}
+	return dst
+}
+
+// DecodeDelta decodes one delta against the given schema.
+func DecodeDelta(b []byte, s *catalog.Schema) (*Delta, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, nil, corrupt("bad change count")
+	}
+	b = b[sz:]
+	// A change takes at least three bytes (tag, count, empty tuple).
+	if n > uint64(len(b))/3+1 {
+		return nil, nil, corrupt("change count %d exceeds input", n)
+	}
+	d := New(s)
+	arity := s.Len()
+	for i := uint64(0); i < n; i++ {
+		c, rest, err := DecodeChange(b, arity)
+		if err != nil {
+			return nil, nil, err
+		}
+		d.Changes = append(d.Changes, c)
+		b = rest
+	}
+	return d, b, nil
+}
+
+// SchemaSource resolves a base relation's schema while decoding a
+// window; the catalog is the usual implementation.
+type SchemaSource func(rel string) (*catalog.Schema, bool)
+
+// AppendWindow appends the wire encoding of a coalesced window: the
+// relation count, then per relation its name and net delta. Coalesced
+// is sorted by relation name, so the encoding is deterministic.
+func AppendWindow(dst []byte, w Coalesced) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(w)))
+	for _, rd := range w {
+		dst = binary.AppendUvarint(dst, uint64(len(rd.Rel)))
+		dst = append(dst, rd.Rel...)
+		dst = AppendDelta(dst, rd.Delta)
+	}
+	return dst
+}
+
+// DecodeWindow decodes one window, resolving relation schemas through
+// schemas. Unknown relations are corruption (the catalog a log is
+// replayed against must cover every relation it was written against).
+func DecodeWindow(b []byte, schemas SchemaSource) (Coalesced, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, nil, corrupt("bad relation count")
+	}
+	b = b[sz:]
+	if n > uint64(len(b))/2+1 {
+		return nil, nil, corrupt("relation count %d exceeds input", n)
+	}
+	var out Coalesced
+	for i := uint64(0); i < n; i++ {
+		ln, sz := binary.Uvarint(b)
+		if sz <= 0 || ln > uint64(len(b)-sz) {
+			return nil, nil, corrupt("bad relation name length")
+		}
+		name := string(b[sz : sz+int(ln)])
+		b = b[sz+int(ln):]
+		s, ok := schemas(name)
+		if !ok {
+			return nil, nil, corrupt("unknown relation %q", name)
+		}
+		d, rest, err := DecodeDelta(b, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, RelDelta{Rel: name, Delta: d})
+		b = rest
+	}
+	return out, b, nil
+}

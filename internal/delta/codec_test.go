@@ -1,0 +1,115 @@
+package delta
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/value"
+)
+
+func codecSchema() *catalog.Schema {
+	return catalog.NewSchema(
+		catalog.Column{Qualifier: "T", Name: "a"},
+		catalog.Column{Qualifier: "T", Name: "b"},
+	)
+}
+
+func TestTupleCodecRoundTrip(t *testing.T) {
+	tuples := []value.Tuple{
+		{value.NewInt(42), value.NewString("hello")},
+		{value.NewInt(-7), value.NewString("")},
+		{value.NewFloat(3.25), value.NewBool(true)},
+		{value.NewBool(false), value.Value{Kind: value.Null}},
+		{},
+	}
+	for _, tup := range tuples {
+		enc := AppendTuple(nil, tup)
+		got, rest, err := DecodeTuple(enc)
+		if err != nil {
+			t.Fatalf("DecodeTuple(%v): %v", tup, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("DecodeTuple(%v): %d trailing bytes", tup, len(rest))
+		}
+		if len(got) != len(tup) {
+			t.Fatalf("arity %d, want %d", len(got), len(tup))
+		}
+		if string(value.AppendKey(nil, got)) != string(value.AppendKey(nil, tup)) {
+			t.Fatalf("round trip changed tuple: %v -> %v", tup, got)
+		}
+	}
+}
+
+func TestWindowCodecRoundTrip(t *testing.T) {
+	s := codecSchema()
+	d := New(s)
+	d.Insert(value.Tuple{value.NewInt(1), value.NewString("x")}, 2)
+	d.Delete(value.Tuple{value.NewInt(2), value.NewString("y")}, 1)
+	d.Modify(
+		value.Tuple{value.NewInt(3), value.NewString("z")},
+		value.Tuple{value.NewInt(3), value.NewString("w")}, 1)
+	w := Coalesced{{Rel: "T", Delta: d}}
+
+	enc := AppendWindow(nil, w)
+	schemas := func(rel string) (*catalog.Schema, bool) {
+		if rel == "T" {
+			return s, true
+		}
+		return nil, false
+	}
+	got, rest, err := DecodeWindow(enc, schemas)
+	if err != nil {
+		t.Fatalf("DecodeWindow: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if len(got) != 1 || got[0].Rel != "T" {
+		t.Fatalf("wrong window shape: %+v", got)
+	}
+	if len(got[0].Delta.Changes) != len(d.Changes) {
+		t.Fatalf("change count %d, want %d", len(got[0].Delta.Changes), len(d.Changes))
+	}
+	// Semantic equality: the signed tuple counts must match exactly.
+	want := d.TupleCounts()
+	have := got[0].Delta.TupleCounts()
+	if len(want) != len(have) {
+		t.Fatalf("tuple count maps differ: %d vs %d keys", len(want), len(have))
+	}
+	for k, n := range want {
+		if have[k] != n {
+			t.Fatalf("key %x: count %d, want %d", k, have[k], n)
+		}
+	}
+}
+
+func TestCodecCorruptionIsClean(t *testing.T) {
+	s := codecSchema()
+	d := New(s)
+	d.Insert(value.Tuple{value.NewInt(1), value.NewString("abc")}, 1)
+	w := Coalesced{{Rel: "T", Delta: d}}
+	enc := AppendWindow(nil, w)
+	schemas := func(rel string) (*catalog.Schema, bool) { return s, rel == "T" }
+
+	// Every truncation of a valid encoding must fail with ErrCorrupt —
+	// never panic, never succeed with invented data.
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeWindow(enc[:cut], schemas); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		} else if !errors.Is(err, value.ErrCorrupt) {
+			t.Fatalf("truncation at %d: error %v does not wrap ErrCorrupt", cut, err)
+		}
+	}
+	// Unknown relation name is corruption too.
+	if _, _, err := DecodeWindow(enc, func(string) (*catalog.Schema, bool) { return nil, false }); err == nil {
+		t.Fatal("unknown relation decoded successfully")
+	}
+	// A corrupt huge length must not drive a huge allocation: flip the
+	// arity byte to something absurd and expect a clean error.
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, _, err := DecodeWindow(bad, schemas); err != nil && !errors.Is(err, value.ErrCorrupt) {
+		t.Fatalf("bit flip: error %v does not wrap ErrCorrupt", err)
+	}
+}

@@ -84,6 +84,17 @@ func (o *Outcome) OK() bool { return len(o.Violations) == 0 }
 // materialized and its emptiness is known from its cardinality — this is
 // precisely why assertion checking reduces to view maintenance.
 func (c *Checker) Execute(t *txn.Type, updates map[string]*delta.Delta) (*Outcome, error) {
+	// In Reject mode the apply is tentative until the verdict: suspend
+	// the group committer so a violating transaction is never logged.
+	// The mutation hook still stages its deltas, but the rollback's
+	// inverse mutations are staged too, and the deferred commit below
+	// coalesces both to nothing — no logged-but-rejected deltas.
+	com := c.M.Committer
+	deferred := com != nil && c.Mode == Reject
+	if deferred {
+		c.M.Committer = nil
+		defer func() { c.M.Committer = com }()
+	}
 	rep, err := c.M.Apply(t, updates)
 	if err != nil {
 		return nil, err
@@ -100,6 +111,13 @@ func (c *Checker) Execute(t *txn.Type, updates map[string]*delta.Delta) (*Outcom
 			return nil, fmt.Errorf("ic: rollback failed: %w", err)
 		}
 		out.RolledBack = true
+	}
+	if deferred {
+		lsn, err := com.Commit(1)
+		if err != nil {
+			return nil, fmt.Errorf("ic: commit: %w", err)
+		}
+		rep.LSN = lsn
 	}
 	return out, nil
 }

@@ -47,6 +47,9 @@ type BatchReport struct {
 	// nets out to (what was actually propagated and applied), sorted by
 	// relation name.
 	Merged delta.Coalesced
+	// LSN is the log sequence number as of which the window is durable
+	// when a Committer is attached (0 otherwise).
+	LSN uint64
 }
 
 // PaperTotal is the quantity §3.6 reports: query I/O plus
@@ -95,6 +98,17 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 	}
 	if len(merged) == 0 {
 		rep.Track = &tracks.Track{}
+		// Still drain the committer: transactions that net to nothing
+		// (e.g. an applied-then-rolled-back rejection) must clear their
+		// staged deltas, and the returned LSN is the durability point
+		// covering the window.
+		if m.Committer != nil {
+			lsn, err := m.Committer.Commit(len(txns))
+			if err != nil {
+				return nil, fmt.Errorf("maintain: commit: %w", err)
+			}
+			rep.LSN = lsn
+		}
 		return rep, nil
 	}
 	plan, err := m.planFor(bt)
@@ -133,29 +147,59 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 	rep.QueryIO = m.Store.IO.Snapshot().Sub(io0)
 	prop.Finish()
 
-	// Apply deltas to the materialized views. Sidecar updates ride with
-	// the owning view's worker: they only read the (now fully computed)
-	// delta map and write that view's private live/stale/pending state.
-	av := obs.Trace.Start("maintain.apply_views", sp.ID())
-	err = m.applyViews(rep, tr)
-	av.Finish()
-	if err != nil {
-		return nil, err
-	}
-
-	// Finally apply the base relation updates, one batch per relation.
-	// Coalesce sorts by relation name, so the order is deterministic.
+	// Apply the base relation updates, one batch per relation, BEFORE
+	// the views: the mutation hook stages base deltas for the group
+	// commit, and applying them first lets the commit fsync run
+	// concurrently with view application below. Queries are all done
+	// (propagation finished), so no reader observes the new base state
+	// early. Coalesce sorts by relation name, so the order is
+	// deterministic.
 	ab := obs.Trace.Start("maintain.apply_base", sp.ID())
-	defer ab.Finish()
 	before := m.Store.IO.Snapshot()
 	for _, rd := range merged {
 		r, ok := m.Store.Get(rd.Rel)
 		if !ok {
+			ab.Finish()
 			return nil, fmt.Errorf("maintain: unknown relation %q", rd.Rel)
 		}
 		r.ApplyBatch(rd.Delta.ToMutations())
 	}
 	rep.BaseIO = m.Store.IO.Snapshot().Sub(before)
+	ab.Finish()
+
+	// Group commit: one record, one fsync for the whole window,
+	// overlapped with view application (views are derived state — the
+	// log only needs the base deltas, which are fully staged by now).
+	type commitResult struct {
+		lsn uint64
+		err error
+	}
+	var commit chan commitResult
+	if m.Committer != nil {
+		commit = make(chan commitResult, 1)
+		n := len(txns)
+		go func() {
+			lsn, err := m.Committer.Commit(n)
+			commit <- commitResult{lsn: lsn, err: err}
+		}()
+	}
+
+	// Apply deltas to the materialized views. Sidecar updates ride with
+	// the owning view's worker: they only read the (now fully computed)
+	// delta map and write that view's private live/stale/pending state.
+	av := obs.Trace.Start("maintain.apply_views", sp.ID())
+	verr := m.applyViews(rep, tr)
+	av.Finish()
+	if commit != nil {
+		cr := <-commit
+		if cr.err != nil {
+			return nil, fmt.Errorf("maintain: commit: %w", cr.err)
+		}
+		rep.LSN = cr.lsn
+	}
+	if verr != nil {
+		return nil, verr
+	}
 	return rep, nil
 }
 

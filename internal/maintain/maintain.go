@@ -62,6 +62,15 @@ type View struct {
 	pending map[string]int64
 }
 
+// Committer makes a maintenance window durable. The WAL's group commit
+// implements it: Commit drains the deltas staged by the store's
+// mutation hook, frames them as one record covering txns transactions,
+// and fsyncs once, returning the window's LSN. A nil Committer means
+// the engine runs in-memory, exactly as before.
+type Committer interface {
+	Commit(txns int) (uint64, error)
+}
+
 // Maintainer owns a view set over a store and keeps it incrementally
 // maintained.
 type Maintainer struct {
@@ -69,6 +78,11 @@ type Maintainer struct {
 	Store *storage.Store
 	Cost  *tracks.Costing
 	VS    tracks.ViewSet
+
+	// Committer, when set, is invoked once per applied window (after the
+	// base relations are updated) to make the window durable. ApplyBatch
+	// overlaps the commit fsync with view application.
+	Committer Committer
 
 	// Workers bounds the goroutines ApplyBatch uses to apply per-view
 	// deltas to independent materialized views. Zero or one means
@@ -92,54 +106,7 @@ func ViewName(e *dag.EqNode) string { return fmt.Sprintf("view_N%d", e.ID) }
 // New materializes the view set (initial materialization is not charged,
 // matching the paper) and returns a ready maintainer.
 func New(d *dag.DAG, st *storage.Store, model cost.Model, vs tracks.ViewSet) (*Maintainer, error) {
-	m := &Maintainer{
-		D:     d,
-		Store: st,
-		Cost:  tracks.NewCosting(d, model),
-		VS:    vs,
-		views: map[int]*View{},
-		plans: map[string]*trackPlan{},
-		trees: map[int]algebra.Node{},
-	}
-	free := exec.NewFree(st)
-	for _, e := range d.NonLeafEqs() {
-		if !vs[e.ID] {
-			continue
-		}
-		schema := catalog.NewSchema(append([]catalog.Column{}, e.Schema().Cols...)...)
-		def := &catalog.TableDef{Name: ViewName(e), Schema: schema}
-		if ix := qualifyIndexCols(schema, tracks.ViewIndexCols(d, e)); len(ix) > 0 {
-			def.Indexes = []catalog.IndexDef{{Name: def.Name + "_ix", Columns: ix}}
-		}
-		rel, err := st.Create(def)
-		if err != nil {
-			return nil, err
-		}
-		res, err := free.Eval(d.RepTree(e))
-		if err != nil {
-			return nil, fmt.Errorf("maintain: materializing %s: %w", e, err)
-		}
-		rel.Load(res.Rows)
-		rel.RefreshStats()
-		v := &View{Eq: e, Rel: rel, live: map[string]int64{}, stale: map[string]bool{}}
-		for _, op := range e.Ops {
-			switch op.Kind() {
-			case algebra.KindAggregate:
-				if v.aggOp == nil {
-					v.aggOp = op
-				}
-			case algebra.KindDistinct:
-				if v.distinctOp == nil {
-					v.distinctOp = op
-				}
-			}
-		}
-		if err := m.initSidecar(v, free); err != nil {
-			return nil, err
-		}
-		m.views[e.ID] = v
-	}
-	return m, nil
+	return NewRestored(d, st, model, vs, RestoreOptions{})
 }
 
 // qualifyIndexCols maps bare index column names onto concrete schema
@@ -232,6 +199,9 @@ type Report struct {
 	BaseIO  storage.IOCounter
 	// Deltas holds the computed change at every affected node.
 	Deltas map[int]*delta.Delta
+	// LSN is the log sequence number as of which the transaction is
+	// durable when a Committer is attached (0 otherwise).
+	LSN uint64
 }
 
 // PaperTotal is the quantity §3.6 reports: query I/O plus additional-view
@@ -321,6 +291,13 @@ func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Repor
 		r.ApplyBatch(du.ToMutations())
 	}
 	rep.BaseIO = m.Store.IO.Snapshot().Sub(before)
+	if m.Committer != nil {
+		lsn, err := m.Committer.Commit(1)
+		if err != nil {
+			return nil, fmt.Errorf("maintain: commit: %w", err)
+		}
+		rep.LSN = lsn
+	}
 	return rep, nil
 }
 

@@ -9,6 +9,7 @@ package paper
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/tracks"
 	"repro/internal/txn"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // BenchSchemaVersion stamps BENCH_maintain.json rows so the bench
@@ -32,7 +34,9 @@ import (
 //
 //	1: batch/workers/txns/txns_per_sec/page_io_per_txn
 //	2: + apply_p50_ns/apply_p99_ns (maintain.apply.ns histogram window)
-const BenchSchemaVersion = 2
+//	3: + optional durable/fsync_p99_ns/recovery_replay_txns_sec rows
+//	     (write-ahead-logged runs; absent on in-memory rows)
+const BenchSchemaVersion = 3
 
 // Throughput is a maintained Figure 5 system plus a deterministic
 // hot-item workload generator. The generator never consults database
@@ -189,6 +193,13 @@ type ThroughputRow struct {
 	// window. Power-of-two bucket resolution.
 	ApplyP50Ns uint64 `json:"apply_p50_ns"`
 	ApplyP99Ns uint64 `json:"apply_p99_ns"`
+
+	// Durable rows ran with a write-ahead log attached (one fsync per
+	// window); the extra columns report the commit-latency tail and the
+	// log-replay rate of recovering the run's own tail.
+	Durable               bool    `json:"durable,omitempty"`
+	FsyncP99Ns            uint64  `json:"fsync_p99_ns,omitempty"`
+	RecoveryReplayTxnsSec float64 `json:"recovery_replay_txns_sec,omitempty"`
 }
 
 // MeasureThroughput runs n transactions for one (batch, workers)
@@ -227,6 +238,173 @@ func MeasureThroughput(cfg corpus.Figure5Config, n, batch, workers int) (Through
 		ApplyP50Ns:    window.Quantile(0.50),
 		ApplyP99Ns:    window.Quantile(0.99),
 	}, nil
+}
+
+// MeasureThroughputDurable is MeasureThroughput with a write-ahead log
+// attached: every window group-commits with one fsync into dir (which
+// must not already hold durable state). After the timed run the log is
+// closed and recovered, measuring the replay rate; the row fails if any
+// view fell back to recomputation — the checkpointed view set is
+// current, so recovery must be purely incremental.
+func MeasureThroughputDurable(cfg corpus.Figure5Config, n, batch, workers int, fsys wal.FS, dir string) (ThroughputRow, error) {
+	th, err := NewThroughput(cfg, workers)
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	mgr, err := wal.Attach(th.m, th.db.Catalog, fsys, dir, wal.Options{})
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	applyHist := obs.H("maintain.apply.ns")
+	fsyncHist := obs.H("wal.fsync.ns")
+	applyBefore := applyHist.Snapshot()
+	fsyncBefore := fsyncHist.Snapshot()
+	runtime.GC()
+	start := time.Now()
+	io, err := th.Run(n, batch)
+	elapsed := time.Since(start)
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	applyWindow := applyHist.Snapshot().Sub(applyBefore)
+	fsyncWindow := fsyncHist.Snapshot().Sub(fsyncBefore)
+	if drift, err := th.Drift(); err != nil {
+		return ThroughputRow{}, err
+	} else if drift != "" {
+		return ThroughputRow{}, fmt.Errorf("durable throughput run drifted: %s", drift)
+	}
+	if err := mgr.Close(); err != nil {
+		return ThroughputRow{}, err
+	}
+	rs, err := MeasureRecovery(cfg, workers, fsys, dir, false)
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	if rs.Recomputed != 0 {
+		return ThroughputRow{}, fmt.Errorf("recovery recomputed %d views; want 0 with a current view set", rs.Recomputed)
+	}
+	replayRate := 0.0
+	if rs.Duration > 0 {
+		replayRate = float64(rs.Txns) / rs.Duration.Seconds()
+	}
+	return ThroughputRow{
+		SchemaVersion:         BenchSchemaVersion,
+		Batch:                 batch,
+		Workers:               workers,
+		Txns:                  n,
+		TxnsPerSec:            float64(n) / elapsed.Seconds(),
+		IOPerTxn:              float64(io.Total()) / float64(n),
+		ApplyP50Ns:            applyWindow.Quantile(0.50),
+		ApplyP99Ns:            applyWindow.Quantile(0.99),
+		Durable:               true,
+		FsyncP99Ns:            fsyncWindow.Quantile(0.99),
+		RecoveryReplayTxnsSec: replayRate,
+	}, nil
+}
+
+// RecoveryStats describes one measured crash recovery.
+type RecoveryStats struct {
+	Windows    int           // log records replayed
+	Txns       int           // transactions those windows coalesced
+	Recomputed int           // views that fell back to recomputation
+	Duration   time.Duration // checkpoint restore + replay, end to end
+}
+
+// MeasureRecovery recovers the durable state in dir into a fresh Figure 5
+// system and times it. forceRecompute simulates a stale checkpoint whose
+// view set no longer matches: every view misses the restore source and is
+// recomputed from the restored base relations instead.
+func MeasureRecovery(cfg corpus.Figure5Config, workers int, fsys wal.FS, dir string, forceRecompute bool) (RecoveryStats, error) {
+	db := corpus.Figure5Database(cfg)
+	start := time.Now()
+	rec, err := wal.BeginRecovery(db.Catalog, db.Store, fsys, dir)
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	ro := rec.RestoreOptions()
+	if forceRecompute {
+		onRecompute := ro.OnRecompute
+		ro.Source = func(string) (*maintain.ViewState, bool) { return nil, false }
+		ro.OnRecompute = onRecompute
+	}
+	d, err := dag.FromTree(db.Figure5View(0))
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	if _, err := d.Expand(rules.Default(), 400); err != nil {
+		return RecoveryStats{}, err
+	}
+	vs := tracks.RootSet(d)
+	for _, e := range d.NonLeafEqs() {
+		vs[e.ID] = true
+	}
+	m, err := maintain.NewRestored(d, db.Store, cost.PageIO{}, vs, ro)
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	m.Workers = workers
+	mgr, err := rec.Resume(m, wal.Options{})
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	elapsed := time.Since(start)
+	defer mgr.Close()
+	return RecoveryStats{
+		Windows:    mgr.ReplayedWindows,
+		Txns:       mgr.ReplayedTxns,
+		Recomputed: mgr.RecomputedViews,
+		Duration:   elapsed,
+	}, nil
+}
+
+// DurableThroughputTable measures the durable batch sweep next to the
+// in-memory baseline at the same batch sizes, plus a recovery comparison
+// line: incremental replay versus the forced recompute-everything
+// fallback on the last run's log. Each batch size logs into its own
+// subdirectory of baseDir, which must be empty.
+func DurableThroughputTable(cfg corpus.Figure5Config, n int, batches []int, workers int, baseDir string) ([]ThroughputRow, string, error) {
+	var rows []ThroughputRow
+	var b strings.Builder
+	b.WriteString("Durable maintenance throughput (WAL group commit, one fsync per window)\n")
+	fmt.Fprintf(&b, "%-8s %-8s %14s %14s %14s %16s %10s\n",
+		"batch", "workers", "txns/sec", "in-mem t/s", "fsyncP99(µs)", "replay txns/sec", "vs in-mem")
+	var lastDir string
+	for _, bs := range batches {
+		mem, err := MeasureThroughput(cfg, n, bs, workers)
+		if err != nil {
+			return nil, "", err
+		}
+		dir := filepath.Join(baseDir, fmt.Sprintf("batch%d", bs))
+		row, err := MeasureThroughputDurable(cfg, n, bs, workers, wal.OSFS{}, dir)
+		if err != nil {
+			return nil, "", err
+		}
+		lastDir = dir
+		rows = append(rows, mem, row)
+		fmt.Fprintf(&b, "%-8d %-8d %14.0f %14.0f %14.1f %16.0f %9.0f%%\n",
+			row.Batch, row.Workers, row.TxnsPerSec, mem.TxnsPerSec,
+			float64(row.FsyncP99Ns)/1e3, row.RecoveryReplayTxnsSec,
+			100*row.TxnsPerSec/mem.TxnsPerSec)
+	}
+	if lastDir != "" {
+		inc, err := MeasureRecovery(cfg, workers, wal.OSFS{}, lastDir, false)
+		if err != nil {
+			return nil, "", err
+		}
+		full, err := MeasureRecovery(cfg, workers, wal.OSFS{}, lastDir, true)
+		if err != nil {
+			return nil, "", err
+		}
+		ratio := 1.0
+		if inc.Duration > 0 {
+			ratio = float64(full.Duration) / float64(inc.Duration)
+		}
+		fmt.Fprintf(&b,
+			"recovery of batch-%d log: incremental %.2fms (%d windows, %d txns, 0 recomputed) vs recompute-fallback %.2fms (%d views recomputed) — %.1fx\n",
+			batches[len(batches)-1], float64(inc.Duration.Microseconds())/1e3, inc.Windows, inc.Txns,
+			float64(full.Duration.Microseconds())/1e3, full.Recomputed, ratio)
+	}
+	return rows, b.String(), nil
 }
 
 // ThroughputTable measures the batch-size × worker grid and renders the

@@ -39,6 +39,11 @@ func (r *Relation) ApplyBatch(batch []Mutation) {
 	if len(batch) == 0 {
 		return
 	}
+	if r.store != nil {
+		if h := r.store.onMutation; h != nil {
+			h(r, batch)
+		}
+	}
 	if len(batch) == 1 {
 		// Fast path: a single mutation touches at most two buckets per
 		// index, so the charges are computed directly, skipping the

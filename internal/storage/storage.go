@@ -147,6 +147,12 @@ type Relation struct {
 	liveTuples int
 }
 
+// MutationHook observes every ApplyBatch against a relation of the
+// store, before the mutations take effect. The write-ahead log installs
+// one to stage deltas for the next group commit; hooks must not mutate
+// the batch.
+type MutationHook func(r *Relation, batch []Mutation)
+
 // Store is a collection of named relations sharing one I/O counter and,
 // optionally, an LRU page buffer (nil reproduces the paper's cold-cache
 // assumption).
@@ -154,7 +160,13 @@ type Store struct {
 	IO     *IOCounter
 	Buffer *Buffer
 	rels   map[string]*Relation
+
+	onMutation MutationHook
 }
+
+// SetMutationHook installs (or, with nil, removes) the store-wide
+// mutation hook.
+func (s *Store) SetMutationHook(h MutationHook) { s.onMutation = h }
 
 // NewStore returns an empty store.
 func NewStore() *Store {

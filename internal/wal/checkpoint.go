@@ -1,0 +1,364 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/delta"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Checkpoint file layout:
+//
+//	magic "MVWALCK1" | u32 bodyLen (LE) | u32 crc32c (LE) | body
+//
+// The body holds the LSN the snapshot is consistent as of, the view-set
+// key (so recovery can detect that the checkpoint predates a view-set
+// change), opaque metadata, every base relation's rows, and every
+// materialized view's rows plus maintenance sidecar (aggregate group
+// live-counts and stale-group marks). Tuples reuse the delta codec —
+// arity uvarint + key encoding — so the checkpoint introduces no second
+// serialization format either.
+//
+// Checkpoints are written to a temp name, synced, then renamed into
+// place: a crash mid-write leaves the previous checkpoint intact.
+const ckptMagic = "MVWALCK1"
+
+var ckptBytes = obs.C("wal.checkpoint.bytes")
+
+// RelSnapshot is one base relation's full contents.
+type RelSnapshot struct {
+	Name string
+	Rows []storage.Row
+}
+
+// ViewSnapshot is one materialized view's contents plus the sidecar
+// state the maintenance pipeline needs to resume incrementally.
+type ViewSnapshot struct {
+	Name        string
+	Fingerprint string
+	Rows        []storage.Row
+	Live        map[string]int64
+	Stale       []string
+}
+
+// Checkpoint is a consistent snapshot of base relations and marked
+// views as of LSN: replaying records with LSN greater than Checkpoint.LSN
+// on top of it reproduces the committed state.
+type Checkpoint struct {
+	LSN        uint64
+	ViewSetKey string
+	Meta       map[string]string
+	Rels       []RelSnapshot
+	Views      []ViewSnapshot
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func decodeString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(len(b)-sz) {
+		return "", nil, fmt.Errorf("wal: %w: bad string length", value.ErrCorrupt)
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+func appendRows(dst []byte, rows []storage.Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(rows)))
+	for _, r := range rows {
+		dst = binary.AppendVarint(dst, r.Count)
+		dst = delta.AppendTuple(dst, r.Tuple)
+	}
+	return dst
+}
+
+func decodeRows(b []byte) ([]storage.Row, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("wal: %w: bad row count", value.ErrCorrupt)
+	}
+	b = b[sz:]
+	if n > uint64(len(b))/2+1 {
+		return nil, nil, fmt.Errorf("wal: %w: row count %d exceeds input", value.ErrCorrupt, n)
+	}
+	rows := make([]storage.Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		count, sz := binary.Varint(b)
+		if sz <= 0 {
+			return nil, nil, fmt.Errorf("wal: %w: bad row multiplicity", value.ErrCorrupt)
+		}
+		t, rest, err := delta.DecodeTuple(b[sz:])
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, storage.Row{Tuple: t, Count: count})
+		b = rest
+	}
+	return rows, b, nil
+}
+
+func (c *Checkpoint) encode() []byte {
+	body := binary.AppendUvarint(nil, c.LSN)
+	body = appendString(body, c.ViewSetKey)
+	keys := make([]string, 0, len(c.Meta))
+	for k := range c.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	body = binary.AppendUvarint(body, uint64(len(keys)))
+	for _, k := range keys {
+		body = appendString(body, k)
+		body = appendString(body, c.Meta[k])
+	}
+	body = binary.AppendUvarint(body, uint64(len(c.Rels)))
+	for _, r := range c.Rels {
+		body = appendString(body, r.Name)
+		body = appendRows(body, r.Rows)
+	}
+	body = binary.AppendUvarint(body, uint64(len(c.Views)))
+	for _, v := range c.Views {
+		body = appendString(body, v.Name)
+		body = appendString(body, v.Fingerprint)
+		body = appendRows(body, v.Rows)
+		lk := make([]string, 0, len(v.Live))
+		for k := range v.Live {
+			lk = append(lk, k)
+		}
+		sort.Strings(lk)
+		body = binary.AppendUvarint(body, uint64(len(lk)))
+		for _, k := range lk {
+			body = appendString(body, k)
+			body = binary.AppendVarint(body, v.Live[k])
+		}
+		body = binary.AppendUvarint(body, uint64(len(v.Stale)))
+		for _, s := range v.Stale {
+			body = appendString(body, s)
+		}
+	}
+
+	out := make([]byte, 0, 16+len(body))
+	out = append(out, ckptMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, castagnoli))
+	return append(out, body...)
+}
+
+func decodeCheckpoint(data []byte) (*Checkpoint, error) {
+	bad := func(what string) error {
+		return fmt.Errorf("wal: %w: checkpoint %s", value.ErrCorrupt, what)
+	}
+	if len(data) < 16 || string(data[:8]) != ckptMagic {
+		return nil, bad("header")
+	}
+	n := binary.LittleEndian.Uint32(data[8:12])
+	if uint64(n) != uint64(len(data)-16) {
+		return nil, bad("length")
+	}
+	body := data[16:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(data[12:16]) {
+		return nil, bad("crc")
+	}
+	c := &Checkpoint{Meta: map[string]string{}}
+	var sz int
+	c.LSN, sz = binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, bad("lsn")
+	}
+	body = body[sz:]
+	var err error
+	if c.ViewSetKey, body, err = decodeString(body); err != nil {
+		return nil, err
+	}
+	nMeta, sz := binary.Uvarint(body)
+	if sz <= 0 || nMeta > uint64(len(body)) {
+		return nil, bad("meta count")
+	}
+	body = body[sz:]
+	for i := uint64(0); i < nMeta; i++ {
+		var k, v string
+		if k, body, err = decodeString(body); err != nil {
+			return nil, err
+		}
+		if v, body, err = decodeString(body); err != nil {
+			return nil, err
+		}
+		c.Meta[k] = v
+	}
+	nRels, sz := binary.Uvarint(body)
+	if sz <= 0 || nRels > uint64(len(body)) {
+		return nil, bad("relation count")
+	}
+	body = body[sz:]
+	for i := uint64(0); i < nRels; i++ {
+		var r RelSnapshot
+		if r.Name, body, err = decodeString(body); err != nil {
+			return nil, err
+		}
+		if r.Rows, body, err = decodeRows(body); err != nil {
+			return nil, err
+		}
+		c.Rels = append(c.Rels, r)
+	}
+	nViews, sz := binary.Uvarint(body)
+	if sz <= 0 || nViews > uint64(len(body)) {
+		return nil, bad("view count")
+	}
+	body = body[sz:]
+	for i := uint64(0); i < nViews; i++ {
+		var v ViewSnapshot
+		if v.Name, body, err = decodeString(body); err != nil {
+			return nil, err
+		}
+		if v.Fingerprint, body, err = decodeString(body); err != nil {
+			return nil, err
+		}
+		if v.Rows, body, err = decodeRows(body); err != nil {
+			return nil, err
+		}
+		nLive, sz := binary.Uvarint(body)
+		if sz <= 0 || nLive > uint64(len(body)) {
+			return nil, bad("live count")
+		}
+		body = body[sz:]
+		v.Live = make(map[string]int64, nLive)
+		for j := uint64(0); j < nLive; j++ {
+			var k string
+			if k, body, err = decodeString(body); err != nil {
+				return nil, err
+			}
+			cnt, sz := binary.Varint(body)
+			if sz <= 0 {
+				return nil, bad("live value")
+			}
+			body = body[sz:]
+			v.Live[k] = cnt
+		}
+		nStale, sz := binary.Uvarint(body)
+		if sz <= 0 || nStale > uint64(len(body)) {
+			return nil, bad("stale count")
+		}
+		body = body[sz:]
+		for j := uint64(0); j < nStale; j++ {
+			var s string
+			if s, body, err = decodeString(body); err != nil {
+				return nil, err
+			}
+			v.Stale = append(v.Stale, s)
+		}
+		c.Views = append(c.Views, v)
+	}
+	if len(body) != 0 {
+		return nil, bad("trailing bytes")
+	}
+	return c, nil
+}
+
+// WriteCheckpoint durably writes c into dir (temp file + fsync +
+// rename) and removes any older checkpoint files on success.
+func WriteCheckpoint(fsys FS, dir string, c *Checkpoint) error {
+	data := c.encode()
+	final := ckptName(c.LSN)
+	tmp := final + ".tmp"
+	// A stale temp file from a crashed checkpoint would otherwise be
+	// appended to; drop it first.
+	if err := fsys.Remove(join(dir, tmp)); err != nil && !isNotExist(err) {
+		return fmt.Errorf("wal: checkpoint stale temp: %w", err)
+	}
+	f, err := fsys.OpenAppend(join(dir, tmp))
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint create: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	if err := fsys.Rename(join(dir, tmp), join(dir, final)); err != nil {
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	ckptBytes.Add(int64(len(data)))
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint readdir: %w", err)
+	}
+	for _, n := range names {
+		if n == final {
+			continue
+		}
+		if _, ok := parseCkptName(n); ok || strings.HasSuffix(n, ".tmp") {
+			if err := fsys.Remove(join(dir, n)); err != nil {
+				return fmt.Errorf("wal: checkpoint cleanup: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// LatestCheckpoint returns the newest valid checkpoint in dir, or
+// (nil, nil) if none exists. Invalid checkpoint files (a crash between
+// temp-write and rename cannot produce one, but disk corruption can)
+// are skipped in favor of the next older one.
+func LatestCheckpoint(fsys FS, dir string) (*Checkpoint, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: readdir: %w", err)
+	}
+	var ckpts []string
+	for _, n := range names {
+		if _, ok := parseCkptName(n); ok {
+			ckpts = append(ckpts, n)
+		}
+	}
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		data, err := fsys.ReadFile(join(dir, ckpts[i]))
+		if err != nil {
+			return nil, fmt.Errorf("wal: read %s: %w", ckpts[i], err)
+		}
+		c, err := decodeCheckpoint(data)
+		if err != nil {
+			continue
+		}
+		return c, nil
+	}
+	return nil, nil
+}
+
+func isNotExist(err error) bool {
+	return errors.Is(err, os.ErrNotExist)
+}
+
+func ckptName(lsn uint64) string {
+	return fmt.Sprintf("ckpt-%016x.ckpt", lsn)
+}
+
+func parseCkptName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".ckpt") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".ckpt")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

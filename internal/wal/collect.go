@@ -1,0 +1,77 @@
+package wal
+
+import (
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/delta"
+	"repro/internal/storage"
+)
+
+// Collector stages base-relation mutations between group commits. It is
+// installed as the store's mutation hook; view relations (anything not
+// in the catalog it was built from) are filtered out, so only base
+// deltas reach the log. The maintenance worker pool applies view
+// mutations concurrently, hence the mutex.
+type Collector struct {
+	mu      sync.Mutex
+	schemas map[string]*catalog.Schema
+	staged  map[string]*delta.Delta
+}
+
+// NewCollector builds a collector recognizing exactly the base
+// relations registered in cat at construction time.
+func NewCollector(cat *catalog.Catalog) *Collector {
+	schemas := map[string]*catalog.Schema{}
+	for _, name := range cat.Names() {
+		schemas[name] = cat.MustGet(name).Schema
+	}
+	return &Collector{schemas: schemas, staged: map[string]*delta.Delta{}}
+}
+
+// Schema resolves a base relation's schema; it is the SchemaSource used
+// to decode windows written through this collector.
+func (c *Collector) Schema(rel string) (*catalog.Schema, bool) {
+	s, ok := c.schemas[rel]
+	return s, ok
+}
+
+// Hook is the storage.MutationHook staging every base-relation batch.
+func (c *Collector) Hook(r *storage.Relation, batch []storage.Mutation) {
+	s, ok := c.schemas[r.Def.Name]
+	if !ok {
+		return // a view's backing relation; views are derived, not logged
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.staged[r.Def.Name]
+	if !ok {
+		d = delta.New(s)
+		c.staged[r.Def.Name] = d
+	}
+	for _, m := range batch {
+		count := m.Count
+		if count == 0 {
+			count = 1
+		}
+		switch {
+		case m.IsInsert():
+			d.Insert(m.New, count)
+		case m.IsDelete():
+			d.Delete(m.Old, count)
+		case m.IsModify():
+			d.Modify(m.Old, m.New, count)
+		}
+	}
+}
+
+// Drain returns the staged deltas and resets the stage. The caller
+// coalesces them: a transaction applied and rolled back inside one
+// window (ic Reject mode) annihilates to nothing and is never logged.
+func (c *Collector) Drain() map[string]*delta.Delta {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.staged
+	c.staged = map[string]*delta.Delta{}
+	return out
+}

@@ -1,0 +1,73 @@
+// Package wal implements the durability subsystem: a segmented,
+// CRC32C-framed write-ahead log of base-relation deltas with group
+// commit aligned to the maintenance pipeline's batch windows, view
+// checkpoints, and incremental crash recovery that replays only the log
+// tail through the normal delta pipeline.
+//
+// The filesystem is abstracted behind FS so the fault-injection harness
+// (FaultFS) can crash the log at any mutating operation and recovery
+// can be proven to converge to the committed prefix in every schedule.
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is an append-only log file handle.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync makes all previously written bytes durable.
+	Sync() error
+	Close() error
+}
+
+// FS is the minimal filesystem surface the log needs. Paths are plain
+// OS paths; ReadDir returns sorted base names.
+type FS interface {
+	MkdirAll(dir string) error
+	ReadDir(dir string) ([]string, error)
+	ReadFile(path string) ([]byte, error)
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	Truncate(path string, size int64) error
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// join builds a path inside the WAL directory; kept here so FaultFS and
+// the log agree on path construction.
+func join(dir, name string) string { return filepath.Join(dir, name) }

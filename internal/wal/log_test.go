@@ -1,0 +1,285 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/delta"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func testSchema() *catalog.Schema {
+	return catalog.NewSchema(
+		catalog.Column{Qualifier: "T", Name: "k"},
+		catalog.Column{Qualifier: "T", Name: "v"},
+	)
+}
+
+func testSchemas(s *catalog.Schema) delta.SchemaSource {
+	return func(rel string) (*catalog.Schema, bool) { return s, rel == "T" }
+}
+
+func testWindow(s *catalog.Schema, i int) delta.Coalesced {
+	d := delta.New(s)
+	d.Insert(value.Tuple{value.NewInt(int64(i)), value.NewString("row")}, 1)
+	if i%2 == 0 {
+		d.Delete(value.Tuple{value.NewInt(int64(i - 100)), value.NewString("old")}, 1)
+	}
+	return delta.Coalesced{{Rel: "T", Delta: d}}
+}
+
+func replayAll(t *testing.T, fsys FS, dir string, s *catalog.Schema, after uint64) []Record {
+	t.Helper()
+	l, err := OpenLog(fsys, dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	var recs []Record
+	if err := l.Replay(after, testSchemas(s), func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := testSchema()
+	l, err := OpenLog(OSFS{}, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 1; i <= n; i++ {
+		lsn, err := l.CommitWindow(testWindow(s, i), i)
+		if err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("lsn %d, want %d", lsn, i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := replayAll(t, OSFS{}, dir, s, 0)
+	if len(recs) != n {
+		t.Fatalf("replayed %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || r.Txns != i+1 {
+			t.Fatalf("record %d: LSN %d Txns %d", i, r.LSN, r.Txns)
+		}
+		if len(r.Window) != 1 || r.Window[0].Rel != "T" {
+			t.Fatalf("record %d: bad window %+v", i, r.Window)
+		}
+	}
+	// Replay(after) skips the prefix.
+	if got := replayAll(t, OSFS{}, dir, s, 7); len(got) != 3 || got[0].LSN != 8 {
+		t.Fatalf("after=7 replayed %d records", len(got))
+	}
+}
+
+func TestLogRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	s := testSchema()
+	// Tiny segments force a rotation every couple of records.
+	l, err := OpenLog(OSFS{}, dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for i := 1; i <= n; i++ {
+		if _, err := l.CommitWindow(testWindow(s, i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(l.segs) < 3 {
+		t.Fatalf("expected multiple segments, got %d", len(l.segs))
+	}
+	segsBefore := len(l.segs)
+	if err := l.Prune(8); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.segs) >= segsBefore {
+		t.Fatalf("prune removed nothing (%d segments)", len(l.segs))
+	}
+	l.Close()
+	recs := replayAll(t, OSFS{}, dir, s, 8)
+	if len(recs) != n-8 || recs[0].LSN != 9 {
+		t.Fatalf("post-prune replay after 8: %d records, first %d", len(recs), recs[0].LSN)
+	}
+	// The log keeps accepting appends after reopen.
+	l2, err := OpenLog(OSFS{}, dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.LastLSN() != n {
+		t.Fatalf("reopened LastLSN %d, want %d", l2.LastLSN(), n)
+	}
+	if lsn, err := l2.CommitWindow(testWindow(s, 99), 1); err != nil || lsn != n+1 {
+		t.Fatalf("append after reopen: lsn %d err %v", lsn, err)
+	}
+	l2.Close()
+}
+
+// TestLogTornTailTruncated corrupts the physical tail and checks the
+// scanner recovers exactly the committed prefix.
+func TestLogTornTailTruncated(t *testing.T) {
+	s := testSchema()
+	for _, tc := range []struct {
+		name string
+		muck func(path string, t *testing.T)
+		want int // records surviving out of 5
+	}{
+		{"truncated-mid-record", func(p string, t *testing.T) {
+			data, _ := os.ReadFile(p)
+			os.WriteFile(p, data[:len(data)-3], 0o644)
+		}, 4},
+		{"garbage-appended", func(p string, t *testing.T) {
+			f, _ := os.OpenFile(p, os.O_WRONLY|os.O_APPEND, 0o644)
+			f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3})
+			f.Close()
+		}, 5},
+		{"crc-flip-last-record", func(p string, t *testing.T) {
+			data, _ := os.ReadFile(p)
+			data[len(data)-1] ^= 0x01
+			os.WriteFile(p, data, 0o644)
+		}, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := OpenLog(OSFS{}, dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= 5; i++ {
+				if _, err := l.CommitWindow(testWindow(s, i), 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			l.Close()
+			names, _ := OSFS{}.ReadDir(dir)
+			if len(names) != 1 {
+				t.Fatalf("expected 1 segment, got %v", names)
+			}
+			tc.muck(filepath.Join(dir, names[0]), t)
+			recs := replayAll(t, OSFS{}, dir, s, 0)
+			if len(recs) != tc.want {
+				t.Fatalf("recovered %d records, want %d", len(recs), tc.want)
+			}
+			for i, r := range recs {
+				if r.LSN != uint64(i+1) {
+					t.Fatalf("record %d has LSN %d", i, r.LSN)
+				}
+			}
+			// The scanner truncated the tail, so a fresh writer appends
+			// cleanly right after the committed prefix.
+			l2, err := OpenLog(OSFS{}, dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lsn, err := l2.CommitWindow(testWindow(s, 50), 1); err != nil || lsn != uint64(tc.want+1) {
+				t.Fatalf("append after repair: lsn %d err %v", lsn, err)
+			}
+			l2.Close()
+		})
+	}
+}
+
+// TestLogTornSegmentHeader drops a segment whose header never became
+// durable, plus everything after it.
+func TestLogTornSegmentHeader(t *testing.T) {
+	dir := t.TempDir()
+	s := testSchema()
+	l, err := OpenLog(OSFS{}, dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		if _, err := l.CommitWindow(testWindow(s, i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(l.segs) < 2 {
+		t.Fatalf("need >= 2 segments, got %d", len(l.segs))
+	}
+	lastSeg := l.segs[len(l.segs)-1]
+	prevLast := lastSeg.firstLSN - 1
+	l.Close()
+	// Corrupt the last segment's header magic.
+	p := filepath.Join(dir, lastSeg.name)
+	data, _ := os.ReadFile(p)
+	data[0] ^= 0xFF
+	os.WriteFile(p, data, 0o644)
+
+	l2, err := OpenLog(OSFS{}, dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.LastLSN() != prevLast {
+		t.Fatalf("LastLSN %d, want %d", l2.LastLSN(), prevLast)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("corrupt segment not removed: %v", err)
+	}
+	l2.Close()
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := &Checkpoint{
+		LSN:        7,
+		ViewSetKey: "{N1,N2}",
+		Meta:       map[string]string{"ddl": "CREATE TABLE T (k INT, v TEXT)"},
+		Rels: []RelSnapshot{{
+			Name: "T",
+			Rows: []storage.Row{{Tuple: value.Tuple{value.NewInt(1), value.NewString("x")}, Count: 2}},
+		}},
+		Views: []ViewSnapshot{{
+			Name:        "view_N3",
+			Fingerprint: "agg(sum)",
+			Rows:        []storage.Row{{Tuple: value.Tuple{value.NewString("g"), value.NewInt(10)}, Count: 1}},
+			Live:        map[string]int64{"g1": 3},
+			Stale:       []string{"g2"},
+		}},
+	}
+	if err := WriteCheckpoint(OSFS{}, dir, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LatestCheckpoint(OSFS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("no checkpoint found")
+	}
+	if got.LSN != 7 || got.ViewSetKey != "{N1,N2}" || got.Meta["ddl"] == "" {
+		t.Fatalf("header fields lost: %+v", got)
+	}
+	if len(got.Rels) != 1 || got.Rels[0].Name != "T" || len(got.Rels[0].Rows) != 1 || got.Rels[0].Rows[0].Count != 2 {
+		t.Fatalf("rel snapshot lost: %+v", got.Rels)
+	}
+	v := got.Views[0]
+	if v.Name != "view_N3" || v.Fingerprint != "agg(sum)" || v.Live["g1"] != 3 || len(v.Stale) != 1 {
+		t.Fatalf("view snapshot lost: %+v", v)
+	}
+	// A newer checkpoint supersedes and removes the old one.
+	c2 := &Checkpoint{LSN: 9, ViewSetKey: c.ViewSetKey, Meta: c.Meta}
+	if err := WriteCheckpoint(OSFS{}, dir, c2); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := OSFS{}.ReadDir(dir)
+	if len(names) != 1 {
+		t.Fatalf("old checkpoint not cleaned up: %v", names)
+	}
+	got2, err := LatestCheckpoint(OSFS{}, dir)
+	if err != nil || got2.LSN != 9 {
+		t.Fatalf("latest: %+v err %v", got2, err)
+	}
+}

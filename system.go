@@ -89,6 +89,9 @@ type Config struct {
 	// Seed shuffles the order parallel workers claim search chunks. It
 	// perturbs timing only; the result is the same for every seed.
 	Seed int64
+	// Restore, when set, seeds materialized views from checkpointed
+	// state instead of recomputing them (crash recovery).
+	Restore *maintain.RestoreOptions
 }
 
 // System is a maintained configuration: an expression DAG over the chosen
@@ -172,7 +175,12 @@ func (db *DB) Build(names []string, cfg Config) (*System, error) {
 		return nil, err
 	}
 
-	m, err := maintain.New(d, db.Store, cfg.Model, res.Best.Set)
+	var m *maintain.Maintainer
+	if cfg.Restore != nil {
+		m, err = maintain.NewRestored(d, db.Store, cfg.Model, res.Best.Set, *cfg.Restore)
+	} else {
+		m, err = maintain.New(d, db.Store, cfg.Model, res.Best.Set)
+	}
 	if err != nil {
 		return nil, err
 	}
