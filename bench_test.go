@@ -272,7 +272,7 @@ func BenchmarkMaintainThroughput(b *testing.B) {
 	record := func(row paper.ThroughputRow) {
 		for i := range results {
 			if results[i].Batch == row.Batch && results[i].Workers == row.Workers &&
-				results[i].Durable == row.Durable {
+				results[i].Durable == row.Durable && results[i].Shards == row.Shards {
 				results[i] = row
 				return
 			}
@@ -319,6 +319,26 @@ func BenchmarkMaintainThroughput(b *testing.B) {
 			b.ReportMetric(last.TxnsPerSec, "txns/sec")
 			b.ReportMetric(float64(last.FsyncP99Ns), "fsyncP99-ns")
 			b.ReportMetric(last.RecoveryReplayTxnsSec, "replay-txns/sec")
+			record(last)
+		})
+	}
+	// Sharded rows (schema v4): batch-64 windows split across N
+	// shard-local pipelines by the Item router. shards=1 is the sharded
+	// path minus parallelism — the overhead baseline the scaling floor
+	// in cmd/benchdiff divides against.
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("sharded/batch64/shards%d", shards), func(b *testing.B) {
+			var last paper.ThroughputRow
+			for i := 0; i < b.N; i++ {
+				row, err := paper.MeasureThroughputSharded(cfg, txnsPerOp, 64, shards, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = row
+			}
+			b.ReportMetric(last.TxnsPerSec, "txns/sec")
+			b.ReportMetric(last.IOPerTxn, "pageIO/txn")
 			record(last)
 		})
 	}

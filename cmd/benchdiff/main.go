@@ -23,6 +23,13 @@
 // so the ratio is host-independent. It fails when durable batch-64
 // drops below -durable-floor (default 0.60) of the in-memory rate;
 // -durable-floor 0 disables the gate.
+//
+// When the fresh file carries sharded rows (schema v4), a third gate
+// checks multi-core scaling within the fresh file: batch-64 txns/sec
+// at shards=8 must reach -scaling-floor (default 2.5) times shards=1.
+// The gate is machine-aware — it skips with a message when the fresh
+// rows report fewer than 8 CPUs, because shard parallelism cannot
+// exceed the cores that exist. -scaling-floor 0 disables the gate.
 package main
 
 import (
@@ -58,7 +65,7 @@ func load(path string) (*benchFile, error) {
 // baseline returns the in-memory batch-1/workers-1 txns/sec of f.
 func baseline(f *benchFile) (float64, error) {
 	for _, r := range f.Rows {
-		if r.Batch == 1 && r.Workers == 1 && !r.Durable {
+		if r.Batch == 1 && r.Workers == 1 && !r.Durable && r.Shards == 0 {
 			if r.TxnsPerSec <= 0 {
 				return 0, fmt.Errorf("non-positive batch-1 baseline")
 			}
@@ -75,6 +82,7 @@ func main() {
 	batch := flag.Int("batch", 64, "batch size to gate on")
 	threshold := flag.Float64("threshold", 0.20, "maximum allowed relative speedup regression")
 	durableFloor := flag.Float64("durable-floor", 0.60, "minimum durable/in-memory throughput ratio at -batch (0 disables)")
+	scalingFloor := flag.Float64("scaling-floor", 2.5, "minimum shards=8 / shards=1 throughput ratio at -batch (0 disables; skipped under 8 CPUs)")
 	flag.Parse()
 	if *oldPath == "" {
 		log.Fatal("benchdiff: -old is required")
@@ -101,7 +109,7 @@ func main() {
 	gateRows := func(f *benchFile, durable bool) map[int]float64 {
 		out := map[int]float64{} // workers → txns/sec at *batch
 		for _, r := range f.Rows {
-			if r.Batch == *batch && r.Durable == durable {
+			if r.Batch == *batch && r.Durable == durable && r.Shards == 0 {
 				out[r.Workers] = r.TxnsPerSec
 			}
 		}
@@ -140,30 +148,68 @@ func main() {
 		durGate := gateRows(newF, true)
 		if len(durGate) == 0 {
 			fmt.Printf("benchdiff: no durable batch-%d rows in %s; durability gate skipped\n", *batch, *newPath)
-			return
+		} else {
+			durFailed := false
+			durChecked := 0
+			for workers, dtps := range durGate {
+				mtps, ok := newGate[workers]
+				if !ok || mtps <= 0 {
+					continue
+				}
+				durChecked++
+				ratio := dtps / mtps
+				status := "ok"
+				if ratio < *durableFloor {
+					status = "TOO SLOW"
+					durFailed = true
+				}
+				fmt.Printf("durable batch %d workers %d: %.0f vs %.0f in-memory txns/sec (%.0f%%) %s\n",
+					*batch, workers, dtps, mtps, 100*ratio, status)
+			}
+			if durChecked == 0 {
+				log.Fatalf("benchdiff: durable batch-%d rows lack in-memory counterparts in %s", *batch, *newPath)
+			}
+			if durFailed {
+				log.Fatalf("benchdiff: durable batch-%d throughput below %.0f%% of in-memory", *batch, 100**durableFloor)
+			}
 		}
-		durFailed := false
-		durChecked := 0
-		for workers, dtps := range durGate {
-			mtps, ok := newGate[workers]
-			if !ok || mtps <= 0 {
+	}
+
+	// Scaling gate: within the fresh file, the 8-shard pipeline must beat
+	// the 1-shard (routing overhead, no parallelism) pipeline by the
+	// floor — but only on a machine with the cores to show it.
+	if *scalingFloor > 0 {
+		var one, eight *paper.ThroughputRow
+		for i := range newF.Rows {
+			r := &newF.Rows[i]
+			if r.Batch != *batch || r.Durable {
 				continue
 			}
-			durChecked++
-			ratio := dtps / mtps
-			status := "ok"
-			if ratio < *durableFloor {
-				status = "TOO SLOW"
-				durFailed = true
+			switch r.Shards {
+			case 1:
+				one = r
+			case 8:
+				eight = r
 			}
-			fmt.Printf("durable batch %d workers %d: %.0f vs %.0f in-memory txns/sec (%.0f%%) %s\n",
-				*batch, workers, dtps, mtps, 100*ratio, status)
 		}
-		if durChecked == 0 {
-			log.Fatalf("benchdiff: durable batch-%d rows lack in-memory counterparts in %s", *batch, *newPath)
-		}
-		if durFailed {
-			log.Fatalf("benchdiff: durable batch-%d throughput below %.0f%% of in-memory", *batch, 100**durableFloor)
+		switch {
+		case one == nil || eight == nil:
+			fmt.Printf("benchdiff: no sharded batch-%d rows in %s; scaling gate skipped\n", *batch, *newPath)
+		case eight.CPUs < 8:
+			fmt.Printf("benchdiff: fresh rows ran on %d CPUs; 8-shard scaling gate skipped (needs >= 8)\n", eight.CPUs)
+		case one.TxnsPerSec <= 0:
+			log.Fatalf("benchdiff: non-positive shards=1 throughput in %s", *newPath)
+		default:
+			ratio := eight.TxnsPerSec / one.TxnsPerSec
+			status := "ok"
+			if ratio < *scalingFloor {
+				status = "TOO FLAT"
+			}
+			fmt.Printf("sharded batch %d: shards=8 %.0f vs shards=1 %.0f txns/sec (%.2fx, floor %.2fx, %d CPUs) %s\n",
+				*batch, eight.TxnsPerSec, one.TxnsPerSec, ratio, *scalingFloor, eight.CPUs, status)
+			if ratio < *scalingFloor {
+				log.Fatalf("benchdiff: batch-%d shard scaling below %.2fx floor", *batch, *scalingFloor)
+			}
 		}
 	}
 }

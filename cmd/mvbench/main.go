@@ -13,6 +13,9 @@
 //	                     # apply-latency p50/p99 from the maintain.apply.ns
 //	                     # histogram (-j pins the worker count; default
 //	                     # measures 1 and 4)
+//	mvbench -shards      # sharded maintenance scaling sweep at batch 64
+//	                     # (shard counts 1, 2, 4, 8; -j pins per-shard
+//	                     # workers)
 //	mvbench -durable     # durable (write-ahead-logged) throughput next to
 //	                     # the in-memory baseline, plus recovery timings;
 //	                     # -waldir picks the log directory (default: a
@@ -49,6 +52,7 @@ func main() {
 	sweeps := flag.Bool("sweeps", false, "run the ablation sweeps")
 	parallel := flag.Bool("parallel", false, "compare parallel branch-and-bound vs exhaustive")
 	throughput := flag.Bool("throughput", false, "measure batched maintenance throughput")
+	shards := flag.Bool("shards", false, "measure sharded maintenance scaling (shard counts 1, 2, 4, 8)")
 	durable := flag.Bool("durable", false, "measure WAL-attached throughput and recovery")
 	waldir := flag.String("waldir", "", "directory for -durable WAL state; must not hold prior state (default: fresh temp dir)")
 	var workers int
@@ -104,7 +108,7 @@ func main() {
 		}()
 	}
 
-	all := *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*throughput && !*durable && !*dot
+	all := *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*throughput && !*shards && !*durable && !*dot
 
 	var f *paper.Fixture
 	needFixture := all || *table > 0 || *figure == 1 || *figure == 2 || *dot
@@ -186,6 +190,17 @@ func main() {
 		}
 		emit(out)
 	}
+	if all || *shards {
+		w := workers
+		if w <= 0 {
+			w = 1
+		}
+		_, out, err := paper.ShardedThroughputTable(corpus.DefaultFigure5Config(), 512, 64, w, []int{1, 2, 4, 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(out)
+	}
 	if all || *durable {
 		dir := *waldir
 		if dir == "" {
@@ -233,7 +248,7 @@ func main() {
 		}
 		emit(out)
 	}
-	if !all && *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*throughput && !*durable && !*dot {
+	if !all && *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*throughput && !*shards && !*durable && !*dot {
 		flag.Usage()
 		os.Exit(2)
 	}

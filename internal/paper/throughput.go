@@ -36,7 +36,9 @@ import (
 //	2: + apply_p50_ns/apply_p99_ns (maintain.apply.ns histogram window)
 //	3: + optional durable/fsync_p99_ns/recovery_replay_txns_sec rows
 //	     (write-ahead-logged runs; absent on in-memory rows)
-const BenchSchemaVersion = 3
+//	4: + shards/cpus columns on sharded-pipeline rows (shards >= 1 ran
+//	     through maintain.Sharded; absent/0 means the unsharded pipeline)
+const BenchSchemaVersion = 4
 
 // Throughput is a maintained Figure 5 system plus a deterministic
 // hot-item workload generator. The generator never consults database
@@ -200,6 +202,14 @@ type ThroughputRow struct {
 	Durable               bool    `json:"durable,omitempty"`
 	FsyncP99Ns            uint64  `json:"fsync_p99_ns,omitempty"`
 	RecoveryReplayTxnsSec float64 `json:"recovery_replay_txns_sec,omitempty"`
+
+	// Sharded rows ran through the maintain.Sharded pipeline at this
+	// shard count (0 = unsharded pipeline; 1 = sharded path with one
+	// shard, the sharding-overhead baseline). CPUs records the machine
+	// the scaling was measured on — scaling claims are meaningless
+	// without it.
+	Shards int `json:"shards,omitempty"`
+	CPUs   int `json:"cpus,omitempty"`
 }
 
 // MeasureThroughput runs n transactions for one (batch, workers)
@@ -403,6 +413,156 @@ func DurableThroughputTable(cfg corpus.Figure5Config, n int, batches []int, work
 			"recovery of batch-%d log: incremental %.2fms (%d windows, %d txns, 0 recomputed) vs recompute-fallback %.2fms (%d views recomputed) — %.1fx\n",
 			batches[len(batches)-1], float64(inc.Duration.Microseconds())/1e3, inc.Windows, inc.Txns,
 			float64(full.Duration.Microseconds())/1e3, full.Recomputed, ratio)
+	}
+	return rows, b.String(), nil
+}
+
+// ThroughputSharded is the sharded twin of Throughput: the same
+// deterministic hot-item workload pushed through a maintain.Sharded
+// pipeline partitioned on Item (every Figure 5 join and the revenue
+// aggregate key on Item, so all views are shard-local).
+type ThroughputSharded struct {
+	s   *maintain.Sharded
+	gen *Throughput // workload generator only; its db/m are unused here
+
+	shards int
+}
+
+// NewThroughputSharded builds the sharded Figure 5 harness. workers
+// bounds each shard's view-application goroutines; the shard pipelines
+// themselves always run concurrently.
+func NewThroughputSharded(cfg corpus.Figure5Config, shards, workers int) (*ThroughputSharded, error) {
+	factory := func() (*maintain.ShardSetup, error) {
+		db := corpus.Figure5Database(cfg)
+		d, err := dag.FromTree(db.Figure5View(0))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := d.Expand(rules.Default(), 400); err != nil {
+			return nil, err
+		}
+		return &maintain.ShardSetup{D: d, Cat: db.Catalog, Store: db.Store}, nil
+	}
+	setup, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	vs := tracks.RootSet(setup.D)
+	for _, e := range setup.D.NonLeafEqs() {
+		vs[e.ID] = true
+	}
+	s, err := maintain.NewSharded(factory, maintain.ShardedConfig{
+		Shards:      shards,
+		PartitionBy: "Item",
+		VS:          vs,
+		Workers:     workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.NumShards() != shards {
+		return nil, fmt.Errorf("paper: %s", s.Part.Describe())
+	}
+	gen, err := NewThroughput(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &ThroughputSharded{s: s, gen: gen, shards: shards}, nil
+}
+
+// Run executes n transactions in windows of size batch through the
+// sharded pipeline and returns the page I/Os charged across all shards.
+func (ts *ThroughputSharded) Run(n, batch int) (storage.IOCounter, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	io0 := ts.s.IO()
+	for done := 0; done < n; {
+		size := batch
+		if n-done < size {
+			size = n - done
+		}
+		window := make([]txn.Transaction, size)
+		for i := range window {
+			window[i] = ts.gen.nextTxn()
+		}
+		if _, err := ts.s.ApplyBatch(window); err != nil {
+			return storage.IOCounter{}, err
+		}
+		done += size
+	}
+	return ts.s.IO().Sub(io0), nil
+}
+
+// Drift verifies every materialized view of the sharded system against
+// recomputation over the union of the shard bases.
+func (ts *ThroughputSharded) Drift() (string, error) {
+	for _, e := range ts.s.D.NonLeafEqs() {
+		drift, err := ts.s.Drift(e)
+		if err != nil {
+			return "", err
+		}
+		if drift != "" {
+			return fmt.Sprintf("node %s: %s", e, drift), nil
+		}
+	}
+	return "", nil
+}
+
+// MeasureThroughputSharded runs n transactions at one (batch, shards)
+// configuration through the sharded pipeline, self-timed and verified
+// against the recompute oracle.
+func MeasureThroughputSharded(cfg corpus.Figure5Config, n, batch, shards, workers int) (ThroughputRow, error) {
+	ts, err := NewThroughputSharded(cfg, shards, workers)
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	runtime.GC()
+	start := time.Now()
+	io, err := ts.Run(n, batch)
+	elapsed := time.Since(start)
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	if drift, err := ts.Drift(); err != nil {
+		return ThroughputRow{}, err
+	} else if drift != "" {
+		return ThroughputRow{}, fmt.Errorf("sharded throughput run drifted: %s", drift)
+	}
+	return ThroughputRow{
+		SchemaVersion: BenchSchemaVersion,
+		Batch:         batch,
+		Workers:       workers,
+		Txns:          n,
+		TxnsPerSec:    float64(n) / elapsed.Seconds(),
+		IOPerTxn:      float64(io.Total()) / float64(n),
+		Shards:        shards,
+		CPUs:          runtime.NumCPU(),
+	}, nil
+}
+
+// ShardedThroughputTable measures the shard-count sweep at one batch
+// size and renders the scaling table (speedup relative to the one-shard
+// sharded pipeline, which carries the routing/merge overhead but no
+// parallelism). The CPU count is printed because scaling beyond it is
+// not measurable.
+func ShardedThroughputTable(cfg corpus.Figure5Config, n, batch, workers int, shardCounts []int) ([]ThroughputRow, string, error) {
+	var rows []ThroughputRow
+	var base float64
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sharded maintenance throughput (batch %d, %d CPUs)\n", batch, runtime.NumCPU())
+	fmt.Fprintf(&b, "%-8s %-8s %14s %14s %10s\n", "shards", "workers", "txns/sec", "pageIO/txn", "scaling")
+	for _, sc := range shardCounts {
+		row, err := MeasureThroughputSharded(cfg, n, batch, sc, workers)
+		if err != nil {
+			return nil, "", err
+		}
+		rows = append(rows, row)
+		if base == 0 {
+			base = row.TxnsPerSec
+		}
+		fmt.Fprintf(&b, "%-8d %-8d %14.0f %14.2f %9.2fx\n",
+			row.Shards, row.Workers, row.TxnsPerSec, row.IOPerTxn, row.TxnsPerSec/base)
 	}
 	return rows, b.String(), nil
 }

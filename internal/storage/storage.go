@@ -614,6 +614,19 @@ func (r *Relation) Snapshot() []Row {
 	return out
 }
 
+// RetainWhere keeps only the rows keep accepts and rebuilds the
+// indexes, without I/O accounting — the partition primitive that
+// restricts a freshly built relation to one shard's segment.
+func (r *Relation) RetainWhere(keep func(t value.Tuple, count int64) bool) {
+	var kept []Row
+	for _, row := range r.ScanFree() {
+		if keep(row.Tuple, row.Count) {
+			kept = append(kept, row)
+		}
+	}
+	r.Restore(kept)
+}
+
 // Restore replaces the contents with a snapshot, without I/O accounting.
 func (r *Relation) Restore(rows []Row) {
 	r.rows = map[string]*entry{}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -168,7 +169,32 @@ func (l *Log) CommitWindow(w delta.Coalesced, txns int) (uint64, error) {
 	l.buf = binary.AppendUvarint(l.buf, lsn)
 	l.buf = binary.AppendUvarint(l.buf, uint64(txns))
 	l.buf = delta.AppendWindow(l.buf, w)
-	payload := l.buf
+	return l.commitPayload(l.buf)
+}
+
+// AppendRaw appends one record whose body is opaque bytes (no window
+// decode on replay) covering txns transactions, durable with a single
+// fsync — the sharded coordinator's commit-record primitive. Raw
+// records share the LSN sequence, framing and CRC of window records;
+// only the body codec differs, so a log must hold one kind or the
+// other (Replay rejects raw bodies as trailing bytes, ReplayRaw never
+// decodes windows).
+func (l *Log) AppendRaw(body []byte, txns int) (uint64, error) {
+	if l.broken != nil {
+		return 0, l.broken
+	}
+	lsn := l.lastLSN + 1
+	l.buf = l.buf[:0]
+	l.buf = binary.AppendUvarint(l.buf, lsn)
+	l.buf = binary.AppendUvarint(l.buf, uint64(txns))
+	l.buf = append(l.buf, body...)
+	return l.commitPayload(l.buf)
+}
+
+// commitPayload frames, writes and fsyncs one already-encoded payload
+// (uvarint LSN | uvarint txns | body) as the next record.
+func (l *Log) commitPayload(payload []byte) (uint64, error) {
+	lsn := l.lastLSN + 1
 	if len(payload) > maxRecordLen {
 		return 0, fmt.Errorf("wal: window payload %d exceeds max record size", len(payload))
 	}
@@ -248,6 +274,21 @@ func (l *Log) ensureSegment(firstLSN uint64, frameLen int) error {
 // Replay streams every committed window with LSN > after to fn, in LSN
 // order, resolving base-relation schemas through schemas.
 func (l *Log) Replay(after uint64, schemas delta.SchemaSource, fn func(Record) error) error {
+	return l.ReplayRaw(after, func(lsn uint64, txns int, body []byte) error {
+		w, rest, err := delta.DecodeWindow(body, schemas)
+		if err != nil {
+			return fmt.Errorf("wal: record %d: %w", lsn, err)
+		}
+		if len(rest) != 0 {
+			return fmt.Errorf("wal: record %d: %d trailing bytes", lsn, len(rest))
+		}
+		return fn(Record{LSN: lsn, Txns: txns, Window: w})
+	})
+}
+
+// ReplayRaw streams every committed record with LSN > after to fn, in
+// LSN order, without decoding bodies — the reader for AppendRaw logs.
+func (l *Log) ReplayRaw(after uint64, fn func(lsn uint64, txns int, body []byte) error) error {
 	for _, seg := range l.segs {
 		if seg.name == l.curName && l.cur != nil {
 			return fmt.Errorf("wal: replay on a log with open writes")
@@ -261,14 +302,7 @@ func (l *Log) Replay(after uint64, schemas delta.SchemaSource, fn func(Record) e
 			if rec.lsn <= after {
 				continue
 			}
-			w, rest, err := delta.DecodeWindow(rec.body, schemas)
-			if err != nil {
-				return fmt.Errorf("wal: record %d: %w", rec.lsn, err)
-			}
-			if len(rest) != 0 {
-				return fmt.Errorf("wal: record %d: %d trailing bytes", rec.lsn, len(rest))
-			}
-			if err := fn(Record{LSN: rec.lsn, Txns: rec.txns, Window: w}); err != nil {
+			if err := fn(rec.lsn, rec.txns, rec.body); err != nil {
 				return err
 			}
 		}
@@ -305,6 +339,7 @@ type rawRec struct {
 	lsn  uint64
 	txns int
 	body []byte
+	end  int // byte offset just past this record's frame
 }
 
 // scanSegment parses a segment image, returning its header LSN, the
@@ -344,10 +379,62 @@ func scanSegment(data []byte) (hdrLSN uint64, recs []rawRec, valid int, hdrOK bo
 		if sz2 <= 0 || txns == 0 || txns > 1<<32 {
 			return
 		}
-		recs = append(recs, rawRec{lsn: lsn, txns: int(txns), body: payload[sz+sz2:]})
+		recs = append(recs, rawRec{lsn: lsn, txns: int(txns), body: payload[sz+sz2:],
+			end: valid + frameOverhead + int(n)})
 		valid += frameOverhead + int(n)
 		next = lsn + 1
 	}
+}
+
+// TruncateLogAfter durably discards every record with LSN > upTo from
+// the closed log directory dir: whole segments whose records all lie
+// beyond the bound are removed, the segment straddling it is truncated
+// to the bound's byte offset, and any invalid wreckage is dropped the
+// way OpenLog would. The sharded recovery path uses it to cut each
+// shard's log back to the coordinator's committed LSN vector before
+// replay, so a shard record that became durable without its coordinator
+// commit record can never resurface.
+func TruncateLogAfter(fsys FS, dir string, upTo uint64) error {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		if isNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("wal: readdir: %w", err)
+	}
+	var segNames []string
+	for _, n := range names {
+		if _, ok := parseSegName(n); ok {
+			segNames = append(segNames, n)
+		}
+	}
+	sort.Strings(segNames) // fixed-width hex names sort in LSN order
+	for _, name := range segNames {
+		data, err := fsys.ReadFile(join(dir, name))
+		if err != nil {
+			return fmt.Errorf("wal: read %s: %w", name, err)
+		}
+		hdrLSN, recs, _, hdrOK := scanSegment(data)
+		if !hdrOK || hdrLSN > upTo {
+			if err := fsys.Remove(join(dir, name)); err != nil {
+				return fmt.Errorf("wal: remove %s: %w", name, err)
+			}
+			continue
+		}
+		cut := segHeaderLen
+		for _, rec := range recs {
+			if rec.lsn > upTo {
+				break
+			}
+			cut = rec.end
+		}
+		if cut < len(data) {
+			if err := fsys.Truncate(join(dir, name), int64(cut)); err != nil {
+				return fmt.Errorf("wal: truncate %s: %w", name, err)
+			}
+		}
+	}
+	return nil
 }
 
 func segName(firstLSN uint64) string {

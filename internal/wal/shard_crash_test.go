@@ -1,0 +1,339 @@
+// Sharded crash-recovery fault injection: the every-crash-point matrix
+// of crash_test.go extended to sharded logs. A sharded Figure 5 system
+// (one WAL segment tree per shard plus the coordinator log) runs on one
+// FaultFS, is killed at each mutating filesystem operation — which lands
+// inside shard segments, shard checkpoints, coordinator records and
+// coordinator fsyncs alike — rebooted and recovered. The recovered
+// coordinator LSN must cover every acknowledged window and overshoot by
+// at most the record in flight, and the recovered full-state bag (union
+// of shard bases + every view) must equal the committed-prefix oracle at
+// every shard count.
+package wal_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/cost"
+	"repro/internal/dag"
+	"repro/internal/maintain"
+	"repro/internal/rules"
+	"repro/internal/tracks"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+const shardCrashDir = "swal"
+
+// shardMatrixCounts returns the shard counts the sharded crash matrix
+// enumerates, restricted to one count when SHARD_MATRIX is set (the CI
+// shard-matrix job). Shard count 1 is covered by the unsharded suite.
+func shardMatrixCounts(t testing.TB) []int {
+	if v := os.Getenv("SHARD_MATRIX"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad SHARD_MATRIX=%q", v)
+		}
+		return []int{n}
+	}
+	return []int{2, 4, 8}
+}
+
+// fig5Factory is the deterministic shard factory: every call rebuilds
+// the identical Figure 5 database and expanded DAG.
+func fig5Factory(cfg corpus.Figure5Config) func() (*maintain.ShardSetup, error) {
+	return func() (*maintain.ShardSetup, error) {
+		db := corpus.Figure5Database(cfg)
+		d, err := dag.FromTree(db.Figure5View(0))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := d.Expand(rules.Default(), 400); err != nil {
+			return nil, err
+		}
+		return &maintain.ShardSetup{D: d, Cat: db.Catalog, Store: db.Store}, nil
+	}
+}
+
+// fig5VS materializes every non-leaf node, like buildOn.
+func fig5VS(d *dag.DAG) tracks.ViewSet {
+	vs := tracks.RootSet(d)
+	for _, e := range d.NonLeafEqs() {
+		vs[e.ID] = true
+	}
+	return vs
+}
+
+// buildShardedFig5 builds the sharded Figure 5 system partitioned on
+// Item — every join and the revenue aggregate key on Item, so all views
+// are shard-local and the partitioning must hold at full width.
+func buildShardedFig5(t testing.TB, cfg corpus.Figure5Config, shards, workers int) *maintain.Sharded {
+	t.Helper()
+	factory := fig5Factory(cfg)
+	setup, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := maintain.NewSharded(factory, maintain.ShardedConfig{
+		Shards:      shards,
+		PartitionBy: "Item",
+		VS:          fig5VS(setup.D),
+		Workers:     workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() != shards {
+		t.Fatalf("wanted %d shards, got %s", shards, s.Part.Describe())
+	}
+	return s
+}
+
+// runDurableSharded attaches sharded durability and pushes the windows
+// through, checkpointing every shard every ckptEvery windows. It returns
+// the coordinator LSNs acknowledged before the first error.
+func runDurableSharded(s *maintain.Sharded, fsys wal.FS, dir string, windows [][]txn.Transaction, ckptEvery int) ([]uint64, error) {
+	sm, err := wal.AttachSharded(s, fsys, dir, wal.Options{SegmentBytes: crashSegBytes})
+	if err != nil {
+		return nil, err
+	}
+	var acked []uint64
+	for i, w := range windows {
+		rep, err := s.ApplyBatch(w)
+		if err != nil {
+			return acked, err
+		}
+		acked = append(acked, rep.LSN)
+		if ckptEvery > 0 && (i+1)%ckptEvery == 0 {
+			if err := sm.Checkpoint(nil); err != nil {
+				return acked, err
+			}
+		}
+	}
+	return acked, sm.Close()
+}
+
+// verifyShardedRecovery recovers the sharded system from fsys and
+// asserts the sharded recovery contract: coordinator LSN within
+// [lastAcked, lastAcked+1], full recovered state (union of shard bases
+// plus every materialized view) equal to the committed-prefix oracle,
+// and correct continued maintenance of the remaining workload.
+func verifyShardedRecovery(t *testing.T, fsys *wal.FaultFS, dir string, cfg corpus.Figure5Config, n, workers, nWindows, batch int, acked []uint64) {
+	t.Helper()
+	factory := fig5Factory(cfg)
+	setups := make([]*maintain.ShardSetup, n)
+	targets := make([]wal.ShardTarget, n)
+	for i := range targets {
+		su, err := factory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		setups[i] = su
+		targets[i] = wal.ShardTarget{Cat: su.Cat, Store: su.Store}
+	}
+	rec, err := wal.BeginShardedRecovery(targets, fsys, dir, wal.Options{SegmentBytes: crashSegBytes})
+	if err != nil {
+		// A crash inside AttachSharded can leave shards without their
+		// initial checkpoint, or no coordinator directory at all;
+		// acceptable only if no window was ever acknowledged.
+		if len(acked) == 0 {
+			t.Logf("nothing acknowledged, recovery declined: %v", err)
+			return
+		}
+		t.Fatalf("BeginShardedRecovery: %v (after %d acked windows)", err, len(acked))
+	}
+	vs := fig5VS(setups[0].D)
+	part := maintain.AnalyzePartitioning(setups[0].D, vs, "Item", n)
+	if part.Effective != n {
+		t.Fatalf("recovery-side analysis narrowed to %s", part.Describe())
+	}
+	ms := make([]*maintain.Maintainer, n)
+	for i := range ms {
+		m, err := maintain.NewRestored(setups[i].D, setups[i].Store, cost.PageIO{}, vs.Clone(), rec.RestoreOptions(i))
+		if err != nil {
+			t.Fatalf("shard %d NewRestored: %v", i, err)
+		}
+		m.Workers = workers
+		ms[i] = m
+	}
+	s2, err := maintain.AssembleSharded(setups, ms, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := rec.Resume(s2)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	defer sm.Close()
+
+	prefix := int(sm.RecoveredLSN)
+	lastAcked := 0
+	if len(acked) > 0 {
+		lastAcked = int(acked[len(acked)-1])
+	}
+	if prefix < lastAcked || prefix > lastAcked+1 {
+		t.Fatalf("recovered coordinator LSN %d outside [%d,%d]", prefix, lastAcked, lastAcked+1)
+	}
+	if prefix > nWindows {
+		t.Fatalf("recovered LSN %d beyond the %d-window workload", prefix, nWindows)
+	}
+
+	// Oracle: an unsharded in-memory system applying exactly the
+	// committed prefix of the same deterministic workload.
+	odb, od, om := buildFig5(t, cfg, 1, nil)
+	owins := genWindows(odb, cfg, nWindows, batch)
+	for i := 0; i < prefix; i++ {
+		if _, err := om.ApplyBatch(owins[i]); err != nil {
+			t.Fatalf("oracle window %d: %v", i+1, err)
+		}
+	}
+	diffSharded := func(stage string) {
+		for _, name := range odb.Catalog.Names() {
+			union := map[string]int64{}
+			for i := 0; i < n; i++ {
+				rel, ok := setups[i].Store.Get(name)
+				if !ok {
+					t.Fatalf("%s: shard %d lost relation %s", stage, i, name)
+				}
+				for k, v := range bag(rel.Snapshot()) {
+					union[k] += v
+					if union[k] == 0 {
+						delete(union, k)
+					}
+				}
+			}
+			orel, _ := odb.Store.Get(name)
+			if d := bagDiff("base "+name, union, bag(orel.Snapshot())); d != "" {
+				dumpOnFailureNow(t, fsys)
+				t.Fatalf("%s (prefix %d): %s", stage, prefix, d)
+			}
+		}
+		for _, e := range od.NonLeafEqs() {
+			if d := bagDiff(fmt.Sprintf("view %s", e), bag(s2.Contents(e)), bag(om.Contents(e))); d != "" {
+				dumpOnFailureNow(t, fsys)
+				t.Fatalf("%s (prefix %d): %s", stage, prefix, d)
+			}
+		}
+	}
+	diffSharded("recovered state != committed-prefix oracle")
+
+	// The recovered sharded system keeps working: finish the workload on
+	// both systems and compare again, then check drift against the
+	// recompute oracle over the union of the shard bases.
+	gdb := corpus.Figure5Database(cfg)
+	rwins := genWindows(gdb, cfg, nWindows, batch)
+	for i := prefix; i < nWindows; i++ {
+		if _, err := s2.ApplyBatch(rwins[i]); err != nil {
+			t.Fatalf("post-recovery window %d: %v", i+1, err)
+		}
+		if _, err := om.ApplyBatch(owins[i]); err != nil {
+			t.Fatalf("oracle window %d: %v", i+1, err)
+		}
+	}
+	diffSharded("post-recovery maintenance diverged")
+	for _, e := range setups[0].D.NonLeafEqs() {
+		drift, err := s2.Drift(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drift != "" {
+			t.Fatalf("post-recovery drift at %s: %s", e, drift)
+		}
+	}
+}
+
+// TestShardedCrashRecoveryEveryPoint enumerates every mutating
+// filesystem operation of a checkpointed sharded durable run — shard
+// segment appends and fsyncs, shard checkpoints, coordinator records —
+// and crashes at each one with torn tails and bit flips, at every shard
+// count of the matrix. Denser shard counts use a stride: the op space
+// grows linearly with shards while the fault surface per op class stays
+// the same.
+func TestShardedCrashRecoveryEveryPoint(t *testing.T) {
+	cfg := corpus.Figure5Config{Items: 12, RPerItem: 2, SPerItem: 2}
+	const nWindows, batch, ckptEvery = 6, 4, 2
+	workerCycle := []int{1, 2, 4, 8}
+	for _, n := range shardMatrixCounts(t) {
+		n := n
+		t.Run(fmt.Sprintf("shards%d", n), func(t *testing.T) {
+			// Reference run without a crash: counts fault points and pins
+			// the window↔coordinator-LSN mapping the oracle depends on.
+			ref := wal.NewFaultFS(1)
+			s := buildShardedFig5(t, cfg, n, 1)
+			gdb := corpus.Figure5Database(cfg)
+			acked, err := runDurableSharded(s, ref, shardCrashDir, genWindows(gdb, cfg, nWindows, batch), ckptEvery)
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			for i, lsn := range acked {
+				if lsn != uint64(i+1) {
+					t.Fatalf("window %d acked at coordinator LSN %d: must be 1:1", i+1, lsn)
+				}
+			}
+			total := ref.Ops()
+			if total < nWindows*(n+1) {
+				t.Fatalf("suspiciously few fault points: %d", total)
+			}
+			t.Logf("%d fault-injection points", total)
+
+			stride := 1
+			if n > 2 {
+				stride = 3
+			}
+			if testing.Short() {
+				stride = 7
+			}
+			for crashAt := 1; crashAt <= total; crashAt += stride {
+				crashAt := crashAt
+				t.Run(fmt.Sprintf("op%04d", crashAt), func(t *testing.T) {
+					workers := workerCycle[crashAt%len(workerCycle)]
+					fsys := wal.NewFaultFS(uint64(crashAt)*2654435761 + uint64(n))
+					fsys.TornTail = true
+					fsys.FlipBit = true
+					fsys.SetCrashAfter(crashAt)
+					t.Cleanup(func() { dumpOnFailure(t, fsys) })
+					s := buildShardedFig5(t, cfg, n, workers)
+					wdb := corpus.Figure5Database(cfg)
+					acked, err := runDurableSharded(s, fsys, shardCrashDir, genWindows(wdb, cfg, nWindows, batch), ckptEvery)
+					if err == nil {
+						t.Fatalf("crash scheduled at op %d never fired", crashAt)
+					}
+					if !errors.Is(err, wal.ErrCrashed) {
+						t.Fatalf("crash surfaced as %v, want wal.ErrCrashed", err)
+					}
+					fsys.Reboot()
+					verifyShardedRecovery(t, fsys, shardCrashDir, cfg, n, workers, nWindows, batch, acked)
+				})
+			}
+		})
+	}
+}
+
+// TestShardedRecoveryAfterCleanClose recovers a cleanly closed sharded
+// system at each shard count: full replay to the final coordinator LSN,
+// state identical to the full-run oracle.
+func TestShardedRecoveryAfterCleanClose(t *testing.T) {
+	cfg := corpus.Figure5Config{Items: 12, RPerItem: 2, SPerItem: 2}
+	const nWindows, batch = 5, 4
+	for _, n := range shardMatrixCounts(t) {
+		n := n
+		t.Run(fmt.Sprintf("shards%d", n), func(t *testing.T) {
+			fsys := wal.NewFaultFS(uint64(7 + n))
+			t.Cleanup(func() { dumpOnFailure(t, fsys) })
+			s := buildShardedFig5(t, cfg, n, 2)
+			gdb := corpus.Figure5Database(cfg)
+			acked, err := runDurableSharded(s, fsys, shardCrashDir, genWindows(gdb, cfg, nWindows, batch), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(acked) != nWindows {
+				t.Fatalf("acked %d of %d windows", len(acked), nWindows)
+			}
+			verifyShardedRecovery(t, fsys, shardCrashDir, cfg, n, 2, nWindows, batch, acked)
+		})
+	}
+}

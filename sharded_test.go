@@ -1,0 +1,211 @@
+package mvmaint_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	mvmaint "repro"
+	"repro/internal/delta"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// sortedRows orders rows by their rendered form for order-insensitive
+// comparison across pipelines.
+func sortedRows(rows []storage.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%v x%d", r.Tuple, r.Count)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sumRowCounts(rows []storage.Row) int64 {
+	var n int64
+	for _, r := range rows {
+		n += r.Count
+	}
+	return n
+}
+
+// TestBuildShardedMatchesSerial drives the root facade: the sharded
+// system built from a deterministic DB factory must agree with the
+// unsharded System on view contents and assertion verdicts after every
+// window, at every shard count — including windows that create and then
+// clear violations.
+func TestBuildShardedMatchesSerial(t *testing.T) {
+	const departments, empsPerDept = 12, 4
+	factory := func() (*mvmaint.DB, error) {
+		return paperDB(t, departments, empsPerDept), nil
+	}
+	cfg := mvmaint.Config{
+		Workload: paperWorkload(),
+		Method:   mvmaint.Exhaustive,
+	}
+	serialDB := paperDB(t, departments, empsPerDept)
+	serial, err := serialDB.Build([]string{"DeptConstraint"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type variant struct {
+		n   int
+		sys *mvmaint.ShardedSystem
+	}
+	var variants []variant
+	for _, n := range []int{1, 2, 4} {
+		scfg := cfg
+		scfg.Shards = n
+		scfg.Parallelism = 2
+		sys, err := mvmaint.BuildSharded(factory, []string{"DeptConstraint"}, scfg)
+		if err != nil {
+			t.Fatalf("BuildSharded(%d): %v", n, err)
+		}
+		if sys.ViewSet.Key() != serial.ViewSet.Key() {
+			t.Fatalf("shards=%d chose view set %s, serial chose %s",
+				n, sys.ViewSet.Key(), serial.ViewSet.Key())
+		}
+		desc := sys.Describe()
+		if !strings.Contains(desc, fmt.Sprintf("%d shards", n)) {
+			t.Fatalf("shards=%d Describe = %q", n, desc)
+		}
+		t.Logf("shards=%d: %s", n, desc)
+		variants = append(variants, variant{n, sys})
+	}
+
+	empDef := serialDB.Catalog.MustGet("Emp")
+	empRel, ok := serialDB.Store.Get("Emp")
+	if !ok {
+		t.Fatal("no Emp relation")
+	}
+	mkWindow := func(kind txn.Kind, d *delta.Delta) []txn.Transaction {
+		ty := &txn.Type{Name: ">Emp", Weight: 1, Updates: []txn.RelUpdate{
+			{Rel: "Emp", Kind: kind, Size: float64(d.Size()), Cols: []string{"Salary"}}}}
+		return []txn.Transaction{{Type: ty, Updates: map[string]*delta.Delta{"Emp": d}}}
+	}
+	// Windows are generated lazily against the serial DB's evolving base
+	// state; the same value-based deltas apply on every shard because the
+	// factory rebuilds the identical database.
+	windows := []func() []txn.Transaction{
+		func() []txn.Transaction { // benign raises across all departments
+			d := delta.New(empDef.Schema)
+			for i, row := range empRel.ScanFree() {
+				if i%3 != 0 {
+					continue
+				}
+				nt := row.Tuple.Clone()
+				nt[2] = value.NewInt(nt[2].I + 10)
+				d.Modify(row.Tuple, nt, row.Count)
+			}
+			return mkWindow(txn.Modify, d)
+		},
+		func() []txn.Transaction { // absurd raise: dept d000 now violates
+			d := delta.New(empDef.Schema)
+			for _, row := range empRel.ScanFree() {
+				if row.Tuple[0].S != "e000_00" {
+					continue
+				}
+				nt := row.Tuple.Clone()
+				nt[2] = value.NewInt(1000000)
+				d.Modify(row.Tuple, nt, row.Count)
+			}
+			return mkWindow(txn.Modify, d)
+		},
+		func() []txn.Transaction { // fire the violator: constraint clears
+			d := delta.New(empDef.Schema)
+			for _, row := range empRel.ScanFree() {
+				if row.Tuple[0].S != "e000_00" {
+					continue
+				}
+				d.Delete(row.Tuple, row.Count)
+			}
+			return mkWindow(txn.Delete, d)
+		},
+	}
+	wantViolations := []int64{0, 1, 0}
+
+	for w, gen := range windows {
+		window := gen()
+		// Bypass the serial checker (which would roll the violation back):
+		// the sharded pipeline applies unconditionally, so both sides must
+		// see the violating state to stay comparable.
+		if _, err := serial.M.ApplyBatch(window); err != nil {
+			t.Fatalf("window %d serial: %v", w, err)
+		}
+		serialRows, err := serial.ViewRows("DeptConstraint")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sumRowCounts(serialRows); got != wantViolations[w] {
+			t.Fatalf("window %d: serial violations = %d, want %d", w, got, wantViolations[w])
+		}
+		for _, v := range variants {
+			if _, err := v.sys.ExecuteWindow(window); err != nil {
+				t.Fatalf("window %d shards=%d: %v", w, v.n, err)
+			}
+			rows, err := v.sys.ViewRows("DeptConstraint")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want := sortedRows(rows), sortedRows(serialRows)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("window %d shards=%d: view diverged\nsharded: %v\nserial:  %v",
+					w, v.n, got, want)
+			}
+			viol, err := v.sys.Violations("DeptConstraint")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if viol != wantViolations[w] {
+				t.Fatalf("window %d shards=%d: violations = %d, want %d",
+					w, v.n, viol, wantViolations[w])
+			}
+		}
+	}
+}
+
+// TestBuildShardedErrors covers the facade's argument validation and the
+// single-shard fallback when the partition column cannot carry the view
+// set.
+func TestBuildShardedErrors(t *testing.T) {
+	factory := func() (*mvmaint.DB, error) { return paperDB(t, 4, 2), nil }
+	cfg := mvmaint.Config{Workload: paperWorkload(), Shards: 2}
+
+	if _, err := mvmaint.BuildSharded(factory, nil, cfg); err == nil {
+		t.Error("no names: want error")
+	}
+	if _, err := mvmaint.BuildSharded(factory, []string{"Nope"}, cfg); err == nil {
+		t.Error("unknown name: want error")
+	}
+	zero := cfg
+	zero.Shards = 0
+	if _, err := mvmaint.BuildSharded(factory, []string{"DeptConstraint"}, zero); err == nil {
+		t.Error("Shards=0: want error")
+	}
+	noWork := cfg
+	noWork.Workload = nil
+	if _, err := mvmaint.BuildSharded(factory, []string{"DeptConstraint"}, noWork); err == nil {
+		t.Error("no workload: want error")
+	}
+
+	// Budget lives on Dept and appears in no join/group key, so the view
+	// set cannot be partitioned on it: the build must fall back to one
+	// shard and say why.
+	fb := cfg
+	fb.PartitionBy = "Budget"
+	sys, err := mvmaint.BuildSharded(factory, []string{"DeptConstraint"}, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.S.NumShards(); got != 1 {
+		t.Fatalf("fallback NumShards = %d, want 1", got)
+	}
+	if sys.S.Part.Reason == "" {
+		t.Error("fallback recorded no reason")
+	}
+	t.Logf("fallback: %s", sys.Describe())
+}

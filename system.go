@@ -92,6 +92,14 @@ type Config struct {
 	// Restore, when set, seeds materialized views from checkpointed
 	// state instead of recomputing them (crash recovery).
 	Restore *maintain.RestoreOptions
+	// Shards is the shard count for BuildSharded (ignored by Build).
+	// The effective count can fall back to 1 when the chosen view set
+	// cannot be partitioned; the reason is recorded on the result.
+	Shards int
+	// PartitionBy names the base-relation column to hash-partition on
+	// for BuildSharded ("" picks the column that keeps the most views
+	// shard-local).
+	PartitionBy string
 }
 
 // System is a maintained configuration: an expression DAG over the chosen
@@ -151,26 +159,7 @@ func (db *DB) Build(names []string, cfg Config) (*System, error) {
 	opt := core.New(d, cfg.Model, cfg.Workload)
 	opt.Parallelism = cfg.Parallelism
 	opt.Seed = cfg.Seed
-	var res *core.Result
-	switch cfg.Method {
-	case Exhaustive:
-		res, err = opt.Exhaustive()
-	case Parallel:
-		res, err = opt.Parallel()
-	case Shielded:
-		res, err = opt.Shielded()
-	case Greedy:
-		res = opt.Greedy()
-	case SingleTree:
-		res, err = opt.SingleTree()
-	case HeuristicMarking:
-		res = opt.HeuristicMarking()
-	case NoAdditional:
-		ev := opt.Evaluate()
-		res = &core.Result{Method: "no-additional", Best: ev, All: []core.Evaluated{ev}, Explored: 1}
-	default:
-		return nil, fmt.Errorf("mvmaint: unknown method %v", cfg.Method)
-	}
+	res, err := runOptimizer(opt, cfg.Method)
 	if err != nil {
 		return nil, err
 	}
@@ -312,26 +301,7 @@ func (s *System) Reoptimize(cfg Config) (changed bool, err error) {
 	opt := core.New(s.DAG, cfg.Model, cfg.Workload)
 	opt.Parallelism = cfg.Parallelism
 	opt.Seed = cfg.Seed
-	var res *core.Result
-	switch cfg.Method {
-	case Exhaustive:
-		res, err = opt.Exhaustive()
-	case Parallel:
-		res, err = opt.Parallel()
-	case Shielded:
-		res, err = opt.Shielded()
-	case Greedy:
-		res = opt.Greedy()
-	case SingleTree:
-		res, err = opt.SingleTree()
-	case HeuristicMarking:
-		res = opt.HeuristicMarking()
-	case NoAdditional:
-		ev := opt.Evaluate()
-		res = &core.Result{Method: "no-additional", Best: ev, All: []core.Evaluated{ev}, Explored: 1}
-	default:
-		return false, fmt.Errorf("mvmaint: unknown method %v", cfg.Method)
-	}
+	res, err := runOptimizer(opt, cfg.Method)
 	if err != nil {
 		return false, err
 	}
