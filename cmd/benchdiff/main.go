@@ -18,10 +18,14 @@
 // -threshold (default 0.20) below the committed one.
 //
 // When the fresh file carries durable rows (schema v3), a second gate
-// compares durable against in-memory throughput at the same (batch,
-// workers) *within the fresh file* — both sides ran on the same host,
-// so the ratio is host-independent. It fails when durable batch-64
-// drops below -durable-floor (default 0.60) of the in-memory rate;
+// compares durable against in-memory throughput *within the fresh
+// file* — both sides ran on the same host, so the ratio is
+// host-independent. Schema v5 durable rows embed a same-run, same-n
+// in-memory baseline (the deferred-fence rows run a longer stream, and
+// the workload is non-stationary, so the grid row is not a fair
+// denominator); older rows fall back to the in-memory grid row at the
+// same (batch, workers). The gate fails when durable batch-64 drops
+// below -durable-floor (default 0.75) of the in-memory rate;
 // -durable-floor 0 disables the gate.
 //
 // When the fresh file carries sharded rows (schema v4), a third gate
@@ -30,6 +34,15 @@
 // The gate is machine-aware — it skips with a message when the fresh
 // rows report fewer than 8 CPUs, because shard parallelism cannot
 // exceed the cores that exist. -scaling-floor 0 disables the gate.
+//
+// When BOTH files carry allocation columns (schema v5), a fourth gate
+// compares heap allocations per transaction at -batch. Allocs/txn is a
+// property of the code path, not the host (the same window performs
+// the same allocations on any machine), so it is compared directly:
+// the gate fails when fresh in-memory batch-64 allocs/txn exceed the
+// committed value by more than -alloc-ceiling (default 0.20), and
+// skips with a message when the committed file predates v5.
+// -alloc-ceiling 0 disables the gate.
 package main
 
 import (
@@ -81,8 +94,9 @@ func main() {
 	newPath := flag.String("new", "BENCH_maintain.json", "freshly generated BENCH_maintain.json")
 	batch := flag.Int("batch", 64, "batch size to gate on")
 	threshold := flag.Float64("threshold", 0.20, "maximum allowed relative speedup regression")
-	durableFloor := flag.Float64("durable-floor", 0.60, "minimum durable/in-memory throughput ratio at -batch (0 disables)")
+	durableFloor := flag.Float64("durable-floor", 0.75, "minimum durable/in-memory throughput ratio at -batch (0 disables)")
 	scalingFloor := flag.Float64("scaling-floor", 2.5, "minimum shards=8 / shards=1 throughput ratio at -batch (0 disables; skipped under 8 CPUs)")
+	allocCeiling := flag.Float64("alloc-ceiling", 0.20, "maximum allowed relative allocs/txn growth at -batch (0 disables; skipped when -old predates schema v5)")
 	flag.Parse()
 	if *oldPath == "" {
 		log.Fatal("benchdiff: -old is required")
@@ -106,11 +120,11 @@ func main() {
 
 	// Keep the last row per workers count — older files may carry
 	// duplicate calibration rows.
-	gateRows := func(f *benchFile, durable bool) map[int]float64 {
-		out := map[int]float64{} // workers → txns/sec at *batch
+	gateRows := func(f *benchFile, durable bool) map[int]paper.ThroughputRow {
+		out := map[int]paper.ThroughputRow{} // workers → row at *batch
 		for _, r := range f.Rows {
 			if r.Batch == *batch && r.Durable == durable && r.Shards == 0 {
-				out[r.Workers] = r.TxnsPerSec
+				out[r.Workers] = r
 			}
 		}
 		return out
@@ -118,13 +132,13 @@ func main() {
 	oldGate, newGate := gateRows(oldF, false), gateRows(newF, false)
 	checked := 0
 	failed := false
-	for workers, tps := range newGate {
-		oldTps, ok := oldGate[workers]
+	for workers, row := range newGate {
+		oldRow, ok := oldGate[workers]
 		if !ok {
 			continue
 		}
 		checked++
-		was, got := oldTps/oldBase, tps/newBase
+		was, got := oldRow.TxnsPerSec/oldBase, row.TxnsPerSec/newBase
 		rel := got/was - 1
 		status := "ok"
 		if got < was*(1-*threshold) {
@@ -151,12 +165,21 @@ func main() {
 		} else {
 			durFailed := false
 			durChecked := 0
-			for workers, dtps := range durGate {
-				mtps, ok := newGate[workers]
-				if !ok || mtps <= 0 {
-					continue
+			for workers, drow := range durGate {
+				// Schema v5 durable rows embed a same-run, same-n in-memory
+				// baseline (the workload is non-stationary, so the grid row —
+				// possibly measured at a different stream length — is not a
+				// fair denominator). Fall back to the grid row for older files.
+				mtps := drow.MemBaselineTxnsPerSec
+				if mtps <= 0 {
+					mrow, ok := newGate[workers]
+					if !ok || mrow.TxnsPerSec <= 0 {
+						continue
+					}
+					mtps = mrow.TxnsPerSec
 				}
 				durChecked++
+				dtps := drow.TxnsPerSec
 				ratio := dtps / mtps
 				status := "ok"
 				if ratio < *durableFloor {
@@ -210,6 +233,42 @@ func main() {
 			if ratio < *scalingFloor {
 				log.Fatalf("benchdiff: batch-%d shard scaling below %.2fx floor", *batch, *scalingFloor)
 			}
+		}
+	}
+
+	// Allocation gate: in-memory batch-N allocs/txn must not grow more
+	// than -alloc-ceiling over the committed file. Requires v5 data on
+	// both sides; older committed files skip with a message so the gate
+	// arms itself on the first commit that regenerates the bench file.
+	if *allocCeiling > 0 {
+		allocChecked := 0
+		allocSkipped := 0
+		allocFailed := false
+		for workers, row := range newGate {
+			oldRow, ok := oldGate[workers]
+			if !ok {
+				continue
+			}
+			if oldRow.SchemaVersion < 5 || oldRow.AllocsPerTxn <= 0 || row.AllocsPerTxn <= 0 {
+				allocSkipped++
+				continue
+			}
+			allocChecked++
+			rel := row.AllocsPerTxn/oldRow.AllocsPerTxn - 1
+			status := "ok"
+			if rel > *allocCeiling {
+				status = "TOO MANY"
+				allocFailed = true
+			}
+			fmt.Printf("alloc batch %d workers %d: %.1f → %.1f allocs/txn (%+.1f%%) %s\n",
+				*batch, workers, oldRow.AllocsPerTxn, row.AllocsPerTxn, 100*rel, status)
+		}
+		if allocChecked == 0 {
+			fmt.Printf("benchdiff: committed file lacks schema-v5 allocation data (%d row(s) skipped); alloc gate skipped\n", allocSkipped)
+		} else if allocFailed {
+			log.Fatalf("benchdiff: batch-%d allocs/txn grew more than %.0f%% over committed", *batch, 100**allocCeiling)
+		} else {
+			fmt.Printf("benchdiff: %d row(s) within %.0f%% of committed allocs/txn\n", allocChecked, 100**allocCeiling)
 		}
 	}
 }

@@ -1,0 +1,165 @@
+package bytemap
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// FuzzOpenIndex interprets the fuzz input as an op stream against both
+// the open-addressed table and a map reference, including window resets.
+// Beyond differential equality it asserts the no-aliasing property the
+// storage layer depends on: a key handed to the map and later mutated by
+// the caller (KeyEncoder reuses its buffer) must not change what the
+// table stores, and arena-backed keys from before a Reset must never
+// alias keys inserted after it.
+//
+// The seed corpus is built from value.KeyEncoder output over realistic
+// tuples, so the byte shapes match what storage actually probes with.
+func FuzzOpenIndex(f *testing.F) {
+	var enc value.KeyEncoder
+	seedTuples := []value.Tuple{
+		{value.NewInt(1), value.NewString("alpha")},
+		{value.NewInt(-7), value.NewFloat(3.25), value.NewBool(true)},
+		{value.NewString(""), value.NewString("x")},
+		{value.NewInt(1 << 40)},
+		{},
+	}
+	var seed []byte
+	for _, t := range seedTuples {
+		k := enc.Key(t)
+		seed = append(seed, byte(len(k)))
+		seed = append(seed, k...)
+	}
+	f.Add(seed)
+	f.Add([]byte{3, 'a', 'b', 'c', 0, 3, 'a', 'b', 'c', 255, 2, 'x', 'y'})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Map[uint32]
+		ref := map[string]uint32{}
+		// scratch simulates a reused KeyEncoder buffer: every key passes
+		// through it and is clobbered right after use.
+		scratch := make([]byte, 0, 64)
+		var n uint32
+		// Keys retained from the current window only (Reset invalidates
+		// Refs, mirroring the per-window arena lifetime).
+		type held struct {
+			copy []byte
+			ref  Ref
+		}
+		var holds []held
+
+		i := 0
+		next := func() ([]byte, byte, bool) {
+			if i >= len(data) {
+				return nil, 0, false
+			}
+			op := data[i]
+			i++
+			klen := int(op) % 17
+			if i+klen > len(data) {
+				klen = len(data) - i
+			}
+			scratch = append(scratch[:0], data[i:i+klen]...)
+			i += klen
+			return scratch, op, true
+		}
+		for {
+			k, op, ok := next()
+			if !ok {
+				break
+			}
+			switch op % 5 {
+			case 0, 1: // insert through the reused buffer
+				n++
+				_, ref2, existed := m.GetOrPut(k, n)
+				if !existed {
+					holds = append(holds, held{copy: append([]byte(nil), k...), ref: ref2})
+					ref[string(k)] = n
+				}
+				// Clobber the caller buffer: the table must have copied.
+				for j := range k {
+					k[j] ^= 0xA5
+				}
+			case 2: // delete
+				got := m.Delete(k)
+				_, want := ref[string(k)]
+				if got != want {
+					t.Fatalf("Delete(%x) = %v, ref %v", k, got, want)
+				}
+				delete(ref, string(k))
+			case 3: // lookup
+				got, ok1 := m.Get(k)
+				want, ok2 := ref[string(k)]
+				if ok1 != ok2 || got != want {
+					t.Fatalf("Get(%x) = (%d,%v), ref (%d,%v)", k, got, ok1, want, ok2)
+				}
+			case 4: // window boundary
+				if op%3 == 0 {
+					// Before reset: every live Ref must still read back its
+					// original bytes (append-only arena, no aliasing among
+					// inserts within the window).
+					for _, h := range holds {
+						if _, live := ref[string(h.copy)]; !live {
+							continue
+						}
+						if !bytes.Equal(m.KeyAt(h.ref), h.copy) {
+							t.Fatalf("arena aliasing: KeyAt = %x, want %x", m.KeyAt(h.ref), h.copy)
+						}
+					}
+					m.Reset()
+					ref = map[string]uint32{}
+					holds = holds[:0]
+				}
+			}
+		}
+		// Final audit.
+		if m.Len() != len(ref) {
+			t.Fatalf("Len = %d, ref %d", m.Len(), len(ref))
+		}
+		for k, v := range ref {
+			if got, ok := m.Get([]byte(k)); !ok || got != v {
+				t.Fatalf("final Get(%x) = (%d,%v), want (%d,true)", k, got, ok, v)
+			}
+		}
+		for _, h := range holds {
+			if _, live := ref[string(h.copy)]; !live {
+				continue
+			}
+			if !bytes.Equal(m.KeyAt(h.ref), h.copy) {
+				t.Fatalf("final arena aliasing: KeyAt(%v) = %x, want %x", h.ref, m.KeyAt(h.ref), h.copy)
+			}
+		}
+	})
+}
+
+func FuzzOpenIndexGrowth(f *testing.F) {
+	f.Add(uint16(300), uint8(7))
+	f.Fuzz(func(t *testing.T, count uint16, mod uint8) {
+		if mod == 0 {
+			mod = 1
+		}
+		var m Map[int]
+		ref := map[string]int{}
+		for i := 0; i < int(count); i++ {
+			k := fmt.Sprintf("k%d", i%int(mod)*7919+i/int(mod))
+			m.Put([]byte(k), i)
+			ref[k] = i
+			if i%int(mod) == 0 {
+				m.Delete([]byte(k))
+				delete(ref, k)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("Len = %d, ref %d", m.Len(), len(ref))
+		}
+		for k, v := range ref {
+			if got, ok := m.Get([]byte(k)); !ok || got != v {
+				t.Fatalf("Get(%q) = (%d,%v), want (%d,true)", k, got, ok, v)
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/catalog"
+	"repro/internal/expr"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -56,46 +57,76 @@ func AggregateIncremental(a *algebra.Aggregate, d *Delta, oldAgg OldAgg) (*Delta
 	return p.Incremental(d, oldAgg)
 }
 
+// acc accumulates one group's signed contributions within a window.
+// Entries live in the plan's reusable scratch slice; their inner slices
+// are retained (truncated, not freed) across windows.
+type acc struct {
+	key    value.Tuple
+	sums   []value.Value // signed sum contribution per agg (SUM)
+	counts []int64       // signed count contribution per agg (COUNT)
+	mins   []value.Value // inserts-only MIN/MAX candidates
+	maxs   []value.Value
+	live   int64 // signed bag-count change
+}
+
+// getAcc returns the accumulator for t's group, creating (or reusing a
+// retained) one on first touch. Group keys are bump-allocated from the
+// plan's arena; append order of p.accs is first-seen group order.
+func (p *AggregatePlan) getAcc(t value.Tuple) *acc {
+	kb := p.enc.ProjectedKey(t, p.gpos)
+	idx, _, existed := p.groups.GetOrPut(kb, int32(len(p.accs)))
+	if existed {
+		return &p.accs[*idx]
+	}
+	if len(p.accs) < cap(p.accs) {
+		p.accs = p.accs[:len(p.accs)+1]
+	} else {
+		p.accs = append(p.accs, acc{})
+	}
+	g := &p.accs[len(p.accs)-1]
+	k := p.arena.NewTuple(len(p.gpos))
+	for i, j := range p.gpos {
+		k[i] = t[j]
+	}
+	g.key = k
+	g.live = 0
+	n := len(p.a.Aggs)
+	if cap(g.sums) < n {
+		g.sums = make([]value.Value, n)
+		g.counts = make([]int64, n)
+		g.mins = make([]value.Value, n)
+		g.maxs = make([]value.Value, n)
+	} else {
+		g.sums = g.sums[:n]
+		g.counts = g.counts[:n]
+		g.mins = g.mins[:n]
+		g.maxs = g.maxs[:n]
+	}
+	for i := 0; i < n; i++ {
+		g.sums[i] = value.NewInt(0)
+		g.counts[i] = 0
+		g.mins[i] = value.NewNull()
+		g.maxs[i] = value.NewNull()
+	}
+	return g
+}
+
 // Incremental is the compiled form of AggregateIncremental: the group-by
 // positions and argument accessors come from the plan instead of being
-// re-resolved per call. It requires Decomposable for this delta.
+// re-resolved per call, and the per-group accumulators live in plan
+// scratch reused across windows. It requires Decomposable for this
+// delta. The output delta is valid until the next Incremental on this
+// plan (or arena reset); newLive is freshly allocated (it is persisted
+// by the caller into the view's sidecar).
 func (p *AggregatePlan) Incremental(d *Delta, oldAgg OldAgg) (*Delta, map[string]int64, error) {
 	a, gpos, argFns := p.a, p.gpos, p.argFns
 	if !Decomposable(a.Aggs, d) {
 		return nil, nil, fmt.Errorf("delta: aggregate %s is not decomposable for this delta", a.OpLabel())
 	}
-	// Accumulate signed contributions per group.
-	type acc struct {
-		key    value.Tuple
-		sums   []value.Value // signed sum contribution per agg (SUM)
-		counts []int64       // signed count contribution per agg (COUNT)
-		mins   []value.Value // inserts-only MIN/MAX candidates
-		maxs   []value.Value
-		live   int64 // signed bag-count change
-	}
-	groups := map[string]*acc{}
-	var order []string
-	get := func(k value.Tuple) *acc {
-		ks := k.Key()
-		g, ok := groups[ks]
-		if !ok {
-			g = &acc{
-				key:    k,
-				sums:   make([]value.Value, len(a.Aggs)),
-				counts: make([]int64, len(a.Aggs)),
-				mins:   make([]value.Value, len(a.Aggs)),
-				maxs:   make([]value.Value, len(a.Aggs)),
-			}
-			for i := range g.sums {
-				g.sums[i] = value.NewInt(0)
-			}
-			groups[ks] = g
-			order = append(order, ks)
-		}
-		return g
-	}
+	p.groups.Reset()
+	p.accs = p.accs[:0]
 	contribute := func(t value.Tuple, n int64) {
-		g := get(t.Project(gpos))
+		g := p.getAcc(t)
 		g.live += n
 		for i, ag := range a.Aggs {
 			switch ag.Func {
@@ -136,13 +167,15 @@ func (p *AggregatePlan) Incremental(d *Delta, oldAgg OldAgg) (*Delta, map[string
 			}
 		}
 	}
-	for _, sr := range d.signedRows() {
+	p.sbuf = d.appendSigned(p.sbuf[:0])
+	for _, sr := range p.sbuf {
 		contribute(sr.tuple, sr.count)
 	}
-	out := New(a.Schema())
+	out := resetOut(&p.outD, p.out)
 	newLive := map[string]int64{}
-	for _, ks := range order {
-		g := groups[ks]
+	nAggStart := len(gpos)
+	for gi := range p.accs {
+		g := &p.accs[gi]
 		oldTuple, oldLive, existed, err := oldAgg(g.key)
 		if err != nil {
 			return nil, nil, err
@@ -154,11 +187,10 @@ func (p *AggregatePlan) Incremental(d *Delta, oldAgg OldAgg) (*Delta, map[string
 		if live < 0 {
 			return nil, nil, fmt.Errorf("delta: group %v driven to negative live count %d", g.key, live)
 		}
-		newLive[ks] = live
+		newLive[string(p.enc.Key(g.key))] = live
 		// Build the new output tuple from old + contributions.
-		nAggStart := len(gpos)
-		newTuple := make(value.Tuple, 0, nAggStart+len(a.Aggs))
-		newTuple = append(newTuple, g.key...)
+		newTuple := p.arena.NewTuple(nAggStart + len(a.Aggs))
+		copy(newTuple, g.key)
 		for i, ag := range a.Aggs {
 			var oldV value.Value
 			if existed {
@@ -170,24 +202,24 @@ func (p *AggregatePlan) Incremental(d *Delta, oldAgg OldAgg) (*Delta, map[string
 				if existed {
 					base = oldV.AsInt()
 				}
-				newTuple = append(newTuple, value.NewInt(base+g.counts[i]))
+				newTuple[nAggStart+i] = value.NewInt(base + g.counts[i])
 			case algebra.Sum:
 				if existed && !oldV.IsNull() {
-					newTuple = append(newTuple, value.Add(oldV, g.sums[i]))
+					newTuple[nAggStart+i] = value.Add(oldV, g.sums[i])
 				} else {
-					newTuple = append(newTuple, g.sums[i])
+					newTuple[nAggStart+i] = g.sums[i]
 				}
 			case algebra.Min:
 				if existed && !oldV.IsNull() && (g.mins[i].IsNull() || value.Compare(oldV, g.mins[i]) < 0) {
-					newTuple = append(newTuple, oldV)
+					newTuple[nAggStart+i] = oldV
 				} else {
-					newTuple = append(newTuple, g.mins[i])
+					newTuple[nAggStart+i] = g.mins[i]
 				}
 			case algebra.Max:
 				if existed && !oldV.IsNull() && (g.maxs[i].IsNull() || value.Compare(oldV, g.maxs[i]) > 0) {
-					newTuple = append(newTuple, oldV)
+					newTuple[nAggStart+i] = oldV
 				} else {
-					newTuple = append(newTuple, g.maxs[i])
+					newTuple[nAggStart+i] = g.maxs[i]
 				}
 			}
 		}
@@ -278,7 +310,7 @@ func aggregateGroup(a *algebra.Aggregate, in *catalog.Schema, gk value.Tuple, ro
 			out = append(out, value.NewInt(total))
 			continue
 		}
-		f, err := ag.Arg.Compile(in)
+		f, err := expr.CompileFast(ag.Arg, in)
 		if err != nil {
 			return nil, false, err
 		}

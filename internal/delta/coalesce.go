@@ -63,6 +63,16 @@ func (c Coalesced) Get(rel string) *Delta {
 	return nil
 }
 
+// Coalescer performs window coalescing with reusable scratch: the
+// per-relation concatenation deltas and the normalizer's netting table
+// persist across windows (truncated, not freed), so a steady-state
+// window allocates only its output. Not safe for concurrent use; each
+// maintainer owns one.
+type Coalescer struct {
+	nz     Normalizer
+	concat map[string]*Delta
+}
+
 // Coalesce merges a window of per-transaction update maps into one net
 // delta per base relation, valid against the pre-batch state, sorted by
 // relation name.
@@ -79,9 +89,14 @@ func (c Coalesced) Get(rel string) *Delta {
 // The result contains only insertions and deletions: modification
 // pairing does not survive tuple-wise netting (the old and new halves
 // may cancel against other transactions independently).
-func Coalesce(windows []map[string]*Delta) Coalesced {
+func (co *Coalescer) Coalesce(windows []map[string]*Delta) Coalesced {
 	obsCoalesceWindows.Inc()
-	concat := map[string]*Delta{}
+	if co.concat == nil {
+		co.concat = map[string]*Delta{}
+	}
+	for _, acc := range co.concat {
+		acc.Changes = acc.Changes[:0]
+	}
 	var changesIn int64
 	for _, updates := range windows {
 		for rel, d := range updates {
@@ -89,18 +104,22 @@ func Coalesce(windows []map[string]*Delta) Coalesced {
 				continue
 			}
 			changesIn += signedUnits(d)
-			acc, ok := concat[rel]
+			acc, ok := co.concat[rel]
 			if !ok {
 				acc = New(d.Schema)
-				concat[rel] = acc
+				co.concat[rel] = acc
 			}
+			acc.Schema = d.Schema
 			acc.Changes = append(acc.Changes, d.Changes...)
 		}
 	}
 	var out Coalesced
 	var changesOut int64
-	for rel, acc := range concat {
-		if net := acc.Normalize(); !net.Empty() {
+	for rel, acc := range co.concat {
+		if len(acc.Changes) == 0 {
+			continue
+		}
+		if net := co.nz.Normalize(acc); !net.Empty() {
 			out = append(out, RelDelta{Rel: rel, Delta: net})
 			changesOut += signedUnits(net)
 		}
@@ -110,4 +129,11 @@ func Coalesce(windows []map[string]*Delta) Coalesced {
 	obsCoalesceChangesOut.Add(changesOut)
 	obsCoalesceAnnihilated.Add(changesIn - changesOut)
 	return out
+}
+
+// Coalesce is the one-shot form: a fresh Coalescer per call. Hot paths
+// hold a Coalescer to reuse its scratch across windows.
+func Coalesce(windows []map[string]*Delta) Coalesced {
+	var co Coalescer
+	return co.Coalesce(windows)
 }

@@ -18,6 +18,7 @@ package delta
 import (
 	"fmt"
 
+	"repro/internal/bytemap"
 	"repro/internal/catalog"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -100,13 +101,19 @@ func (d *Delta) Size() int {
 	return len(d.Changes)
 }
 
+// AppendMutations appends the delta's changes to dst as storage
+// mutations — the reusable-buffer form of ToMutations for callers that
+// keep a per-window scratch slice.
+func (d *Delta) AppendMutations(dst []storage.Mutation) []storage.Mutation {
+	for _, c := range d.Changes {
+		dst = append(dst, storage.Mutation{Old: c.Old, New: c.New, Count: c.Count})
+	}
+	return dst
+}
+
 // ToMutations converts the delta into storage mutations.
 func (d *Delta) ToMutations() []storage.Mutation {
-	out := make([]storage.Mutation, 0, len(d.Changes))
-	for _, c := range d.Changes {
-		out = append(out, storage.Mutation{Old: c.Old, New: c.New, Count: c.Count})
-	}
-	return out
+	return d.AppendMutations(make([]storage.Mutation, 0, len(d.Changes)))
 }
 
 // signedRow is a tuple with a signed multiplicity; mods expand to a
@@ -116,44 +123,58 @@ type signedRow struct {
 	count int64 // signed
 }
 
-func (d *Delta) signedRows() []signedRow {
-	var out []signedRow
+// appendSigned appends d's signed-row expansion to dst — the
+// reusable-buffer form of signedRows.
+func (d *Delta) appendSigned(dst []signedRow) []signedRow {
 	for _, c := range d.Changes {
 		n := c.Count
 		if n == 0 {
 			n = 1
 		}
 		if c.Old != nil {
-			out = append(out, signedRow{tuple: c.Old, count: -n})
+			dst = append(dst, signedRow{tuple: c.Old, count: -n})
 		}
 		if c.New != nil {
-			out = append(out, signedRow{tuple: c.New, count: +n})
+			dst = append(dst, signedRow{tuple: c.New, count: +n})
 		}
 	}
-	return out
+	return dst
 }
 
-// Normalize merges changes tuple-wise into net insertions and deletions,
-// re-pairing nothing: the result contains no modifications. Useful for
-// comparing deltas in tests and for signed composition.
-func (d *Delta) Normalize() *Delta {
-	net := map[string]*signedRow{}
-	var order []string
-	var enc value.KeyEncoder
-	for _, sr := range d.signedRows() {
-		kb := enc.Key(sr.tuple)
-		if e, ok := net[string(kb)]; ok {
-			e.count += sr.count
+func (d *Delta) signedRows() []signedRow {
+	return d.appendSigned(nil)
+}
+
+// Normalizer nets deltas tuple-wise with reusable scratch (an
+// open-addressed key table and a signed-row buffer), so steady-state
+// windows normalize without heap allocation beyond the output delta.
+// Not safe for concurrent use; owners are per-maintainer.
+type Normalizer struct {
+	net  bytemap.Map[int32]
+	rows []signedRow
+	sbuf []signedRow
+	enc  value.KeyEncoder
+}
+
+// Normalize merges d's changes tuple-wise into net insertions and
+// deletions, in first-seen tuple order — identical semantics to
+// Delta.Normalize.
+func (nz *Normalizer) Normalize(d *Delta) *Delta {
+	nz.net.Reset()
+	nz.rows = nz.rows[:0]
+	nz.sbuf = d.appendSigned(nz.sbuf[:0])
+	for _, sr := range nz.sbuf {
+		kb := nz.enc.Key(sr.tuple)
+		p, _, existed := nz.net.GetOrPut(kb, int32(len(nz.rows)))
+		if existed {
+			nz.rows[*p].count += sr.count
 		} else {
-			k := string(kb)
-			cp := sr
-			net[k] = &cp
-			order = append(order, k)
+			nz.rows = append(nz.rows, sr)
 		}
 	}
 	out := New(d.Schema)
-	for _, k := range order {
-		e := net[k]
+	for i := range nz.rows {
+		e := &nz.rows[i]
 		switch {
 		case e.count > 0:
 			out.Insert(e.tuple, e.count)
@@ -162,6 +183,15 @@ func (d *Delta) Normalize() *Delta {
 		}
 	}
 	return out
+}
+
+// Normalize merges changes tuple-wise into net insertions and deletions,
+// re-pairing nothing: the result contains no modifications. Useful for
+// comparing deltas in tests and for signed composition. Hot paths hold
+// a Normalizer instead; this one-shot form allocates its scratch.
+func (d *Delta) Normalize() *Delta {
+	var nz Normalizer
+	return nz.Normalize(d)
 }
 
 // AffectedKeys returns the distinct projections of all changed tuples

@@ -2,7 +2,9 @@ package delta
 
 import (
 	"repro/internal/algebra"
+	"repro/internal/bytemap"
 	"repro/internal/catalog"
+	"repro/internal/expr"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -14,28 +16,45 @@ import (
 // expressions window after window, so the maintenance runtime compiles
 // each step once per (view set, transaction type) and replays it with
 // zero per-window schema resolution or predicate compilation. Plans own
-// their scratch buffers (KeyEncoder, probe cache map), so one plan must
-// not be applied concurrently — matching the single-threaded
+// their scratch buffers (KeyEncoder, probe cache, output delta), so one
+// plan must not be applied concurrently — matching the single-threaded
 // propagation pass that uses them.
+//
+// Allocation discipline: each plan reuses a single output Delta across
+// Apply calls, and (when an arena is attached via SetArena) bump-
+// allocates derived tuples from the caller's per-window arena. The
+// returned *Delta and its tuples are therefore valid only until the
+// plan's next Apply / the arena's next Reset — the "no tuple escapes
+// its window" rule. Callers that need longer-lived results (one-shot
+// helpers, tests) use plans without an arena and copy what they keep.
+
+// reset prepares a plan-owned output delta for reuse.
+func resetOut(d *Delta, s *catalog.Schema) *Delta {
+	d.Schema = s
+	d.Changes = d.Changes[:0]
+	return d
+}
 
 // SelectPlan is a compiled Select propagation step.
 type SelectPlan struct {
 	sel  *algebra.Select
 	pred func(value.Tuple) value.Value
+	outD Delta
 }
 
 // CompileSelect compiles sel's predicate against the child schema.
 func CompileSelect(sel *algebra.Select, in *catalog.Schema) (*SelectPlan, error) {
-	f, err := sel.Pred.Compile(in)
+	f, err := expr.CompileFast(sel.Pred, in)
 	if err != nil {
 		return nil, err
 	}
 	return &SelectPlan{sel: sel, pred: f}, nil
 }
 
-// Apply propagates d through the compiled selection.
+// Apply propagates d through the compiled selection. The result is
+// valid until the next Apply on this plan.
 func (p *SelectPlan) Apply(d *Delta) (*Delta, error) {
-	out := New(d.Schema)
+	out := resetOut(&p.outD, d.Schema)
 	for _, c := range d.Changes {
 		oldIn := c.Old != nil && p.pred(c.Old).Truth()
 		newIn := c.New != nil && p.pred(c.New).Truth()
@@ -53,16 +72,18 @@ func (p *SelectPlan) Apply(d *Delta) (*Delta, error) {
 
 // ProjectPlan is a compiled Project propagation step.
 type ProjectPlan struct {
-	p   *algebra.Project
-	fs  []func(value.Tuple) value.Value
-	out *catalog.Schema
+	p     *algebra.Project
+	fs    []func(value.Tuple) value.Value
+	out   *catalog.Schema
+	arena *value.Arena
+	outD  Delta
 }
 
 // CompileProject compiles p's items against the child schema.
 func CompileProject(p *algebra.Project, in *catalog.Schema) (*ProjectPlan, error) {
 	fs := make([]func(value.Tuple) value.Value, len(p.Items))
 	for i, it := range p.Items {
-		f, err := it.E.Compile(in)
+		f, err := expr.CompileFast(it.E, in)
 		if err != nil {
 			return nil, err
 		}
@@ -71,19 +92,23 @@ func CompileProject(p *algebra.Project, in *catalog.Schema) (*ProjectPlan, error
 	return &ProjectPlan{p: p, fs: fs, out: p.Schema()}, nil
 }
 
-// Apply propagates d through the compiled projection.
+// SetArena attaches a per-window arena for output tuples.
+func (p *ProjectPlan) SetArena(a *value.Arena) { p.arena = a }
+
+// Apply propagates d through the compiled projection. The result is
+// valid until the next Apply on this plan (or arena reset).
 func (p *ProjectPlan) Apply(d *Delta) (*Delta, error) {
 	apply := func(t value.Tuple) value.Tuple {
 		if t == nil {
 			return nil
 		}
-		out := make(value.Tuple, len(p.fs))
+		out := p.arena.NewTuple(len(p.fs))
 		for i, f := range p.fs {
 			out[i] = f(t)
 		}
 		return out
 	}
-	out := New(p.out)
+	out := resetOut(&p.outD, p.out)
 	for _, c := range d.Changes {
 		o, n := apply(c.Old), apply(c.New)
 		switch {
@@ -109,6 +134,8 @@ type JoinSidePlan struct {
 	residual  func(value.Tuple) value.Value
 	cache     map[string][]storage.Row
 	enc       value.KeyEncoder
+	arena     *value.Arena
+	outD      Delta
 }
 
 // CompileJoinSide compiles the side-`side` propagation of j (0 = delta
@@ -131,7 +158,7 @@ func CompileJoinSide(j *algebra.Join, side int, in *catalog.Schema) (*JoinSidePl
 	outSchema := j.Schema()
 	p := &JoinSidePlan{j: j, side: side, pos: pos, outSchema: outSchema}
 	if j.Residual != nil {
-		f, err := j.Residual.Compile(outSchema)
+		f, err := expr.CompileFast(j.Residual, outSchema)
 		if err != nil {
 			return nil, err
 		}
@@ -140,10 +167,14 @@ func CompileJoinSide(j *algebra.Join, side int, in *catalog.Schema) (*JoinSidePl
 	return p, nil
 }
 
+// SetArena attaches a per-window arena for concatenated output tuples.
+func (p *JoinSidePlan) SetArena(a *value.Arena) { p.arena = a }
+
 // Apply propagates d (arriving on the plan's side) using probe for the
 // other side's pre-update rows. The plan-level probe cache mirrors the
 // one-query-per-key cost model within this call; it is cleared on entry,
-// so stale pre-states never leak across windows.
+// so stale pre-states never leak across windows. The result is valid
+// until the next Apply on this plan (or arena reset).
 func (p *JoinSidePlan) Apply(d *Delta, probe Probe) (*Delta, error) {
 	if p.cache == nil {
 		p.cache = map[string][]storage.Row{}
@@ -151,13 +182,10 @@ func (p *JoinSidePlan) Apply(d *Delta, probe Probe) (*Delta, error) {
 		clear(p.cache)
 	}
 	concat := func(mine, other value.Tuple) value.Tuple {
-		t := make(value.Tuple, 0, len(mine)+len(other))
 		if p.side == 0 {
-			t = append(append(t, mine...), other...)
-		} else {
-			t = append(append(t, other...), mine...)
+			return p.arena.ConcatTuples(mine, other)
 		}
-		return t
+		return p.arena.ConcatTuples(other, mine)
 	}
 	keep := func(t value.Tuple) bool {
 		return p.residual == nil || p.residual(t).Truth()
@@ -175,7 +203,7 @@ func (p *JoinSidePlan) Apply(d *Delta, probe Probe) (*Delta, error) {
 		p.cache[k] = rows
 		return rows, nil
 	}
-	out := New(p.outSchema)
+	out := resetOut(&p.outD, p.outSchema)
 	for _, c := range d.Changes {
 		switch {
 		case c.IsInsert():
@@ -251,6 +279,15 @@ type JoinPlan struct {
 	outSchema  *catalog.Schema
 	residual   func(value.Tuple) value.Value
 	enc        value.KeyEncoder
+	arena      *value.Arena
+	nz         Normalizer
+	cat        Delta
+	ddOut      Delta
+	sbufL      []signedRow
+	sbufR      []signedRow
+	build      bytemap.Map[int32]
+	buckets    [][]int32
+	nb         int
 }
 
 // CompileJoin compiles both propagation directions of j against the
@@ -279,7 +316,7 @@ func CompileJoin(j *algebra.Join, lin, rin *catalog.Schema) (*JoinPlan, error) {
 	}
 	p := &JoinPlan{j: j, Left: left, Right: right, lpos: lpos, rpos: rpos, outSchema: j.Schema()}
 	if j.Residual != nil {
-		f, err := j.Residual.Compile(p.outSchema)
+		f, err := expr.CompileFast(j.Residual, p.outSchema)
 		if err != nil {
 			return nil, err
 		}
@@ -288,8 +325,16 @@ func CompileJoin(j *algebra.Join, lin, rin *catalog.Schema) (*JoinPlan, error) {
 	return p, nil
 }
 
+// SetArena attaches a per-window arena to the join and both side plans.
+func (p *JoinPlan) SetArena(a *value.Arena) {
+	p.arena = a
+	p.Left.SetArena(a)
+	p.Right.SetArena(a)
+}
+
 // ApplyBoth combines the three differential terms when both inputs
-// changed (the compiled form of JoinBoth).
+// changed (the compiled form of JoinBoth). The result is valid until
+// the next ApplyBoth on this plan (or arena reset).
 func (p *JoinPlan) ApplyBoth(dl, dr *Delta, probeL, probeR Probe) (*Delta, error) {
 	a, err := p.Left.Apply(dl, probeR)
 	if err != nil {
@@ -303,28 +348,47 @@ func (p *JoinPlan) ApplyBoth(dl, dr *Delta, probeL, probeR Probe) (*Delta, error
 	if err != nil {
 		return nil, err
 	}
-	out := New(p.outSchema)
-	out.Changes = append(out.Changes, a.Changes...)
-	out.Changes = append(out.Changes, b.Changes...)
-	out.Changes = append(out.Changes, c.Changes...)
-	return out.Normalize(), nil
+	cat := resetOut(&p.cat, p.outSchema)
+	cat.Changes = append(cat.Changes, a.Changes...)
+	cat.Changes = append(cat.Changes, b.Changes...)
+	cat.Changes = append(cat.Changes, c.Changes...)
+	return p.nz.Normalize(cat), nil
 }
 
 // applyDeltaDelta computes the signed join ΔL⋈ΔR with precompiled
-// positions.
+// positions. The build side is hashed into plan-owned scratch (an
+// open-addressed key table plus reusable bucket lists), so steady-state
+// windows index ΔR without per-call map allocation.
 func (p *JoinPlan) applyDeltaDelta(dl, dr *Delta) (*Delta, error) {
-	rsigned := dr.signedRows()
-	build := make(map[string][]signedRow, len(rsigned))
-	for _, sr := range rsigned {
-		kb := p.enc.ProjectedKey(sr.tuple, p.rpos)
-		build[string(kb)] = append(build[string(kb)], sr)
+	p.sbufR = dr.appendSigned(p.sbufR[:0])
+	p.build.Reset()
+	for i := 0; i < p.nb; i++ {
+		p.buckets[i] = p.buckets[i][:0]
 	}
-	out := New(p.outSchema)
-	for _, lsr := range dl.signedRows() {
+	p.nb = 0
+	for i := range p.sbufR {
+		kb := p.enc.ProjectedKey(p.sbufR[i].tuple, p.rpos)
+		bid, _, existed := p.build.GetOrPut(kb, int32(p.nb))
+		if !existed {
+			if p.nb == len(p.buckets) {
+				p.buckets = append(p.buckets, nil)
+			}
+			p.nb++
+		}
+		p.buckets[*bid] = append(p.buckets[*bid], int32(i))
+	}
+	out := resetOut(&p.ddOut, p.outSchema)
+	p.sbufL = dl.appendSigned(p.sbufL[:0])
+	for li := range p.sbufL {
+		lsr := &p.sbufL[li]
 		kb := p.enc.ProjectedKey(lsr.tuple, p.lpos)
-		for _, rsr := range build[string(kb)] {
-			t := make(value.Tuple, 0, len(lsr.tuple)+len(rsr.tuple))
-			t = append(append(t, lsr.tuple...), rsr.tuple...)
+		bid, ok := p.build.Get(kb)
+		if !ok {
+			continue
+		}
+		for _, ri := range p.buckets[bid] {
+			rsr := &p.sbufR[ri]
+			t := p.arena.ConcatTuples(lsr.tuple, rsr.tuple)
 			if p.residual != nil && !p.residual(t).Truth() {
 				continue
 			}
@@ -342,12 +406,18 @@ func (p *JoinPlan) applyDeltaDelta(dl, dr *Delta) (*Delta, error) {
 
 // AggregatePlan is the compiled static part of aggregate maintenance:
 // group-by positions and aggregate argument accessors resolved against
-// the child schema once.
+// the child schema once, plus reusable per-window group scratch.
 type AggregatePlan struct {
 	a      *algebra.Aggregate
 	gpos   []int
 	argFns []func(value.Tuple) value.Value
 	out    *catalog.Schema
+	arena  *value.Arena
+	groups bytemap.Map[int32]
+	accs   []acc
+	sbuf   []signedRow
+	outD   Delta
+	enc    value.KeyEncoder
 }
 
 // CompileAggregate resolves a's group-by columns and compiles its
@@ -366,7 +436,7 @@ func CompileAggregate(a *algebra.Aggregate, in *catalog.Schema) (*AggregatePlan,
 		if ag.Arg == nil {
 			continue
 		}
-		f, err := ag.Arg.Compile(in)
+		f, err := expr.CompileFast(ag.Arg, in)
 		if err != nil {
 			return nil, err
 		}
@@ -374,3 +444,6 @@ func CompileAggregate(a *algebra.Aggregate, in *catalog.Schema) (*AggregatePlan,
 	}
 	return &AggregatePlan{a: a, gpos: gpos, argFns: argFns, out: a.Schema()}, nil
 }
+
+// SetArena attaches a per-window arena for group-key and output tuples.
+func (p *AggregatePlan) SetArena(a *value.Arena) { p.arena = a }

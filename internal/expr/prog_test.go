@@ -1,0 +1,181 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/value"
+)
+
+func progSchema() *catalog.Schema {
+	return &catalog.Schema{Cols: []catalog.Column{
+		{Name: "A", Type: value.Int},
+		{Name: "B", Type: value.Int},
+		{Name: "C", Type: value.Float},
+		{Name: "D", Type: value.String},
+		{Name: "E", Type: value.Bool},
+	}}
+}
+
+// randExpr builds a random expression over the test schema, including
+// NULL-producing comparisons, nested boolean structure and arithmetic.
+func randExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return C([]string{"A", "B", "C", "D", "E"}[rng.Intn(5)])
+		case 1:
+			return IntLit(int64(rng.Intn(7) - 3))
+		case 2:
+			return FloatLit(float64(rng.Intn(5)) / 2)
+		default:
+			return StrLit([]string{"x", "y", ""}[rng.Intn(3)])
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		ops := []CmpOp{EQ, NE, LT, LE, GT, GE}
+		return Compare(ops[rng.Intn(len(ops))], randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 1:
+		ops := []ArithOp{Plus, Minus, Times, Over}
+		return Arith{Op: ops[rng.Intn(len(ops))], L: randExpr(rng, depth-1), R: randExpr(rng, depth-1)}
+	case 2:
+		n := 1 + rng.Intn(3)
+		terms := make([]Expr, n)
+		for i := range terms {
+			terms[i] = randExpr(rng, depth-1)
+		}
+		return And{Terms: terms}
+	case 3:
+		return Or{L: randExpr(rng, depth-1), R: randExpr(rng, depth-1)}
+	case 4:
+		return Not{E: randExpr(rng, depth-1)}
+	default:
+		return randExpr(rng, 0)
+	}
+}
+
+func randTuple(rng *rand.Rand) value.Tuple {
+	pick := func() value.Value {
+		switch rng.Intn(5) {
+		case 0:
+			return value.NewInt(int64(rng.Intn(9) - 4))
+		case 1:
+			return value.NewFloat(float64(rng.Intn(9)) / 2)
+		case 2:
+			return value.NewString([]string{"x", "y", ""}[rng.Intn(3)])
+		case 3:
+			return value.NewBool(rng.Intn(2) == 0)
+		default:
+			return value.NewNull()
+		}
+	}
+	return value.Tuple{pick(), pick(), pick(), pick(), pick()}
+}
+
+// TestProgDifferential pits the flat program against both Eval and the
+// closure Compile on random expressions and tuples — values (including
+// NULL propagation and truthiness short-circuits) must agree exactly.
+func TestProgDifferential(t *testing.T) {
+	s := progSchema()
+	rng := rand.New(rand.NewSource(0xE15A))
+	exprs := 0
+	for i := 0; i < 400; i++ {
+		e := randExpr(rng, 1+rng.Intn(4))
+		prog, err := CompileProg(e, s)
+		if err != nil {
+			t.Fatalf("CompileProg(%s): %v", e, err)
+		}
+		closure, err := e.Compile(s)
+		if err != nil {
+			t.Fatalf("Compile(%s): %v", e, err)
+		}
+		exprs++
+		for j := 0; j < 50; j++ {
+			tu := randTuple(rng)
+			got := prog.Eval(tu)
+			wantC := closure(tu)
+			wantE := e.Eval(s, tu)
+			if !value.Equal(got, wantC) || got.IsNull() != wantC.IsNull() {
+				t.Fatalf("expr %s on %s: prog=%v closure=%v", e, tu, got, wantC)
+			}
+			if !value.Equal(got, wantE) || got.IsNull() != wantE.IsNull() {
+				t.Fatalf("expr %s on %s: prog=%v eval=%v", e, tu, got, wantE)
+			}
+			if prog.Truth(tu) != wantC.Truth() {
+				t.Fatalf("expr %s on %s: Truth mismatch", e, tu)
+			}
+		}
+	}
+	if exprs == 0 {
+		t.Fatal("no expressions exercised")
+	}
+}
+
+func TestProgShortCircuit(t *testing.T) {
+	s := progSchema()
+	// (A = 1 AND B = 2) with A mismatching must not evaluate B — observable
+	// through division: AND short-circuits before 1/0.
+	e := AndOf(
+		Compare(EQ, C("A"), IntLit(99)),
+		Compare(EQ, Arith{Op: Over, L: IntLit(1), R: IntLit(0)}, IntLit(1)),
+	)
+	prog, err := CompileProg(e, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := value.Tuple{value.NewInt(1), value.NewInt(2), value.NewFloat(0), value.NewString(""), value.NewBool(false)}
+	if prog.Eval(tu).Truth() {
+		t.Fatal("AND with false first term evaluated true")
+	}
+	// Division by zero yields NULL (per value.Div), so even when reached
+	// the result must mirror the closure path.
+	e2 := AndOf(
+		Compare(EQ, C("A"), IntLit(1)),
+		Compare(EQ, Arith{Op: Over, L: IntLit(1), R: IntLit(0)}, IntLit(1)),
+	)
+	prog2, _ := CompileProg(e2, s)
+	closure2, _ := e2.Compile(s)
+	if prog2.Eval(tu).Truth() != closure2(tu).Truth() {
+		t.Fatal("NULL-producing second term diverged from closure path")
+	}
+}
+
+func TestCompileFastResolutionError(t *testing.T) {
+	s := progSchema()
+	if _, err := CompileFast(C("NoSuchCol"), s); err == nil {
+		t.Fatal("CompileFast resolved a nonexistent column")
+	}
+	f, err := CompileFast(Compare(GT, C("A"), IntLit(0)), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f(value.Tuple{value.NewInt(1)}).Truth() {
+		t.Fatal("CompileFast evaluator wrong")
+	}
+}
+
+func BenchmarkProgVsClosure(b *testing.B) {
+	s := progSchema()
+	e := AndOf(
+		Compare(GT, C("A"), IntLit(0)),
+		Compare(LT, C("B"), IntLit(10)),
+		Compare(GE, Arith{Op: Plus, L: C("A"), R: C("B")}, IntLit(2)),
+	)
+	tu := value.Tuple{value.NewInt(3), value.NewInt(4), value.NewFloat(0), value.NewString("x"), value.NewBool(true)}
+	b.Run("prog", func(b *testing.B) {
+		p, _ := CompileProg(e, s)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Eval(tu)
+		}
+	})
+	b.Run("closure", func(b *testing.B) {
+		f, _ := e.Compile(s)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f(tu)
+		}
+	})
+}

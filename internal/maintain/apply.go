@@ -134,22 +134,25 @@ func (m *Maintainer) aggregateDelta(e *dag.EqNode, op *dag.OpNode, agg *algebra.
 		return delta.New(agg.Schema()), nil
 	}
 	v := m.views[e.ID]
-	gc := map[string]int64{}
-	if v != nil && v.aggOp == op {
-		var err error
-		gc, err = cd.GroupCounts(agg.GroupBy)
+	tracked := v != nil && v.aggOp == op
+	// The group-count map is only needed to detect stale groups (none in
+	// steady state — the incremental path never marks any) and to resync
+	// the sidecar on the cold full-group path below; computing it lazily
+	// keeps the hot window free of per-group map and key churn.
+	staleTouched := false
+	if tracked && len(v.stale) > 0 {
+		gcs, err := cd.GroupCounts(agg.GroupBy)
 		if err != nil {
 			return nil, err
 		}
-	}
-	staleTouched := false
-	for k := range gc {
-		if v.stale[k] {
-			staleTouched = true
-			break
+		for k := range gcs {
+			if v.stale[k] {
+				staleTouched = true
+				break
+			}
 		}
 	}
-	if v != nil && v.aggOp == op && !staleTouched && delta.Decomposable(agg.Aggs, cd) {
+	if tracked && !staleTouched && delta.Decomposable(agg.Aggs, cd) {
 		var (
 			out  *delta.Delta
 			live map[string]int64
@@ -200,7 +203,11 @@ func (m *Maintainer) aggregateDelta(e *dag.EqNode, op *dag.OpNode, agg *algebra.
 	// Resync the sidecar for the groups this path recomputed: the
 	// pre-update group rows are known, so the post-update live counts
 	// are too — this also heals staleness.
-	if v != nil && v.aggOp == op {
+	if tracked {
+		gc, err := cd.GroupCounts(agg.GroupBy)
+		if err != nil {
+			return nil, err
+		}
 		keys, err := cd.AffectedKeys(agg.GroupBy)
 		if err != nil {
 			return nil, err

@@ -2,6 +2,7 @@ package maintain
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -82,13 +83,17 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 	defer func() {
 		sp.Finish()
 		obsApplyNs.Observe(time.Since(t0).Nanoseconds())
+		m.publishArenaStats()
 	}()
 	obsBatchWindow.Observe(int64(len(txns)))
-	windows := make([]map[string]*delta.Delta, len(txns))
-	for i, t := range txns {
-		windows[i] = t.Updates
+	// Rewind the window arena: tuples from the previous window (held by
+	// its report) are invalidated here, per the window ownership rule.
+	m.arena.Reset()
+	m.winBuf = m.winBuf[:0]
+	for _, t := range txns {
+		m.winBuf = append(m.winBuf, t.Updates)
 	}
-	merged := delta.Coalesce(windows)
+	merged := m.coalescer.Coalesce(m.winBuf)
 	bt := txn.MergedType(txns, merged)
 	rep := &BatchReport{
 		Size:   len(txns),
@@ -111,6 +116,34 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 		}
 		return rep, nil
 	}
+	// Pipelined group commit: a WindowCommitter gets the window's net
+	// base deltas now — before propagation — so its encode/write/fsync
+	// runs under the entire window instead of only under view
+	// application. The wait call below is the commit fence; on every
+	// exit path it must run so the committer's staging is re-armed.
+	var wait func() (uint64, error)
+	if wc, ok := m.Committer.(WindowCommitter); ok {
+		wait = wc.BeginWindow(merged, len(txns))
+		// Yield so the committer goroutine runs now, reaching its fsync
+		// before propagation starts: on GOMAXPROCS=1 a CPU-bound window
+		// never otherwise cedes the processor, and the "background"
+		// commit would execute entirely inside the fence wait. Once the
+		// committer blocks in fsync the scheduler hands back the CPU,
+		// and the disk flush proceeds under the window's compute.
+		runtime.Gosched()
+		waited := false
+		origWait := wait
+		wait = func() (uint64, error) {
+			waited = true
+			return origWait()
+		}
+		defer func() {
+			if !waited {
+				origWait()
+			}
+		}()
+	}
+
 	plan, err := m.planFor(bt)
 	if err != nil {
 		return nil, err
@@ -162,20 +195,23 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 			ab.Finish()
 			return nil, fmt.Errorf("maintain: unknown relation %q", rd.Rel)
 		}
-		r.ApplyBatch(rd.Delta.ToMutations())
+		m.mutBuf = rd.Delta.AppendMutations(m.mutBuf[:0])
+		r.ApplyBatch(m.mutBuf)
 	}
 	rep.BaseIO = m.Store.IO.Snapshot().Sub(before)
 	ab.Finish()
 
-	// Group commit: one record, one fsync for the whole window,
-	// overlapped with view application (views are derived state — the
-	// log only needs the base deltas, which are fully staged by now).
+	// Legacy group commit (a Committer without BeginWindow): one record,
+	// one fsync for the whole window, overlapped with view application
+	// only (the log reads the base deltas staged by the hook, which are
+	// fully staged by now). A WindowCommitter has been running since
+	// before propagation instead.
 	type commitResult struct {
 		lsn uint64
 		err error
 	}
 	var commit chan commitResult
-	if m.Committer != nil {
+	if m.Committer != nil && wait == nil {
 		commit = make(chan commitResult, 1)
 		n := len(txns)
 		go func() {
@@ -190,6 +226,14 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 	av := obs.Trace.Start("maintain.apply_views", sp.ID())
 	verr := m.applyViews(rep, tr)
 	av.Finish()
+	if wait != nil {
+		// Commit fence: ack implies durable.
+		lsn, err := wait()
+		if err != nil {
+			return nil, fmt.Errorf("maintain: commit: %w", err)
+		}
+		rep.LSN = lsn
+	}
 	if commit != nil {
 		cr := <-commit
 		if cr.err != nil {
@@ -226,6 +270,24 @@ func (m *Maintainer) applyViews(rep *BatchReport, tr *tracks.Track) error {
 	if m.Store.Buffer != nil {
 		workers = 1
 	}
+	if workers > 1 {
+		// Auto-degrade to serial when the window's view deltas are too
+		// small to amortize worker handoff: channel send/receive plus
+		// counter folding costs more than the few mutations themselves
+		// (measured: small-batch windows ran faster single-threaded).
+		total := 0
+		for _, w := range work {
+			total += rep.Deltas[w.v.Eq.ID].Size()
+		}
+		thr := m.SerialThreshold
+		if thr == 0 {
+			thr = defaultSerialThreshold
+		}
+		if total < thr {
+			workers = 1
+			obsSerialDegrade.Inc()
+		}
+	}
 
 	if workers <= 1 {
 		hist := workerHist(0)
@@ -233,7 +295,8 @@ func (m *Maintainer) applyViews(rep *BatchReport, tr *tracks.Track) error {
 			t0 := time.Now()
 			if d := rep.Deltas[w.v.Eq.ID]; !d.Empty() {
 				before := m.Store.IO.Snapshot()
-				w.v.Rel.ApplyBatch(d.ToMutations())
+				m.mutBuf = d.AppendMutations(m.mutBuf[:0])
+				w.v.Rel.ApplyBatch(m.mutBuf)
 				used := m.Store.IO.Snapshot().Sub(before)
 				if w.root {
 					rep.RootIO = addIO(rep.RootIO, used)
@@ -266,6 +329,7 @@ func (m *Maintainer) applyViews(rep *BatchReport, tr *tracks.Track) error {
 			// IOCounter concurrency contract in internal/storage).
 			var wio, rootSum, viewSum storage.IOCounter
 			var werr error
+			var mbuf []storage.Mutation // worker-private mutation scratch
 			for j := range jobs {
 				if werr != nil {
 					continue // drain after a failure
@@ -274,7 +338,8 @@ func (m *Maintainer) applyViews(rep *BatchReport, tr *tracks.Track) error {
 				if d := rep.Deltas[j.v.Eq.ID]; !d.Empty() {
 					before := wio
 					j.v.Rel.SetIOCounter(&wio)
-					j.v.Rel.ApplyBatch(d.ToMutations())
+					mbuf = d.AppendMutations(mbuf[:0])
+					j.v.Rel.ApplyBatch(mbuf)
 					j.v.Rel.SetIOCounter(nil)
 					used := wio.Sub(before)
 					if j.root {

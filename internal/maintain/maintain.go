@@ -35,6 +35,21 @@ var obsDeltaChanges = obs.H("maintain.delta.changes")
 // p50/p99 from.
 var obsApplyNs = obs.H("maintain.apply.ns")
 
+// Arena traffic counters: bytes served from blocks retained across
+// windows (reused) versus blocks newly allocated within their window
+// (grown). A healthy steady state shows reused climbing and grown flat
+// — the window working set fits the retained blocks and the allocator
+// is never entered.
+var (
+	obsArenaReused = obs.C("maintain.arena.reused_bytes")
+	obsArenaGrown  = obs.C("maintain.arena.grown_bytes")
+)
+
+// obsSerialDegrade counts windows whose view-apply worker pool degraded
+// to serial because the window's summed view-delta cardinality was too
+// small to amortize worker handoff.
+var obsSerialDegrade = obs.C("maintain.apply.serial_degrade")
+
 // View is one materialized equivalence node with its backing store and
 // (for aggregates and duplicate elimination) the live-count sidecar that
 // detects group birth and death. The sidecar plays the role of the
@@ -71,6 +86,25 @@ type Committer interface {
 	Commit(txns int) (uint64, error)
 }
 
+// WindowCommitter is an optional Committer upgrade for pipelined group
+// commit. ApplyBatch knows a window's net base deltas as soon as it has
+// coalesced them — before any propagation work — so a WindowCommitter
+// starts encoding, writing and fsyncing the window record from that
+// merged delta on a background goroutine while propagation, base apply
+// and view apply proceed. The returned wait is the commit fence:
+// ApplyBatch blocks on it before acknowledging, so ack still implies
+// durable. A crash after the early fsync but before the ack recovers to
+// one window past the last acknowledged state (lastAcked+1), which the
+// recovery contract allows.
+type WindowCommitter interface {
+	Committer
+	// BeginWindow starts making the window durable from its coalesced
+	// net deltas. The implementation must suppress its mutation-hook
+	// staging until wait is called (the window's base applies would
+	// otherwise be logged twice).
+	BeginWindow(w delta.Coalesced, txns int) (wait func() (uint64, error))
+}
+
 // Maintainer owns a view set over a store and keeps it incrementally
 // maintained.
 type Maintainer struct {
@@ -90,6 +124,12 @@ type Maintainer struct {
 	// sequentially (buffered charging mutates shared LRU state).
 	Workers int
 
+	// SerialThreshold is the window view-delta cardinality (summed
+	// changes across all views on the track) below which the worker pool
+	// degrades to serial: tiny windows lose more to goroutine handoff
+	// than they gain from overlap. Zero means the default (256).
+	SerialThreshold int
+
 	// DisableMQO turns off the per-window shared subplan memo (every
 	// query goes back to storage). Test knob: the equivalence suite
 	// compares memo-shared propagation against this per-query oracle.
@@ -98,6 +138,34 @@ type Maintainer struct {
 	views map[int]*View
 	plans map[string]*trackPlan
 	trees map[int]algebra.Node // memoized query trees per eq node
+
+	// Per-window scratch, reset (not freed) between windows. The arena
+	// backs every tuple propagation derives, which is why a report's
+	// Deltas (and Merged) are documented valid only until the next
+	// Apply/ApplyBatch on this maintainer.
+	arena     value.Arena
+	coalescer delta.Coalescer
+	winBuf    []map[string]*delta.Delta
+	mutBuf    []storage.Mutation
+
+	pubArenaReused, pubArenaGrown uint64
+}
+
+// defaultSerialThreshold is the summed view-delta cardinality below
+// which parallel view application degrades to serial.
+const defaultSerialThreshold = 256
+
+// publishArenaStats pushes the arena's cumulative traffic into the obs
+// registry as counter deltas.
+func (m *Maintainer) publishArenaStats() {
+	reused, grown := m.arena.Stats()
+	if d := reused - m.pubArenaReused; d > 0 {
+		obsArenaReused.Add(int64(d))
+	}
+	if d := grown - m.pubArenaGrown; d > 0 {
+		obsArenaGrown.Add(int64(d))
+	}
+	m.pubArenaReused, m.pubArenaGrown = reused, grown
 }
 
 // ViewName is the storage name of a materialized equivalence node.
@@ -219,7 +287,11 @@ func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Repor
 	defer func() {
 		sp.Finish()
 		obsApplyNs.Observe(time.Since(t0).Nanoseconds())
+		m.publishArenaStats()
 	}()
+	// Rewind the window arena: tuples from the previous window (held by
+	// its report) are invalidated here, per the window ownership rule.
+	m.arena.Reset()
 	plan, err := m.planFor(t)
 	if err != nil {
 		return nil, err
@@ -264,7 +336,8 @@ func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Repor
 		}
 		if d := rep.Deltas[e.ID]; !d.Empty() {
 			before := m.Store.IO.Snapshot()
-			v.Rel.ApplyBatch(d.ToMutations())
+			m.mutBuf = d.AppendMutations(m.mutBuf[:0])
+			v.Rel.ApplyBatch(m.mutBuf)
 			used := m.Store.IO.Snapshot().Sub(before)
 			if m.D.IsRoot(e) {
 				rep.RootIO = addIO(rep.RootIO, used)
@@ -288,7 +361,8 @@ func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Repor
 		if !ok {
 			return nil, fmt.Errorf("maintain: unknown relation %q", rel)
 		}
-		r.ApplyBatch(du.ToMutations())
+		m.mutBuf = du.AppendMutations(m.mutBuf[:0])
+		r.ApplyBatch(m.mutBuf)
 	}
 	rep.BaseIO = m.Store.IO.Snapshot().Sub(before)
 	if m.Committer != nil {

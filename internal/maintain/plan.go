@@ -9,6 +9,7 @@ import (
 	"repro/internal/delta"
 	"repro/internal/tracks"
 	"repro/internal/txn"
+	"repro/internal/value"
 )
 
 // trackPlan is a compiled update track for one (view set, transaction
@@ -47,6 +48,21 @@ type planStep struct {
 	agg  *delta.AggregatePlan
 }
 
+// setArena threads the maintainer's per-window arena into the plans
+// that derive tuples (projection outputs, join concatenations,
+// aggregate keys and output rows).
+func (st *planStep) setArena(a *value.Arena) {
+	if st.proj != nil {
+		st.proj.SetArena(a)
+	}
+	if st.join != nil {
+		st.join.SetArena(a)
+	}
+	if st.agg != nil {
+		st.agg.SetArena(a)
+	}
+}
+
 // viewSetKey canonicalizes a view set for plan invalidation.
 func viewSetKey(vs tracks.ViewSet) string {
 	ids := vs.IDs()
@@ -83,6 +99,7 @@ func (m *Maintainer) planFor(t *txn.Type) (*trackPlan, error) {
 		if err != nil {
 			return nil, err
 		}
+		st.setArena(&m.arena)
 		p.steps[e.ID] = st
 	}
 	m.plans[t.Name] = p

@@ -7,6 +7,14 @@ import (
 	"repro/internal/paper"
 )
 
+// BenchmarkWindow64 is the steady-state probe behind the allocation
+// work (DESIGN.md §12): one batch-64 window per op on a single
+// long-lived harness, so -benchmem reports the per-window heap cost
+// after directories, arenas and plan caches have warmed up — unlike
+// BenchmarkMaintainThroughput, which rebuilds the harness per op and
+// therefore mixes setup allocation into its numbers.
+//
+//	go test -run '^$' -bench Window64 -benchmem ./internal/paper/
 func BenchmarkWindow64(b *testing.B) {
 	th, err := paper.NewThroughput(corpus.DefaultFigure5Config(), 1)
 	if err != nil {

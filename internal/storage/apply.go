@@ -1,6 +1,10 @@
 package storage
 
-import "repro/internal/value"
+import (
+	"bytes"
+
+	"repro/internal/value"
+)
 
 // Mutation is one element of a batch update to a stored relation.
 // Exactly one of the three shapes is used:
@@ -34,7 +38,9 @@ func (m Mutation) IsModify() bool { return m.Old != nil && m.New != nil }
 //   - one relation-page read per modified or deleted tuple;
 //   - one relation-page write per modified or inserted tuple.
 //
-// An empty batch charges nothing.
+// An empty batch charges nothing. Mutation tuples may live in a
+// per-window arena: the relation clones anything it stores, so the
+// caller may reset the arena once the batch returns.
 func (r *Relation) ApplyBatch(batch []Mutation) {
 	if len(batch) == 0 {
 		return
@@ -47,8 +53,8 @@ func (r *Relation) ApplyBatch(batch []Mutation) {
 	if len(batch) == 1 {
 		// Fast path: a single mutation touches at most two buckets per
 		// index, so the charges are computed directly, skipping the
-		// per-bucket bookkeeping maps. Charge order and amounts match
-		// the general path exactly.
+		// per-bucket bookkeeping. Charge order and amounts match the
+		// general path exactly.
 		m := batch[0]
 		for _, ix := range r.indexes {
 			switch {
@@ -62,7 +68,7 @@ func (r *Relation) ApplyBatch(batch []Mutation) {
 				r.chargeIndexWrite(ix.def.Name, bk)
 			case m.IsModify():
 				ob := ix.keyOf(m.Old)
-				if nb := ix.keyOf(m.New); ob == nb {
+				if nb := ix.keyOf2(m.New); bytes.Equal(ob, nb) {
 					r.chargeIndexRead(ix.def.Name, ob)
 				} else {
 					r.chargeIndexRead(ix.def.Name, ob)
@@ -73,18 +79,23 @@ func (r *Relation) ApplyBatch(batch []Mutation) {
 			}
 		}
 		r.applyMutations(batch)
+		r.publishProbeStats()
+		r.maybeCompact()
 		return
 	}
-	// Index page charges, per distinct touched bucket.
+	// Index page charges, per distinct touched bucket in first-touch
+	// order. The bookkeeping table is an open-addressed scratch map
+	// reset per call: bucket keys are copied into its arena exactly
+	// once, and the first-touch order is kept as arena refs.
 	for _, ix := range r.indexes {
-		touched := map[string]bool{} // bucket -> dirty
-		order := []string{}
-		note := func(bucket string, dirty bool) {
-			if _, ok := touched[bucket]; !ok {
-				touched[bucket] = dirty
-				order = append(order, bucket)
+		ix.touched.Reset()
+		ix.order = ix.order[:0]
+		note := func(bucket []byte, dirty bool) {
+			p, ref, existed := ix.touched.GetOrPut(bucket, dirty)
+			if !existed {
+				ix.order = append(ix.order, ref)
 			} else if dirty {
-				touched[bucket] = true
+				*p = true
 			}
 		}
 		for _, m := range batch {
@@ -94,8 +105,8 @@ func (r *Relation) ApplyBatch(batch []Mutation) {
 			case m.IsDelete():
 				note(ix.keyOf(m.Old), true)
 			case m.IsModify():
-				ob, nb := ix.keyOf(m.Old), ix.keyOf(m.New)
-				if ob == nb {
+				ob, nb := ix.keyOf(m.Old), ix.keyOf2(m.New)
+				if bytes.Equal(ob, nb) {
 					note(ob, false)
 				} else {
 					note(ob, true)
@@ -103,20 +114,24 @@ func (r *Relation) ApplyBatch(batch []Mutation) {
 				}
 			}
 		}
-		for _, bucket := range order {
+		for _, ref := range ix.order {
+			bucket := ix.touched.KeyAt(ref)
 			r.chargeIndexRead(ix.def.Name, bucket)
-			if touched[bucket] {
+			if dirty, _ := ix.touched.Get(bucket); dirty {
 				r.chargeIndexWrite(ix.def.Name, bucket)
 			}
 		}
 	}
 	r.applyMutations(batch)
+	r.publishProbeStats()
+	r.maybeCompact()
 }
 
 // applyMutations performs the tuple-level part of ApplyBatch: relation
 // page charges plus the in-memory mutations themselves. Each tuple's
-// canonical key is computed exactly once per mutation side and threaded
-// through charging, mutation and buffer bookkeeping.
+// canonical key is encoded exactly once per mutation side into a reused
+// scratch buffer and threaded through charging, mutation and buffer
+// bookkeeping.
 func (r *Relation) applyMutations(batch []Mutation) {
 	for _, m := range batch {
 		count := m.Count
@@ -125,19 +140,19 @@ func (r *Relation) applyMutations(batch []Mutation) {
 		}
 		switch {
 		case m.IsInsert():
-			nk := m.New.Key()
+			nk := r.encNew.Key(m.New)
 			r.chargePageWrite(nk)
 			r.insertRawKeyed(m.New, nk, count)
 		case m.IsDelete():
-			ok := m.Old.Key()
+			ok := r.encOld.Key(m.Old)
 			r.chargePageRead(ok)
 			if r.deleteRawKeyed(m.Old, ok, count) == 0 {
 				r.dropPage(ok)
 			}
 		case m.IsModify():
-			ok, nk := m.Old.Key(), m.New.Key()
+			ok, nk := r.encOld.Key(m.Old), r.encNew.Key(m.New)
 			r.chargePageRead(ok)
-			if r.deleteRawKeyed(m.Old, ok, count) == 0 && ok != nk {
+			if r.deleteRawKeyed(m.Old, ok, count) == 0 && !bytes.Equal(ok, nk) {
 				r.dropPage(ok)
 			}
 			r.chargePageWrite(nk)

@@ -17,6 +17,15 @@
 // The engine is in-memory — only the accounting is "paged" — which keeps
 // experiments deterministic and laptop-scale while reporting the same
 // quantity the paper does: page I/Os.
+//
+// Physical layout: rows live in a flat entries slice (first-insertion
+// order, which fixes scan order) addressed by open-addressed
+// bytemap.Map tables probed directly on value.KeyEncoder byte slices —
+// both the row directory and every hash-index bucket directory — so the
+// hot apply/lookup path materializes no string keys and performs no
+// per-operation heap allocation. Stored tuples are cloned out of
+// whatever buffer the caller handed in (mutation batches may be built
+// in per-window arenas), so relation state never aliases caller memory.
 package storage
 
 import (
@@ -24,6 +33,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/bytemap"
 	"repro/internal/catalog"
 	"repro/internal/obs"
 	"repro/internal/value"
@@ -38,6 +48,15 @@ var (
 	obsIndexWrites = obs.C("storage.io.index_writes")
 	obsPageReads   = obs.C("storage.io.page_reads")
 	obsPageWrites  = obs.C("storage.io.page_writes")
+)
+
+// Open-index probe accounting, published as window deltas at the end of
+// each ApplyBatch (per-probe atomics would put the metric on the hot
+// path it is meant to observe).
+var (
+	obsProbeSteps = obs.C("storage.openindex.probes")
+	obsProbeOps   = obs.C("storage.openindex.probe_ops")
+	obsProbeMax   = obs.G("storage.openindex.max_probe")
 )
 
 // IOCounter accumulates page I/O charges.
@@ -113,21 +132,60 @@ type Row struct {
 	Count int64
 }
 
+// entry is one stored tuple. Entries are appended to a flat slice in
+// first-insertion order and never removed (a fully deleted tuple keeps
+// its slot at count zero so a reinsert reuses its original scan
+// position); kref locates the tuple's canonical key bytes inside the
+// row directory's arena.
 type entry struct {
 	tuple value.Tuple
 	count int64
+	kref  bytemap.Ref
+	// indexed marks the entry as present in every hash-index bucket it
+	// belongs to. Index removal is lazy: a fully deleted tuple keeps its
+	// bucket positions (readers skip count-zero entries), so hot-bucket
+	// deletes cost nothing and a revived tuple is not re-appended.
+	// Compaction prunes dead entries from buckets wholesale.
+	indexed bool
 }
 
 type hashIndex struct {
-	def     catalog.IndexDef
-	colPos  []int
-	buckets map[string][]string // projected-key → tuple keys
-	scratch []byte              // reused bucket-key encoding buffer
+	def    catalog.IndexDef
+	colPos []int
+	// buckets maps projected-key bytes to a bucket id; lists[id] holds
+	// the entry ids in the bucket, in insertion order (Lookup output
+	// order depends on it). Lists may contain dead entry ids (lazy index
+	// deletion); readers skip entries with count zero. nlists counts the
+	// live bucket ids — lists beyond it are spare capacity kept across
+	// compactions.
+	buckets bytemap.Map[int32]
+	lists   [][]int32
+	nlists  int
+	// enc/enc2 are reused projected-key scratch encoders; two because a
+	// modify needs the old and new bucket keys side by side.
+	enc  value.KeyEncoder
+	enc2 value.KeyEncoder
+	// Per-batch first-touch bucket bookkeeping (ApplyBatch general
+	// path), reset per call.
+	touched bytemap.Map[bool]
+	order   []bytemap.Ref
 }
 
-func (ix *hashIndex) keyOf(t value.Tuple) string {
-	ix.scratch = value.AppendProjectedKey(ix.scratch[:0], t, ix.colPos)
-	return string(ix.scratch)
+func (ix *hashIndex) keyOf(t value.Tuple) []byte {
+	return ix.enc.ProjectedKey(t, ix.colPos)
+}
+
+func (ix *hashIndex) keyOf2(t value.Tuple) []byte {
+	return ix.enc2.ProjectedKey(t, ix.colPos)
+}
+
+// lookupPlan caches the column resolution of a Lookup shape so repeated
+// probes from compiled track plans allocate nothing.
+type lookupPlan struct {
+	cols   []string
+	pos    []int // cols resolved against the schema
+	ix     *hashIndex
+	keyPos []int // positions in cols feeding the index columns
 }
 
 // Relation is a stored multiset relation with hash indexes.
@@ -137,14 +195,28 @@ type Relation struct {
 	// touching it. Off by default, matching the paper's assumption.
 	Resident bool
 
-	rows    map[string]*entry
-	order   []string // tuple keys in first-insertion order
+	entries []entry
+	rows    bytemap.Map[int32] // canonical tuple key bytes → entry id
 	indexes []*hashIndex
 	io      *IOCounter
 	store   *Store
 	// liveTuples counts distinct live tuples so Card is O(1) and
 	// cardinality statistics stay fresh between full refreshes.
 	liveTuples int
+
+	// Reused key-encoding scratch for the apply path; encNew/encOld are
+	// live simultaneously during a modify. encAux serves the read paths
+	// (Lookup probes, GetCount).
+	encNew value.KeyEncoder
+	encOld value.KeyEncoder
+	encAux value.KeyEncoder
+
+	plans []lookupPlan
+
+	// Probe stats already published to the obs registry (window-delta
+	// bookkeeping for publishProbeStats).
+	pubProbes uint64
+	pubOps    uint64
 }
 
 // MutationHook observes every ApplyBatch against a relation of the
@@ -178,7 +250,6 @@ func NewStore() *Store {
 func (s *Store) Create(def *catalog.TableDef) (*Relation, error) {
 	r := &Relation{
 		Def:   def,
-		rows:  map[string]*entry{},
 		io:    s.IO,
 		store: s,
 	}
@@ -192,9 +263,8 @@ func (s *Store) Create(def *catalog.TableDef) (*Relation, error) {
 			pos[i] = j
 		}
 		r.indexes = append(r.indexes, &hashIndex{
-			def:     ixd,
-			colPos:  pos,
-			buckets: map[string][]string{},
+			def:    ixd,
+			colPos: pos,
 		})
 	}
 	s.rels[def.Name] = r
@@ -248,23 +318,23 @@ func (r *Relation) SetIOCounter(c *IOCounter) {
 // Page identities: every stored tuple is its own page and every hash
 // bucket is its own index page (the unclustered model of §3.6).
 //
-// The charge helpers take raw tuple/bucket keys and materialize the
-// page-ID string only when an LRU buffer is attached: the unbuffered
-// path — the paper's cold-cache default and the maintenance hot path —
-// charges with one atomic add and no allocation.
-func (r *Relation) tuplePageID(tupleKey string) string {
-	return "t:" + r.Def.Name + "/" + tupleKey
+// The charge helpers take raw tuple/bucket key bytes and materialize
+// the page-ID string only when an LRU buffer is attached: the
+// unbuffered path — the paper's cold-cache default and the maintenance
+// hot path — charges with one atomic add and no allocation.
+func (r *Relation) tuplePageID(tupleKey []byte) string {
+	return "t:" + r.Def.Name + "/" + string(tupleKey)
 }
 
-func (r *Relation) indexPageID(indexName, bucketKey string) string {
-	return "i:" + r.Def.Name + "/" + indexName + "/" + bucketKey
+func (r *Relation) indexPageID(indexName string, bucketKey []byte) string {
+	return "i:" + r.Def.Name + "/" + indexName + "/" + string(bucketKey)
 }
 
 func (r *Relation) buffered() bool { return r.store != nil && r.store.Buffer != nil }
 
 // chargeIndexRead charges one index-page read (unless resident or
 // buffered).
-func (r *Relation) chargeIndexRead(indexName, bucketKey string) {
+func (r *Relation) chargeIndexRead(indexName string, bucketKey []byte) {
 	if r.Resident {
 		return
 	}
@@ -275,7 +345,7 @@ func (r *Relation) chargeIndexRead(indexName, bucketKey string) {
 	obsIndexReads.Inc()
 }
 
-func (r *Relation) chargeIndexWrite(indexName, bucketKey string) {
+func (r *Relation) chargeIndexWrite(indexName string, bucketKey []byte) {
 	if r.Resident {
 		return
 	}
@@ -286,7 +356,7 @@ func (r *Relation) chargeIndexWrite(indexName, bucketKey string) {
 	}
 }
 
-func (r *Relation) chargePageRead(tupleKey string) {
+func (r *Relation) chargePageRead(tupleKey []byte) {
 	if r.Resident {
 		return
 	}
@@ -297,7 +367,7 @@ func (r *Relation) chargePageRead(tupleKey string) {
 	obsPageReads.Inc()
 }
 
-func (r *Relation) chargePageWrite(tupleKey string) {
+func (r *Relation) chargePageWrite(tupleKey []byte) {
 	if r.Resident {
 		return
 	}
@@ -308,21 +378,25 @@ func (r *Relation) chargePageWrite(tupleKey string) {
 	}
 }
 
-func (r *Relation) dropPage(tupleKey string) {
+func (r *Relation) dropPage(tupleKey []byte) {
 	if r.buffered() {
 		r.store.Buffer.drop(r.tuplePageID(tupleKey))
 	}
 }
 
+// keyBytes returns the canonical key bytes of entry e (stable: they
+// live in the row directory's append-only arena).
+func (r *Relation) keyBytes(e *entry) []byte { return r.rows.KeyAt(e.kref) }
+
 // Scan returns all rows in first-insertion order, charging one page read
 // per tuple (unclustered storage).
 func (r *Relation) Scan() []Row {
-	out := make([]Row, 0, len(r.rows))
-	for _, k := range r.order {
-		e := r.rows[k]
-		if e != nil && e.count > 0 {
+	out := make([]Row, 0, len(r.entries))
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.count > 0 {
 			out = append(out, Row{Tuple: e.tuple, Count: e.count})
-			r.chargePageRead(k)
+			r.chargePageRead(r.keyBytes(e))
 		}
 	}
 	return out
@@ -332,10 +406,10 @@ func (r *Relation) Scan() []Row {
 // snapshots and result assembly that the paper's cost model does not
 // charge for.
 func (r *Relation) ScanFree() []Row {
-	out := make([]Row, 0, len(r.rows))
-	for _, k := range r.order {
-		e := r.rows[k]
-		if e != nil && e.count > 0 {
+	out := make([]Row, 0, len(r.entries))
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.count > 0 {
 			out = append(out, Row{Tuple: e.tuple, Count: e.count})
 		}
 	}
@@ -387,6 +461,26 @@ func eqStrings(a, b []string) bool {
 // given columns.
 func (r *Relation) HasIndexOn(cols []string) bool { return r.findIndex(cols) != nil }
 
+// lookupPlanFor resolves (and caches) the index choice and column
+// positions for a Lookup column shape. Index definitions are fixed at
+// Create, so cached plans never go stale; cols are copied into the
+// cache entry so callers may reuse their slice.
+func (r *Relation) lookupPlanFor(cols []string) *lookupPlan {
+	for i := range r.plans {
+		if eqStrings(r.plans[i].cols, cols) {
+			return &r.plans[i]
+		}
+	}
+	pl := lookupPlan{cols: append([]string(nil), cols...)}
+	pl.pos = make([]int, len(cols))
+	for i, c := range cols {
+		pl.pos[i] = r.Def.Schema.MustResolve(c)
+	}
+	pl.ix, pl.keyPos = r.findUsableIndex(cols)
+	r.plans = append(r.plans, pl)
+	return &r.plans[len(r.plans)-1]
+}
+
 // Lookup probes a hash index with the given key values and returns
 // matching rows, charging one index-page read plus one page read per
 // tuple touched. An index is usable when its columns are a subset of
@@ -396,32 +490,41 @@ func (r *Relation) HasIndexOn(cols []string) bool { return r.findIndex(cols) != 
 // unclustered-storage convention). Falls back to a full scan (charged)
 // when no usable index exists.
 func (r *Relation) Lookup(cols []string, key value.Tuple) []Row {
-	ix, keyPos := r.findUsableIndex(cols)
-	if ix == nil {
-		return r.scanMatch(cols, key)
+	pl := r.lookupPlanFor(cols)
+	if pl.ix == nil {
+		return r.scanMatch(pl, key)
 	}
-	subKey := make(value.Tuple, len(keyPos))
-	for i, p := range keyPos {
-		subKey[i] = key[p]
-	}
-	bucket := subKey.Key()
+	ix := pl.ix
+	bucket := r.encAux.ProjectedKey(key, pl.keyPos)
 	r.chargeIndexRead(ix.def.Name, bucket)
-	pos := make([]int, len(cols))
-	for i, c := range cols {
-		pos[i] = r.Def.Schema.MustResolve(c)
-	}
 	var out []Row
-	for _, tk := range ix.buckets[bucket] {
-		e := r.rows[tk]
-		if e == nil || e.count <= 0 {
-			continue
-		}
-		r.chargePageRead(tk)
-		if e.tuple.Project(pos).Equal(key) {
-			out = append(out, Row{Tuple: e.tuple, Count: e.count})
+	if bid, ok := ix.buckets.Get(bucket); ok {
+		for _, eid := range ix.lists[bid] {
+			e := &r.entries[eid]
+			if e.count <= 0 {
+				continue
+			}
+			r.chargePageRead(r.keyBytes(e))
+			if tupleMatches(e.tuple, pl.pos, key) {
+				out = append(out, Row{Tuple: e.tuple, Count: e.count})
+			}
 		}
 	}
 	return out
+}
+
+// tupleMatches reports whether t projected to pos equals key — the
+// allocation-free form of t.Project(pos).Equal(key).
+func tupleMatches(t value.Tuple, pos []int, key value.Tuple) bool {
+	if len(pos) != len(key) {
+		return false
+	}
+	for i, j := range pos {
+		if !value.Equal(t[j], key[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // findUsableIndex returns the largest index whose columns are a subset of
@@ -459,21 +562,18 @@ func (r *Relation) findUsableIndex(cols []string) (*hashIndex, []int) {
 	return best, bestPos
 }
 
-// scanMatch scans the relation for tuples matching key on cols.
-func (r *Relation) scanMatch(cols []string, key value.Tuple) []Row {
-	pos := make([]int, len(cols))
-	for i, c := range cols {
-		pos[i] = r.Def.Schema.MustResolve(c)
-	}
+// scanMatch scans the relation for tuples matching key on the plan's
+// columns.
+func (r *Relation) scanMatch(pl *lookupPlan, key value.Tuple) []Row {
 	var out []Row
-	for _, k := range r.order {
-		e := r.rows[k]
-		if e == nil || e.count <= 0 {
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.count <= 0 {
 			continue
 		}
 		// A scan touches every live tuple's page.
-		r.chargePageRead(k)
-		if e.tuple.Project(pos).Equal(key) {
+		r.chargePageRead(r.keyBytes(e))
+		if tupleMatches(e.tuple, pl.pos, key) {
 			out = append(out, Row{Tuple: e.tuple, Count: e.count})
 		}
 	}
@@ -483,82 +583,152 @@ func (r *Relation) scanMatch(cols []string, key value.Tuple) []Row {
 // GetCount returns the stored multiplicity of a tuple without charging
 // I/O (bookkeeping use only).
 func (r *Relation) GetCount(t value.Tuple) int64 {
-	if e, ok := r.rows[t.Key()]; ok {
-		return e.count
+	if eid, ok := r.rows.Get(r.encAux.Key(t)); ok {
+		return r.entries[eid].count
 	}
 	return 0
 }
 
-func (r *Relation) indexInsert(t value.Tuple, tk string) {
+func (r *Relation) indexInsert(t value.Tuple, eid int32) {
 	for _, ix := range r.indexes {
 		bk := ix.keyOf(t)
-		ix.buckets[bk] = append(ix.buckets[bk], tk)
+		p, _, existed := ix.buckets.GetOrPut(bk, int32(ix.nlists))
+		if !existed {
+			if ix.nlists == len(ix.lists) {
+				ix.lists = append(ix.lists, nil)
+			} else {
+				ix.lists[ix.nlists] = ix.lists[ix.nlists][:0]
+			}
+			ix.nlists++
+		}
+		ix.lists[*p] = append(ix.lists[*p], eid)
 	}
 }
 
-func (r *Relation) indexDelete(t value.Tuple, tk string) {
-	for _, ix := range r.indexes {
-		bk := ix.keyOf(t)
-		bucket := ix.buckets[bk]
-		for i, k := range bucket {
-			if k == tk {
-				// In-place, order-preserving removal. Bucket slices are
-				// never retained outside the index (Lookup copies rows out),
-				// so shrinking the shared array is safe — and hot buckets
-				// see many deletes per window, where a copy-on-delete
-				// bucket costs a fresh O(len) array every time.
-				copy(bucket[i:], bucket[i+1:])
-				bucket[len(bucket)-1] = ""
-				ix.buckets[bk] = bucket[:len(bucket)-1]
-				break
-			}
-		}
-	}
+// resetIndex empties an index's directory, keeping bucket-list capacity
+// for the rebuild that follows (compaction, Restore).
+func (ix *hashIndex) resetIndex() {
+	ix.buckets.Reset()
+	ix.nlists = 0
 }
 
 // insertRaw adds count copies of t with no I/O accounting.
 func (r *Relation) insertRaw(t value.Tuple, count int64) {
-	r.insertRawKeyed(t, t.Key(), count)
+	r.insertRawKeyed(t, r.encNew.Key(t), count)
 }
 
-// insertRawKeyed is insertRaw with the tuple's canonical key already
-// computed — the batch apply path computes each key once and threads it
-// through charging, mutation and buffer bookkeeping.
-func (r *Relation) insertRawKeyed(t value.Tuple, tk string, count int64) {
-	if e, ok := r.rows[tk]; ok {
+// insertRawKeyed is insertRaw with the tuple's canonical key bytes
+// already encoded — the batch apply path encodes each key once and
+// threads it through charging, mutation and buffer bookkeeping. tk may
+// alias a reused encoder buffer; the row directory copies it.
+func (r *Relation) insertRawKeyed(t value.Tuple, tk []byte, count int64) {
+	p, ref, existed := r.rows.GetOrPut(tk, int32(len(r.entries)))
+	if existed {
+		e := &r.entries[*p]
 		if e.count == 0 {
-			r.indexInsert(t, tk)
+			// Revival: with lazy index deletion the entry is usually
+			// still sitting in its buckets.
+			if !e.indexed {
+				r.indexInsert(t, *p)
+				e.indexed = true
+			}
 			r.liveTuples++
 		}
 		e.count += count
 		return
 	}
-	r.rows[tk] = &entry{tuple: t.Clone(), count: count}
-	r.order = append(r.order, tk)
-	r.indexInsert(t, tk)
+	eid := *p
+	// Clone: stored state must not alias caller buffers (per-window
+	// arenas, encoder scratch) that are reset between windows.
+	r.entries = append(r.entries, entry{tuple: t.Clone(), count: count, kref: ref, indexed: true})
+	r.indexInsert(t, eid)
 	r.liveTuples++
 }
 
 // deleteRaw removes count copies of t with no I/O accounting. Counts
 // floor at zero; a tuple whose count reaches zero leaves the indexes.
 func (r *Relation) deleteRaw(t value.Tuple, count int64) {
-	r.deleteRawKeyed(t, t.Key(), count)
+	r.deleteRawKeyed(t, r.encOld.Key(t), count)
 }
 
-// deleteRawKeyed is deleteRaw with the key precomputed; it returns the
-// tuple's remaining multiplicity (zero when absent or fully deleted).
-func (r *Relation) deleteRawKeyed(t value.Tuple, tk string, count int64) int64 {
-	e, ok := r.rows[tk]
-	if !ok || e.count == 0 {
+// deleteRawKeyed is deleteRaw with the key bytes precomputed; it
+// returns the tuple's remaining multiplicity (zero when absent or fully
+// deleted).
+func (r *Relation) deleteRawKeyed(t value.Tuple, tk []byte, count int64) int64 {
+	p := r.rows.Ptr(tk)
+	if p == nil {
+		return 0
+	}
+	e := &r.entries[*p]
+	if e.count == 0 {
 		return 0
 	}
 	e.count -= count
 	if e.count <= 0 {
 		e.count = 0
-		r.indexDelete(t, tk)
+		// Lazy index deletion: the entry stays in its buckets (readers
+		// skip count-zero entries) until the next compaction.
 		r.liveTuples--
 	}
 	return e.count
+}
+
+// maybeCompact reclaims dead entries once they outnumber live tuples:
+// the entries slice, row directory and every index are rebuilt from the
+// live rows (preserving first-insertion scan order), dropping dead
+// bucket positions and dead directory keys. Amortized O(1) per delete —
+// a compaction's O(live) rebuild is paid for by the >= live deletions
+// that accumulated since the last one. No I/O is charged: compaction is
+// physical reorganization below the page model, like Restore.
+func (r *Relation) maybeCompact() {
+	dead := len(r.entries) - r.liveTuples
+	if dead < 1024 || dead <= r.liveTuples {
+		return
+	}
+	old := r.entries
+	r.entries = old[:0]
+	r.rows.Reset()
+	for _, ix := range r.indexes {
+		ix.resetIndex()
+	}
+	for i := range old {
+		e := old[i]
+		if e.count <= 0 {
+			continue
+		}
+		eid := int32(len(r.entries))
+		_, ref, _ := r.rows.GetOrPut(r.encNew.Key(e.tuple), eid)
+		e.kref = ref
+		e.indexed = true
+		r.entries = append(r.entries, e)
+		r.indexInsert(e.tuple, eid)
+	}
+}
+
+// publishProbeStats folds the open-index probe counters accumulated
+// since the last publication into the obs registry: one pass over the
+// relation's tables per ApplyBatch, nothing on the per-probe path.
+func (r *Relation) publishProbeStats() {
+	probes, ops, maxP := r.rows.ProbeStats()
+	for _, ix := range r.indexes {
+		p, o, m := ix.buckets.ProbeStats()
+		probes += p
+		ops += o
+		if m > maxP {
+			maxP = m
+		}
+	}
+	if d := probes - r.pubProbes; d > 0 {
+		obsProbeSteps.Add(int64(d))
+		r.pubProbes = probes
+	}
+	if d := ops - r.pubOps; d > 0 {
+		obsProbeOps.Add(int64(d))
+		r.pubOps = ops
+	}
+	if float64(maxP) > obsProbeMax.Value() {
+		obsProbeMax.Set(float64(maxP))
+	}
 }
 
 // Load bulk-inserts rows without I/O accounting (initial population; the
@@ -629,11 +799,11 @@ func (r *Relation) RetainWhere(keep func(t value.Tuple, count int64) bool) {
 
 // Restore replaces the contents with a snapshot, without I/O accounting.
 func (r *Relation) Restore(rows []Row) {
-	r.rows = map[string]*entry{}
-	r.order = nil
+	r.entries = r.entries[:0]
+	r.rows.Reset()
 	r.liveTuples = 0
 	for _, ix := range r.indexes {
-		ix.buckets = map[string][]string{}
+		ix.resetIndex()
 	}
 	r.Load(rows)
 }

@@ -1,0 +1,166 @@
+package value
+
+import "unsafe"
+
+// Arena bump-allocates tuples and byte scratch for one maintenance
+// window. Reset rewinds it without freeing, so a steady-state window
+// reuses the blocks grown by earlier windows and the allocator is only
+// entered while the working set is still expanding.
+//
+// Ownership rule ("no tuple escapes its window"): anything handed out by
+// an Arena is valid only until the next Reset. Data that must outlive
+// the window — stored relation state, sidecar entries, anything keyed
+// into a long-lived map — must be cloned out first (storage does this on
+// first insert). The methods are nil-receiver safe and fall back to
+// plain make, so code paths that run without a window arena (per-txn
+// Apply, tests, oracles) need no branches.
+//
+// Arenas are not safe for concurrent use; the per-worker apply path
+// gives each worker its own.
+type Arena struct {
+	blocks [][]Value
+	bi     int // current block index
+	off    int // next free slot in blocks[bi]
+
+	bblocks [][]byte
+	bbi     int
+	boff    int
+
+	// Blocks past these marks were allocated since the last Reset:
+	// serving from them counts as grown, before them as reused.
+	markV int
+	markB int
+
+	reused uint64 // bytes served from pre-existing blocks
+	grown  uint64 // bytes served from blocks allocated this window
+}
+
+const (
+	arenaBlockVals  = 4096      // Values per tuple block
+	arenaBlockBytes = 64 * 1024 // bytes per scratch block
+)
+
+var valueSize = uint64(unsafe.Sizeof(Value{}))
+
+// NewTuple returns a zeroed n-column tuple from the arena (or from the
+// heap when a is nil).
+func (a *Arena) NewTuple(n int) Tuple {
+	if a == nil {
+		return make(Tuple, n)
+	}
+	s := a.vals(n)
+	clear(s)
+	return Tuple(s)
+}
+
+// CloneTuple copies t into the arena and returns the copy.
+func (a *Arena) CloneTuple(t Tuple) Tuple {
+	if a == nil {
+		return t.Clone()
+	}
+	s := a.vals(len(t))
+	copy(s, t)
+	return Tuple(s)
+}
+
+// ConcatTuples returns l++r built in the arena — the join output shape.
+func (a *Arena) ConcatTuples(l, r Tuple) Tuple {
+	if a == nil {
+		out := make(Tuple, 0, len(l)+len(r))
+		return append(append(out, l...), r...)
+	}
+	s := a.vals(len(l) + len(r))
+	copy(s, l)
+	copy(s[len(l):], r)
+	return Tuple(s)
+}
+
+func (a *Arena) vals(n int) []Value {
+	for {
+		if a.bi < len(a.blocks) {
+			blk := a.blocks[a.bi]
+			if a.off+n <= len(blk) {
+				s := blk[a.off : a.off+n : a.off+n]
+				a.off += n
+				if a.bi < a.markV {
+					a.reused += uint64(n) * valueSize
+				} else {
+					a.grown += uint64(n) * valueSize
+				}
+				return s
+			}
+			a.bi++
+			a.off = 0
+			continue
+		}
+		size := arenaBlockVals
+		if n > size {
+			size = n
+		}
+		a.blocks = append(a.blocks, make([]Value, size))
+	}
+}
+
+// Bytes returns a zero-length byte slice with capacity at least n whose
+// appends (up to n) stay inside the arena. The slice's capacity is
+// clipped so overflowing appends reallocate on the heap instead of
+// clobbering a neighbor.
+func (a *Arena) Bytes(n int) []byte {
+	if a == nil {
+		return make([]byte, 0, n)
+	}
+	for {
+		if a.bbi < len(a.bblocks) {
+			blk := a.bblocks[a.bbi]
+			if a.boff+n <= len(blk) {
+				s := blk[a.boff : a.boff : a.boff+n]
+				a.boff += n
+				if a.bbi < a.markB {
+					a.reused += uint64(n)
+				} else {
+					a.grown += uint64(n)
+				}
+				return s
+			}
+			a.bbi++
+			a.boff = 0
+			continue
+		}
+		size := arenaBlockBytes
+		if n > size {
+			size = n
+		}
+		a.bblocks = append(a.bblocks, make([]byte, size))
+	}
+}
+
+// AppendBytes copies b into the arena and returns the stable copy.
+func (a *Arena) AppendBytes(b []byte) []byte {
+	if a == nil {
+		return append([]byte(nil), b...)
+	}
+	s := a.Bytes(len(b))
+	return append(s, b...)
+}
+
+// Reset rewinds the arena to empty, keeping every block for reuse.
+// Everything previously handed out is invalidated.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	a.bi, a.off = 0, 0
+	a.bbi, a.boff = 0, 0
+	a.markV = len(a.blocks)
+	a.markB = len(a.bblocks)
+}
+
+// Stats returns cumulative bytes served from retained blocks (reused)
+// and from blocks newly allocated in their window (grown). A healthy
+// steady state shows reused growing and grown flat.
+func (a *Arena) Stats() (reused, grown uint64) {
+	if a == nil {
+		return 0, 0
+	}
+	return a.reused, a.grown
+}

@@ -1,0 +1,126 @@
+package value
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestArenaNilFallback(t *testing.T) {
+	var a *Arena
+	tu := a.NewTuple(3)
+	if len(tu) != 3 {
+		t.Fatalf("NewTuple len = %d", len(tu))
+	}
+	src := Tuple{NewInt(1), NewString("x")}
+	c := a.CloneTuple(src)
+	c[0] = NewInt(9)
+	if src[0].I != 1 {
+		t.Fatal("nil-arena CloneTuple aliased source")
+	}
+	b := a.AppendBytes([]byte("hello"))
+	if string(b) != "hello" {
+		t.Fatalf("AppendBytes = %q", b)
+	}
+	a.Reset() // must not panic
+	if r, g := a.Stats(); r != 0 || g != 0 {
+		t.Fatalf("nil Stats = %d,%d", r, g)
+	}
+}
+
+func TestArenaTuplesIndependent(t *testing.T) {
+	var a Arena
+	var tuples []Tuple
+	for i := 0; i < 1000; i++ {
+		tu := a.NewTuple(1 + i%7)
+		for j := range tu {
+			tu[j] = NewInt(int64(i*100 + j))
+		}
+		tuples = append(tuples, tu)
+	}
+	for i, tu := range tuples {
+		for j := range tu {
+			if tu[j].I != int64(i*100+j) {
+				t.Fatalf("tuple %d col %d clobbered: %v", i, j, tu[j])
+			}
+		}
+	}
+	// Appending to one arena tuple must not bleed into its neighbor.
+	t0 := tuples[0]
+	_ = append(t0, NewInt(-1))
+	if tuples[1][0].I != 100 {
+		t.Fatal("append to arena tuple overwrote neighbor (cap not clipped)")
+	}
+}
+
+func TestArenaZeroedAfterReuse(t *testing.T) {
+	var a Arena
+	tu := a.NewTuple(4)
+	for j := range tu {
+		tu[j] = NewString("dirty")
+	}
+	a.Reset()
+	tu2 := a.NewTuple(4)
+	for j := range tu2 {
+		if tu2[j].Kind != Null || tu2[j].S != "" {
+			t.Fatalf("reused tuple slot %d not zeroed: %+v", j, tu2[j])
+		}
+	}
+}
+
+func TestArenaResetReuse(t *testing.T) {
+	var a Arena
+	// First window grows.
+	for i := 0; i < 3*arenaBlockVals/4; i++ {
+		a.NewTuple(4)
+	}
+	_, grown1 := a.Stats()
+	if grown1 == 0 {
+		t.Fatal("first window reported zero growth")
+	}
+	a.Reset()
+	// Steady-state windows of the same size must be pure reuse.
+	for w := 0; w < 5; w++ {
+		for i := 0; i < 3*arenaBlockVals/4; i++ {
+			a.NewTuple(4)
+		}
+		a.Reset()
+	}
+	reused, grown2 := a.Stats()
+	if grown2 != grown1 {
+		t.Fatalf("steady-state windows grew: %d -> %d", grown1, grown2)
+	}
+	if reused == 0 {
+		t.Fatal("steady-state windows reported zero reuse")
+	}
+}
+
+func TestArenaOversizeAlloc(t *testing.T) {
+	var a Arena
+	big := a.NewTuple(arenaBlockVals * 3)
+	if len(big) != arenaBlockVals*3 {
+		t.Fatalf("oversize tuple len = %d", len(big))
+	}
+	small := a.NewTuple(2)
+	small[0] = NewInt(7)
+	if big[0].Kind != Null {
+		t.Fatal("small alloc clobbered oversize block")
+	}
+	bb := a.AppendBytes(bytes.Repeat([]byte{0xAB}, arenaBlockBytes*2))
+	if len(bb) != arenaBlockBytes*2 {
+		t.Fatalf("oversize bytes len = %d", len(bb))
+	}
+}
+
+func TestArenaBytesNoAlias(t *testing.T) {
+	var a Arena
+	b1 := a.AppendBytes([]byte("first-key"))
+	b2 := a.AppendBytes([]byte("second-key"))
+	if string(b1) != "first-key" || string(b2) != "second-key" {
+		t.Fatalf("arena bytes corrupted: %q %q", b1, b2)
+	}
+	// Appending past b1's clipped cap must not touch b2.
+	_ = append(b1, []byte("XXXXXXXXXXXXXXXX")...)
+	if string(b2) != "second-key" {
+		t.Fatal("append past Bytes cap clobbered neighbor")
+	}
+}

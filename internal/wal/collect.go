@@ -14,9 +14,10 @@ import (
 // deltas reach the log. The maintenance worker pool applies view
 // mutations concurrently, hence the mutex.
 type Collector struct {
-	mu      sync.Mutex
-	schemas map[string]*catalog.Schema
-	staged  map[string]*delta.Delta
+	mu        sync.Mutex
+	schemas   map[string]*catalog.Schema
+	staged    map[string]*delta.Delta
+	suspended bool
 }
 
 // NewCollector builds a collector recognizing exactly the base
@@ -36,6 +37,23 @@ func (c *Collector) Schema(rel string) (*catalog.Schema, bool) {
 	return s, ok
 }
 
+// Suspend makes Hook a no-op until Resume: during a pipelined window
+// the commit record is built from the already-coalesced net deltas, and
+// staging the same base applies again would log the window twice.
+// Deltas already staged stay staged for the next drain.
+func (c *Collector) Suspend() {
+	c.mu.Lock()
+	c.suspended = true
+	c.mu.Unlock()
+}
+
+// Resume re-arms Hook staging after a pipelined window.
+func (c *Collector) Resume() {
+	c.mu.Lock()
+	c.suspended = false
+	c.mu.Unlock()
+}
+
 // Hook is the storage.MutationHook staging every base-relation batch.
 func (c *Collector) Hook(r *storage.Relation, batch []storage.Mutation) {
 	s, ok := c.schemas[r.Def.Name]
@@ -44,6 +62,9 @@ func (c *Collector) Hook(r *storage.Relation, batch []storage.Mutation) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.suspended {
+		return
+	}
 	d, ok := c.staged[r.Def.Name]
 	if !ok {
 		d = delta.New(s)

@@ -1,0 +1,153 @@
+// Deferred-fence mode (Options.DeferredFence): window k's commit fence
+// joins window k-1's fsync, so the log write runs under the next
+// window's compute. These tests pin the two properties that make the
+// relaxation safe: the log a deferred run produces is byte-identical to
+// the default fence's (same records, same LSNs — only the fence timing
+// moves), and crash recovery still converges to a committed prefix that
+// covers every acknowledged window, overshooting by at most the two
+// records that can be in flight.
+package wal_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/corpus"
+	"repro/internal/delta"
+	"repro/internal/wal"
+)
+
+// TestDeferredFenceLogEquivalence runs the same deterministic workload
+// with the fence deferred and with the default fence, then compares the
+// two logs record by record and the two maintained states bag by bag.
+// No checkpoints, so pruning never hides a record.
+func TestDeferredFenceLogEquivalence(t *testing.T) {
+	cfg := corpus.Figure5Config{Items: 12, RPerItem: 2, SPerItem: 2}
+	const nWindows, batch = 10, 4
+
+	type sys struct {
+		fsys  *wal.FaultFS
+		db    *corpus.Database
+		acked []uint64
+	}
+	var systems [2]sys
+	var maintainers [2]interface{}
+	for i, deferred := range []bool{false, true} {
+		fsys := wal.NewFaultFS(42)
+		db, _, m := buildFig5(t, cfg, 1, nil)
+		acked, err := runDurableOpts(db, m, fsys, crashDir, genWindows(db, cfg, nWindows, batch), 0,
+			wal.Options{SegmentBytes: crashSegBytes, DeferredFence: deferred})
+		if err != nil {
+			t.Fatalf("deferred=%v: %v", deferred, err)
+		}
+		systems[i] = sys{fsys: fsys, db: db, acked: acked}
+		maintainers[i] = m
+	}
+
+	// Ack semantics: the default fence acks window k at LSN k; the
+	// deferred fence acks window k at window k-1's LSN.
+	for i, lsn := range systems[0].acked {
+		if lsn != uint64(i+1) {
+			t.Fatalf("default fence acked window %d at LSN %d, want %d", i+1, lsn, i+1)
+		}
+	}
+	for i, lsn := range systems[1].acked {
+		if lsn != uint64(i) {
+			t.Fatalf("deferred fence acked window %d at LSN %d, want %d (previous window)", i+1, lsn, i)
+		}
+	}
+
+	// The logs must be record-identical: the deferral moves the fence,
+	// not the contents.
+	records := func(fsys *wal.FaultFS) []wal.Record {
+		log, err := wal.OpenLog(fsys, crashDir, wal.Options{SegmentBytes: crashSegBytes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer log.Close()
+		schemas := func(rel string) (*catalog.Schema, bool) {
+			td, ok := systems[0].db.Catalog.Get(rel)
+			if !ok {
+				return nil, false
+			}
+			return td.Schema, true
+		}
+		var out []wal.Record
+		if err := log.Replay(0, schemas, func(rec wal.Record) error {
+			out = append(out, rec)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	def, dfr := records(systems[0].fsys), records(systems[1].fsys)
+	if len(def) != len(dfr) {
+		t.Fatalf("record count %d (default) vs %d (deferred)", len(def), len(dfr))
+	}
+	for i := range def {
+		if def[i].LSN != dfr[i].LSN || def[i].Txns != dfr[i].Txns {
+			t.Fatalf("record %d header: (%d,%d) vs (%d,%d)", i, def[i].LSN, def[i].Txns, dfr[i].LSN, dfr[i].Txns)
+		}
+		a := delta.AppendWindow(nil, def[i].Window)
+		b := delta.AppendWindow(nil, dfr[i].Window)
+		if string(a) != string(b) {
+			t.Fatalf("record %d window bodies differ", i)
+		}
+	}
+}
+
+// TestDeferredFenceCrashRecoveryEveryPoint is the crash matrix under the
+// deferred fence: every mutating filesystem operation of a checkpointed
+// deferred run is crashed in turn (torn tails, bit flips), and recovery
+// must land within two records of the last acknowledged window — the
+// relaxed contract Options.DeferredFence documents.
+func TestDeferredFenceCrashRecoveryEveryPoint(t *testing.T) {
+	cfg := corpus.Figure5Config{Items: 12, RPerItem: 2, SPerItem: 2}
+	const nWindows, batch, ckptEvery = 8, 4, 3
+	opts := wal.Options{SegmentBytes: crashSegBytes, DeferredFence: true}
+
+	ref := wal.NewFaultFS(1)
+	db, _, m := buildFig5(t, cfg, 1, nil)
+	acked, err := runDurableOpts(db, m, ref, crashDir, genWindows(db, cfg, nWindows, batch), ckptEvery, opts)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	for i, lsn := range acked {
+		if lsn != uint64(i) {
+			t.Fatalf("window %d acked at LSN %d: deferred fence acks the previous window", i+1, lsn)
+		}
+	}
+	total := ref.Ops()
+	if total < nWindows*2 {
+		t.Fatalf("suspiciously few fault points: %d", total)
+	}
+	t.Logf("%d fault-injection points", total)
+
+	stride := 2
+	if testing.Short() {
+		stride = 7
+	}
+	for crashAt := 1; crashAt <= total; crashAt += stride {
+		crashAt := crashAt
+		t.Run(fmt.Sprintf("op%03d", crashAt), func(t *testing.T) {
+			fsys := wal.NewFaultFS(uint64(crashAt)*2654435761 + 7)
+			fsys.TornTail = true
+			fsys.FlipBit = true
+			fsys.SetCrashAfter(crashAt)
+			t.Cleanup(func() { dumpOnFailure(t, fsys) })
+			db, _, m := buildFig5(t, cfg, 1, nil)
+			acked, err := runDurableOpts(db, m, fsys, crashDir, genWindows(db, cfg, nWindows, batch), ckptEvery, opts)
+			if err == nil {
+				t.Fatalf("crash scheduled at op %d never fired", crashAt)
+			}
+			if !errors.Is(err, wal.ErrCrashed) {
+				t.Fatalf("crash surfaced as %v, want wal.ErrCrashed", err)
+			}
+			fsys.Reboot()
+			verifyRecoveryN(t, fsys, crashDir, cfg, 1, nWindows, batch, acked, false, 2)
+		})
+	}
+}

@@ -59,7 +59,16 @@ func (OSFS) ReadDir(dir string) ([]string, error) {
 func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
 
 func (OSFS) OpenAppend(path string) (File, error) {
-	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// Best effort: reserve extents for the segment up front so each
+	// commit's fsync pays only for its record, not for block allocation
+	// in the filesystem journal — which is kernel CPU that a group
+	// commit on a single core cannot overlap with the next window.
+	preallocate(f, 4<<20)
+	return f, nil
 }
 
 func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }

@@ -51,6 +51,16 @@ type Options struct {
 	// Meta is opaque application metadata stored in every checkpoint
 	// (the shell uses it to persist the DDL that rebuilds the catalog).
 	Meta map[string]string
+	// DeferredFence relaxes the Manager's commit fence by one window:
+	// BeginWindow's wait joins the PREVIOUS window's commit instead of
+	// its own, so window k's fsync overlaps window k+1's coalesce and
+	// propagation (the paper's group-commit pipelining taken across
+	// windows). Acknowledging window k then implies window k-1 is
+	// durable; a crash can lose at most the last acknowledged window.
+	// Commit, Checkpoint, Sync and Close drain the in-flight chain, so
+	// every explicit durability point is unchanged. Off by default:
+	// the default fence keeps ack ⇒ durable for the acked window.
+	DeferredFence bool
 }
 
 func (o Options) segBytes() int {
@@ -86,7 +96,8 @@ type Log struct {
 	cur     File
 	curName string
 	curSize int
-	buf     []byte
+	buf     []byte // payload scratch (uvarint header + encoded window)
+	fbuf    []byte // frame scratch (length | crc | payload)
 
 	// broken latches the first write error: a log that failed mid-frame
 	// must not accept further commits, because the tail is now of
@@ -152,6 +163,25 @@ func OpenLog(fsys FS, dir string, opts Options) (*Log, error) {
 		l.curName = name
 		l.curSize = validLen
 	}
+	if len(l.segs) == 0 {
+		// Fresh log: create and sync the first segment now, so the first
+		// commit's fsync pays only for its record — not for the directory
+		// entry, inode and initial extent allocation of a brand-new file.
+		// A crash leaving a header-only segment is already a valid state
+		// (OpenLog scans it to zero records and appends to it).
+		if err := l.newSegment(l.lastLSN + 1); err != nil {
+			return nil, err
+		}
+		if err := l.cur.Sync(); err != nil {
+			return nil, fmt.Errorf("wal: sync new segment: %w", err)
+		}
+		// Leave the segment closed (curName marks it for the reopen path):
+		// replay and recovery refuse a log with open writes.
+		if err := l.cur.Close(); err != nil {
+			return nil, fmt.Errorf("wal: close new segment: %w", err)
+		}
+		l.cur = nil
+	}
 	return l, nil
 }
 
@@ -191,6 +221,33 @@ func (l *Log) AppendRaw(body []byte, txns int) (uint64, error) {
 	return l.commitPayload(l.buf)
 }
 
+// encodeWindowPayload encodes one window record payload (uvarint LSN |
+// uvarint txns | encoded window) into a fresh buffer. The deferred-fence
+// Manager encodes synchronously at window close — the window's deltas
+// alias an arena that resets next window, so only these bytes survive —
+// and commits the buffer later via commitPreEncoded.
+func encodeWindowPayload(lsn uint64, txns int, w delta.Coalesced) []byte {
+	buf := binary.AppendUvarint(nil, lsn)
+	buf = binary.AppendUvarint(buf, uint64(txns))
+	return delta.AppendWindow(buf, w)
+}
+
+// commitPreEncoded frames, writes and fsyncs a payload produced by
+// encodeWindowPayload. The LSN was assigned when the payload was
+// encoded; the deferred commit chain is FIFO, so it must equal the next
+// LSN here — a mismatch means the chain was broken and the log cannot
+// accept the record.
+func (l *Log) commitPreEncoded(payload []byte, lsn uint64) (uint64, error) {
+	if l.broken != nil {
+		return 0, l.broken
+	}
+	if want := l.lastLSN + 1; lsn != want {
+		l.broken = fmt.Errorf("wal: deferred commit out of order: lsn %d, want %d", lsn, want)
+		return 0, l.broken
+	}
+	return l.commitPayload(payload)
+}
+
 // commitPayload frames, writes and fsyncs one already-encoded payload
 // (uvarint LSN | uvarint txns | body) as the next record.
 func (l *Log) commitPayload(payload []byte) (uint64, error) {
@@ -198,7 +255,10 @@ func (l *Log) commitPayload(payload []byte) (uint64, error) {
 	if len(payload) > maxRecordLen {
 		return 0, fmt.Errorf("wal: window payload %d exceeds max record size", len(payload))
 	}
-	frame := make([]byte, frameOverhead+len(payload))
+	if cap(l.fbuf) < frameOverhead+len(payload) {
+		l.fbuf = make([]byte, frameOverhead+len(payload))
+	}
+	frame := l.fbuf[:frameOverhead+len(payload)]
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
 	copy(frame[frameOverhead:], payload)
@@ -252,6 +312,14 @@ func (l *Log) ensureSegment(firstLSN uint64, frameLen int) error {
 		}
 		l.cur = nil
 	}
+	return l.newSegment(firstLSN)
+}
+
+// newSegment creates the segment whose first record will be firstLSN,
+// writes its header, and makes it the current segment. The header is
+// not synced here; callers rely on the next record's fsync (or sync
+// explicitly, as OpenLog's fresh-log pre-creation does).
+func (l *Log) newSegment(firstLSN uint64) error {
 	name := segName(firstLSN)
 	f, err := l.fsys.OpenAppend(join(l.dir, name))
 	if err != nil {

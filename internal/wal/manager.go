@@ -2,6 +2,7 @@ package wal
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/delta"
@@ -15,6 +16,18 @@ var (
 	replayWindows  = obs.C("recovery.replay.windows")
 	replayTxns     = obs.C("recovery.replay.txns")
 	recomputeViews = obs.C("recovery.recompute.views")
+)
+
+// Pipelined-commit overlap accounting: total_ns is wall time each
+// window's commit spent encoding/writing/fsyncing on its background
+// goroutine; exposed_ns is the part the maintenance pipeline actually
+// blocked on at the fence. overlap is the cumulative hidden fraction
+// 1 − exposed/total — near 1.0 means the fsync fit entirely under
+// propagation and view application.
+var (
+	obsCommitTotalNs   = obs.C("wal.commit.total_ns")
+	obsCommitExposedNs = obs.C("wal.commit.exposed_ns")
+	obsCommitOverlap   = obs.G("wal.commit.overlap")
 )
 
 // Manager wires the log into a running maintainer: it is the store's
@@ -31,6 +44,15 @@ type Manager struct {
 	m     *maintain.Maintainer
 	cat   *catalog.Catalog
 	store *storage.Store
+
+	// Deferred-fence state (Options.DeferredFence). lastJob is the most
+	// recently spawned commit; each new commit goroutine chains on its
+	// predecessor's done channel, which serializes Log access and makes
+	// the pre-assigned LSNs land in order. defSeq is the LSN assigned to
+	// lastJob (the log's lastLSN once the chain drains). Both are only
+	// touched under the maintenance pipeline's window barrier.
+	lastJob *commitJob
+	defSeq  uint64
 
 	// Recovery statistics, populated by Resume.
 	RecoveredLSN    uint64
@@ -89,26 +111,167 @@ func (g *Manager) uninstall() {
 // Committer is the maintain.Committer identity of a Manager.
 type Committer = maintain.Committer
 
+// Manager commits both ways: legacy drain-and-fsync (Commit) and
+// pipelined (BeginWindow).
+var _ maintain.WindowCommitter = (*Manager)(nil)
+
 // LastLSN returns the LSN of the last committed window.
 func (g *Manager) LastLSN() uint64 { return g.log.LastLSN() }
 
 // Log exposes the underlying log (tests and tools).
 func (g *Manager) Log() *Log { return g.log }
 
+// commitJob is one in-flight deferred commit. Goroutines chain on the
+// predecessor's done channel (FIFO), so the Log is only ever touched by
+// the head of the chain.
+type commitJob struct {
+	done chan struct{}
+	lsn  uint64
+	err  error
+}
+
+// Sync drains the deferred commit chain: when it returns, every window
+// handed to BeginWindow is durable. It reports the last durable LSN and
+// the first commit error, if any. A no-op (current LSN) outside
+// deferred-fence mode or with nothing in flight.
+func (g *Manager) Sync() (uint64, error) {
+	if g.lastJob == nil {
+		return g.log.LastLSN(), nil
+	}
+	<-g.lastJob.done
+	lsn, err := g.lastJob.lsn, g.lastJob.err
+	g.lastJob = nil
+	return lsn, err
+}
+
 // Commit implements maintain.Committer: it drains the deltas the
 // mutation hook staged since the previous commit, coalesces them (an
 // applied-then-rolled-back transaction annihilates and is never
 // logged), and makes the window durable with one fsync. Empty windows
-// write nothing and return the current durability point.
+// write nothing and return the current durability point. In deferred-
+// fence mode the in-flight chain is drained first, so an explicit
+// Commit is always a full durability point.
 func (g *Manager) Commit(txns int) (uint64, error) {
 	sp := obs.Trace.Start("wal.commit", 0)
 	defer sp.Finish()
+	if lsn, err := g.Sync(); err != nil {
+		return lsn, err
+	}
 	staged := g.col.Drain()
 	w := delta.Coalesce([]map[string]*delta.Delta{staged})
 	if len(w) == 0 {
 		return g.log.LastLSN(), nil
 	}
 	return g.log.CommitWindow(w, txns)
+}
+
+// BeginWindow implements maintain.WindowCommitter: it starts making the
+// window durable from its already-coalesced net base deltas on a
+// background goroutine, so the encode/write/fsync runs under the
+// window's propagation and view application instead of extending it.
+// The collector is suspended for the duration — the window's base
+// applies must not be staged again, or the next commit would log them
+// twice — and re-armed when the returned wait fires.
+//
+// Durability contract: wait is the commit fence; the caller must block
+// on it before acknowledging the window, so ack still implies durable.
+// A crash after the background fsync but before the ack leaves the log
+// one window ahead of the acknowledged state; recovery then lands on
+// lastAcked+1, which the recovery contract allows (the window was fully
+// intended and its record is self-consistent).
+//
+// In deferred-fence mode (Options.DeferredFence) the fence is relaxed
+// by one window: wait joins the PREVIOUS window's commit, so this
+// window's fsync runs under the NEXT window's coalesce and propagation.
+// See Options.DeferredFence for the weakened ack contract.
+func (g *Manager) BeginWindow(w delta.Coalesced, txns int) func() (uint64, error) {
+	if g.opts.DeferredFence {
+		return g.beginWindowDeferred(w, txns)
+	}
+	sp := obs.Trace.Start("wal.commit", 0)
+	g.col.Suspend()
+	type result struct {
+		lsn uint64
+		err error
+	}
+	t0 := time.Now()
+	done := make(chan result, 1)
+	go func() {
+		var r result
+		if len(w) == 0 {
+			r.lsn = g.log.LastLSN()
+		} else {
+			r.lsn, r.err = g.log.CommitWindow(w, txns)
+		}
+		done <- r
+	}()
+	return func() (uint64, error) {
+		tw := time.Now()
+		r := <-done
+		end := time.Now()
+		g.col.Resume()
+		sp.Finish()
+		total := end.Sub(t0).Nanoseconds()
+		exposed := end.Sub(tw).Nanoseconds()
+		obsCommitTotalNs.Add(total)
+		obsCommitExposedNs.Add(exposed)
+		if t, e := obsCommitTotalNs.Value(), obsCommitExposedNs.Value(); t > 0 {
+			obsCommitOverlap.Set(1 - float64(e)/float64(t))
+		}
+		return r.lsn, r.err
+	}
+}
+
+// beginWindowDeferred is BeginWindow under Options.DeferredFence.
+// The window payload is encoded synchronously — its deltas alias the
+// maintainer's window arena, which resets when the next window opens,
+// so only the encoded bytes may outlive the call (~120 B/record on the
+// paper workload; trivial next to the fsync it frees). The commit
+// goroutine chains on its predecessor, keeping Log access serialized
+// and LSNs in order; the returned wait joins the PREVIOUS window's
+// commit and reports its LSN (0 before the first commit lands).
+func (g *Manager) beginWindowDeferred(w delta.Coalesced, txns int) func() (uint64, error) {
+	sp := obs.Trace.Start("wal.commit", 0)
+	g.col.Suspend()
+	prev := g.lastJob
+	var durable uint64
+	if prev == nil {
+		// Chain drained (first window, or a Commit/Checkpoint/Sync just
+		// ran): the log tip is the durability point the fence reports.
+		// Safe to read here — no commit goroutine is alive.
+		durable = g.log.LastLSN()
+		g.defSeq = durable
+	}
+	if len(w) > 0 {
+		g.defSeq++
+		job := &commitJob{done: make(chan struct{}), lsn: g.defSeq}
+		payload := encodeWindowPayload(job.lsn, txns, w)
+		go func() {
+			if prev != nil {
+				<-prev.done
+				if prev.err != nil {
+					// A broken chain stays broken: the log's tail shape is
+					// unknown after a failed write, so later windows must
+					// not land.
+					job.err = prev.err
+					close(job.done)
+					return
+				}
+			}
+			_, job.err = g.log.commitPreEncoded(payload, job.lsn)
+			close(job.done)
+		}()
+		g.lastJob = job
+	}
+	return func() (uint64, error) {
+		g.col.Resume()
+		sp.Finish()
+		if prev == nil {
+			return durable, nil
+		}
+		<-prev.done
+		return prev.lsn, prev.err
+	}
 }
 
 // Checkpoint durably snapshots the base relations and every
@@ -118,6 +281,11 @@ func (g *Manager) Commit(txns int) (uint64, error) {
 func (g *Manager) Checkpoint(extra map[string]string) error {
 	sp := obs.Trace.Start("wal.checkpoint", 0)
 	defer sp.Finish()
+	// A checkpoint must cover every window handed to the committer, and
+	// the snapshot below reads the log tip: drain the deferred chain.
+	if _, err := g.Sync(); err != nil {
+		return err
+	}
 	meta := map[string]string{}
 	for k, v := range g.opts.Meta {
 		meta[k] = v
@@ -165,7 +333,11 @@ func sortViews(vs []ViewSnapshot) {
 // The directory remains recoverable.
 func (g *Manager) Close() error {
 	g.uninstall()
-	return g.log.Close()
+	_, syncErr := g.Sync()
+	if err := g.log.Close(); err != nil {
+		return err
+	}
+	return syncErr
 }
 
 // HasState reports whether dir holds any durable state (segments or

@@ -1,0 +1,18 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// preallocate reserves size bytes of extents for f without changing its
+// length (fallocate FALLOC_FL_KEEP_SIZE), so later appends land in
+// already-allocated blocks and their fsync skips extent allocation.
+// Failure is ignored: the filesystem may not support fallocate, and the
+// log is correct (just slower) without the reservation.
+func preallocate(f *os.File, size int64) {
+	const fallocFlKeepSize = 0x01
+	_ = syscall.Fallocate(int(f.Fd()), fallocFlKeepSize, 0, size)
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// preallocate is a no-op where fallocate is unavailable; appends then
+// allocate blocks as they always did.
+func preallocate(*os.File, int64) {}
