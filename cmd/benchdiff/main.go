@@ -43,6 +43,14 @@
 // committed value by more than -alloc-ceiling (default 0.20), and
 // skips with a message when the committed file predates v5.
 // -alloc-ceiling 0 disables the gate.
+//
+// When the fresh file carries an obs-overhead row (schema v6: batch-64
+// throughput measured with the span tracer and flight recorder toggled
+// off vs on, within one process), a fifth gate fails when the always-on
+// instrumentation costs more than -obs-overhead-ceiling percent
+// (default 5). Like the durable gate it is a within-file ratio, so no
+// committed counterpart is required; it skips when the fresh file
+// predates v6. -obs-overhead-ceiling 0 disables the gate.
 package main
 
 import (
@@ -97,6 +105,7 @@ func main() {
 	durableFloor := flag.Float64("durable-floor", 0.75, "minimum durable/in-memory throughput ratio at -batch (0 disables)")
 	scalingFloor := flag.Float64("scaling-floor", 2.5, "minimum shards=8 / shards=1 throughput ratio at -batch (0 disables; skipped under 8 CPUs)")
 	allocCeiling := flag.Float64("alloc-ceiling", 0.20, "maximum allowed relative allocs/txn growth at -batch (0 disables; skipped when -old predates schema v5)")
+	obsCeiling := flag.Float64("obs-overhead-ceiling", 5, "maximum observability overhead percent at -batch (0 disables; skipped when the fresh file predates schema v6)")
 	flag.Parse()
 	if *oldPath == "" {
 		log.Fatal("benchdiff: -old is required")
@@ -123,7 +132,10 @@ func main() {
 	gateRows := func(f *benchFile, durable bool) map[int]paper.ThroughputRow {
 		out := map[int]paper.ThroughputRow{} // workers → row at *batch
 		for _, r := range f.Rows {
-			if r.Batch == *batch && r.Durable == durable && r.Shards == 0 {
+			// Obs-overhead rows (ObsOverheadPct set) are a separate
+			// measurement protocol (best-of-trials); they feed only the
+			// obs gate, never the speedup/alloc comparisons.
+			if r.Batch == *batch && r.Durable == durable && r.Shards == 0 && r.ObsOverheadPct == 0 {
 				out[r.Workers] = r
 			}
 		}
@@ -269,6 +281,34 @@ func main() {
 			log.Fatalf("benchdiff: batch-%d allocs/txn grew more than %.0f%% over committed", *batch, 100**allocCeiling)
 		} else {
 			fmt.Printf("benchdiff: %d row(s) within %.0f%% of committed allocs/txn\n", allocChecked, 100**allocCeiling)
+		}
+	}
+
+	// Observability gate: the always-on tracer + flight recorder must
+	// cost at most -obs-overhead-ceiling percent of batch-N throughput.
+	// The overhead is a within-file enabled/disabled comparison on one
+	// host, so no committed counterpart is needed; the gate skips when
+	// the fresh rows predate schema v6 (no obs-overhead measurement ran).
+	if *obsCeiling > 0 {
+		var obsRow *paper.ThroughputRow
+		for i := range newF.Rows {
+			r := &newF.Rows[i]
+			if r.Batch == *batch && !r.Durable && r.Shards == 0 && r.ObsOverheadPct != 0 {
+				obsRow = r
+			}
+		}
+		if obsRow == nil {
+			fmt.Printf("benchdiff: no schema-v6 obs-overhead row at batch %d in %s; obs gate skipped\n", *batch, *newPath)
+		} else {
+			status := "ok"
+			if obsRow.ObsOverheadPct > *obsCeiling {
+				status = "TOO COSTLY"
+			}
+			fmt.Printf("obs overhead batch %d: %.1f%% (ceiling %.1f%%) %s\n",
+				*batch, obsRow.ObsOverheadPct, *obsCeiling, status)
+			if obsRow.ObsOverheadPct > *obsCeiling {
+				log.Fatalf("benchdiff: observability overhead above %.1f%% at batch %d", *obsCeiling, *batch)
+			}
 		}
 	}
 }

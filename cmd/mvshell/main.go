@@ -20,6 +20,7 @@
 //	.recover         rebuild the system from -waldir's durable state
 //	.io              print cumulative page I/O counters
 //	.stats           print the metrics registry and span self-time summary
+//	.flight [path]   print the flight-recorder tail, or dump it to path
 //	.quit            exit
 package main
 
@@ -158,6 +159,8 @@ func (sh *shell) meta(cmd string) bool {
 		fmt.Println(" ", sh.db.Store.IO.String())
 	case "stats":
 		printStats()
+	case "flight":
+		printFlight(fields[1:])
 	default:
 		fmt.Println("unknown meta command:", fields[0])
 	}
@@ -272,6 +275,32 @@ func printStats() {
 	if out := obs.Trace.SummaryTable(); out != "" {
 		fmt.Print(out)
 	}
+}
+
+// printFlight shows the flight recorder's newest events, or with a path
+// argument writes the full binary image for offline decoding.
+func printFlight(args []string) {
+	f := obs.Flight()
+	if len(args) > 0 {
+		if err := f.DumpToFile(args[0]); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("  flight image (%d events recorded) written to %s\n", f.Total(), args[0])
+		return
+	}
+	evs := f.Events()
+	if len(evs) == 0 {
+		fmt.Println("  flight recorder empty")
+		return
+	}
+	const tail = 32
+	if len(evs) > tail {
+		fmt.Printf("  ... %d older event(s) retained; showing newest %d of %d recorded\n",
+			len(evs)-tail, tail, f.Total())
+		evs = evs[len(evs)-tail:]
+	}
+	fmt.Print(obs.FormatEvents(evs, 0))
 }
 
 // defaultWorkload synthesizes one modify type per base relation (equal

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func snapPair() (obs.Snapshot, obs.Snapshot) {
+	reg := obs.NewRegistry()
+	reg.Counter("maintain.txns").Add(100)
+	reg.Counter("storage.io.page_reads").Add(50)
+	reg.Counter("storage.io.page_writes").Add(30)
+	reg.Counter("maintain.arena.reused_bytes").Add(900)
+	reg.Counter("maintain.arena.grown_bytes").Add(100)
+	reg.Counter("maintain.shard00.routed_units").Add(10)
+	reg.Counter("maintain.shard01.routed_units").Add(40)
+	h := reg.Histogram("wal.fsync.ns")
+	h.Observe(1000)
+	prev := reg.Snapshot()
+
+	reg.Counter("maintain.txns").Add(200)
+	reg.Counter("storage.io.page_reads").Add(100)
+	reg.Counter("storage.io.page_writes").Add(60)
+	reg.Counter("maintain.arena.reused_bytes").Add(300)
+	reg.Counter("maintain.arena.grown_bytes").Add(100)
+	reg.Counter("maintain.shard00.routed_units").Add(20)
+	reg.Counter("maintain.shard01.routed_units").Add(60)
+	for i := 0; i < 98; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(5_000_000) // the window's p99 tail
+	h.Observe(5_000_000)
+	reg.Gauge("runtime.goroutines").Set(12)
+	cur := reg.Snapshot()
+	return prev, cur
+}
+
+func TestRenderFrame(t *testing.T) {
+	prev, cur := snapPair()
+	frame := renderFrame(prev, cur, 2*time.Second)
+
+	for _, want := range []string{
+		"txns", "100 /s", // 200 txns over 2s
+		"page IO / txn", "0.80", // 160 page IO / 200 txns
+		"fsync p99",
+		"arena reuse", "75.0%", // 300 reused vs 100 grown
+		"goroutines", "12",
+		"shard balance",
+		"maintain.shard00.routed_units", "20",
+		"maintain.shard01.routed_units", "60",
+		"skew (max/mean) 1.50",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// The 5ms outliers dominate the window's fsync p99 (power-of-two
+	// buckets: 5e6 rounds up to <= 2^23-1 ns ≈ 8.4ms).
+	if !strings.Contains(frame, "8.389ms") {
+		t.Fatalf("fsync p99 not from the window delta:\n%s", frame)
+	}
+}
+
+func TestRenderFrameEmptyDelta(t *testing.T) {
+	prev, _ := snapPair()
+	frame := renderFrame(prev, prev, time.Second)
+	for _, want := range []string{"0 /s", "page IO / txn", "-"} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("idle frame missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "skew") {
+		t.Fatalf("idle frame reports skew:\n%s", frame)
+	}
+}

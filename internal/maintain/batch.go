@@ -79,10 +79,14 @@ func (r *BatchReport) PaperTotal() int64 { return r.QueryIO.Total() + r.ViewIO.T
 // transaction; only the I/O spent getting there differs.
 func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 	t0 := time.Now()
-	sp := obs.Trace.Start("maintain.batch", 0)
+	wt := obs.StartWindow("maintain.batch", m.spanParent)
+	m.windowSpan = wt.RootID()
+	obs.Flight().Record(obs.EvWindowOpen, 0, wt.Seq(), uint64(len(txns)), wt.RootID())
 	defer func() {
-		sp.Finish()
-		obsApplyNs.Observe(time.Since(t0).Nanoseconds())
+		wt.Finish()
+		elapsed := time.Since(t0).Nanoseconds()
+		obsApplyNs.Observe(elapsed)
+		m.observeTxnTypes(txns, elapsed)
 		m.publishArenaStats()
 	}()
 	obsBatchWindow.Observe(int64(len(txns)))
@@ -110,9 +114,11 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 		if m.Committer != nil {
 			lsn, err := m.Committer.Commit(len(txns))
 			if err != nil {
+				obs.Flight().Record(obs.EvWindowFence, 0, wt.Seq(), lsn, 1)
 				return nil, fmt.Errorf("maintain: commit: %w", err)
 			}
 			rep.LSN = lsn
+			obs.Flight().Record(obs.EvWindowFence, 0, wt.Seq(), lsn, 0)
 		}
 		return rep, nil
 	}
@@ -164,7 +170,7 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 	// One propagation pass for the whole window, charging queries; the
 	// window memo shares answered queries across every transaction the
 	// window coalesced.
-	prop := obs.Trace.Start("maintain.propagate", sp.ID())
+	prop := wt.Child("maintain.propagate")
 	w := m.newWindowMemo()
 	io0 := m.Store.IO.Snapshot()
 	for _, e := range tr.Order {
@@ -187,7 +193,7 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 	// (propagation finished), so no reader observes the new base state
 	// early. Coalesce sorts by relation name, so the order is
 	// deterministic.
-	ab := obs.Trace.Start("maintain.apply_base", sp.ID())
+	ab := wt.Child("maintain.apply_base")
 	before := m.Store.IO.Snapshot()
 	for _, rd := range merged {
 		r, ok := m.Store.Get(rd.Rel)
@@ -223,23 +229,27 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 	// Apply deltas to the materialized views. Sidecar updates ride with
 	// the owning view's worker: they only read the (now fully computed)
 	// delta map and write that view's private live/stale/pending state.
-	av := obs.Trace.Start("maintain.apply_views", sp.ID())
-	verr := m.applyViews(rep, tr)
+	av := wt.Child("maintain.apply_views")
+	verr := m.applyViews(rep, tr, av.ID())
 	av.Finish()
 	if wait != nil {
 		// Commit fence: ack implies durable.
 		lsn, err := wait()
 		if err != nil {
+			obs.Flight().Record(obs.EvWindowFence, 0, wt.Seq(), lsn, 1)
 			return nil, fmt.Errorf("maintain: commit: %w", err)
 		}
 		rep.LSN = lsn
+		obs.Flight().Record(obs.EvWindowFence, 0, wt.Seq(), lsn, 0)
 	}
 	if commit != nil {
 		cr := <-commit
 		if cr.err != nil {
+			obs.Flight().Record(obs.EvWindowFence, 0, wt.Seq(), cr.lsn, 1)
 			return nil, fmt.Errorf("maintain: commit: %w", cr.err)
 		}
 		rep.LSN = cr.lsn
+		obs.Flight().Record(obs.EvWindowFence, 0, wt.Seq(), cr.lsn, 0)
 	}
 	if verr != nil {
 		return nil, verr
@@ -248,8 +258,11 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 }
 
 // applyViews applies the computed deltas to every materialized view on
-// the track, in parallel when configured and safe.
-func (m *Maintainer) applyViews(rep *BatchReport, tr *tracks.Track) error {
+// the track, in parallel when configured and safe. parent is the
+// enclosing apply_views span: each worker goroutine publishes one
+// maintain.apply.worker span under it, so cross-goroutine view
+// application stays inside the window trace.
+func (m *Maintainer) applyViews(rep *BatchReport, tr *tracks.Track, parent uint64) error {
 	type viewWork struct {
 		v    *View
 		root bool
@@ -322,6 +335,8 @@ func (m *Maintainer) applyViews(rep *BatchReport, tr *tracks.Track) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			wsp := obs.Trace.Start("maintain.apply.worker", parent)
+			defer wsp.Finish()
 			hist := workerHist(w)
 			// wio is this worker's private counter: the charge paths
 			// mutate it atomically, and nobody else holds a pointer to

@@ -148,12 +148,98 @@ type Maintainer struct {
 	winBuf    []map[string]*delta.Delta
 	mutBuf    []storage.Mutation
 
+	// Window-causal tracing state. Both fields follow the single-writer
+	// rule: spanParent is set by the dispatching goroutine (a Sharded
+	// window) before ApplyBatch runs, windowSpan at the top of each
+	// window. Committers read windowSpan synchronously from inside the
+	// window (BeginWindow/Commit are called on or joined by the window's
+	// goroutine), so cross-goroutine commit spans can parent to the
+	// window root without widening the Committer interface.
+	spanParent uint64
+	windowSpan uint64
+
+	// typeStats caches per-transaction-type frequency/latency counter
+	// handles by canonical type name, so the per-window accounting loop
+	// allocates nothing in steady state.
+	typeStats map[string]*typeStat
+
 	pubArenaReused, pubArenaGrown uint64
 }
 
 // defaultSerialThreshold is the summed view-delta cardinality below
 // which parallel view application degrades to serial.
 const defaultSerialThreshold = 256
+
+// obsTxns counts maintained transactions — the numerator of every
+// txns/sec readout (mvtop polls it).
+var obsTxns = obs.C("maintain.txns")
+
+// typeStat is one transaction type's observed workload profile. These
+// are the weights the paper's cost model takes as given (§2's f_i
+// frequencies) and the ROADMAP's online re-optimizer consumes as
+// measured: count is observed frequency, ns the maintenance time
+// attributed to the type.
+type typeStat struct {
+	count *obs.Counter
+	ns    *obs.Counter
+}
+
+// typeStatFor returns (registering on first use) the counters for one
+// canonical transaction-type name.
+func (m *Maintainer) typeStatFor(name string) *typeStat {
+	if m.typeStats == nil {
+		m.typeStats = map[string]*typeStat{}
+	}
+	st, ok := m.typeStats[name]
+	if !ok {
+		st = &typeStat{
+			count: obs.C("maintain.txn_type." + name + ".count"),
+			ns:    obs.C("maintain.txn_type." + name + ".ns"),
+		}
+		m.typeStats[name] = st
+	}
+	return st
+}
+
+// observeTxnTypes attributes a window's elapsed time across its
+// transactions by type: each transaction counts once and carries an
+// equal share of the window's wall time (per-txn attribution inside a
+// coalesced window is not observable — the window is maintained as one
+// unit). Zero allocations after the first window of each type.
+func (m *Maintainer) observeTxnTypes(txns []txn.Transaction, elapsed int64) {
+	if len(txns) == 0 {
+		return
+	}
+	obsTxns.Add(int64(len(txns)))
+	share := elapsed / int64(len(txns))
+	var lastName string
+	var st *typeStat
+	for i := range txns {
+		name := "untyped"
+		if txns[i].Type != nil {
+			name = txns[i].Type.Name
+		}
+		if st == nil || name != lastName {
+			st = m.typeStatFor(name)
+			lastName = name
+		}
+		st.count.Inc()
+		st.ns.Add(share)
+	}
+}
+
+// SetSpanParent sets the parent span ID for this maintainer's next
+// windows (0 restores root). A Sharded window points every shard's
+// pipeline at its window root before dispatch, so shard-goroutine spans
+// link into one window trace.
+func (m *Maintainer) SetSpanParent(id uint64) { m.spanParent = id }
+
+// WindowSpanID returns the current window's root span ID. Committers
+// call this from BeginWindow/Commit — both happen-after the window
+// opened and happen-before the next one does — to parent their commit
+// spans (including deferred, cross-goroutine fsync chains) to the
+// window that staged the deltas.
+func (m *Maintainer) WindowSpanID() uint64 { return m.windowSpan }
 
 // publishArenaStats pushes the arena's cumulative traffic into the obs
 // registry as counter deltas.
@@ -283,10 +369,18 @@ func (r *Report) PaperTotal() int64 { return r.QueryIO.Total() + r.ViewIO.Total(
 // formalism (R_old, V_old).
 func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Report, error) {
 	t0 := time.Now()
-	sp := obs.Trace.Start("maintain.apply", 0)
+	wt := obs.StartWindow("maintain.apply", m.spanParent)
+	m.windowSpan = wt.RootID()
+	obs.Flight().Record(obs.EvWindowOpen, 0, wt.Seq(), 1, wt.RootID())
 	defer func() {
-		sp.Finish()
-		obsApplyNs.Observe(time.Since(t0).Nanoseconds())
+		wt.Finish()
+		elapsed := time.Since(t0).Nanoseconds()
+		obsApplyNs.Observe(elapsed)
+		if t != nil {
+			m.typeStatFor(t.Name).count.Inc()
+			m.typeStatFor(t.Name).ns.Add(elapsed)
+		}
+		obsTxns.Inc()
 		m.publishArenaStats()
 	}()
 	// Rewind the window arena: tuples from the previous window (held by
@@ -311,7 +405,7 @@ func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Repor
 	// Compute deltas bottom-up along the track, charging queries. The
 	// window memo shares answered queries (and repeated subtree
 	// evaluations) across every step of this pass.
-	prop := obs.Trace.Start("maintain.propagate", sp.ID())
+	prop := wt.Child("maintain.propagate")
 	w := m.newWindowMemo()
 	io0 := m.Store.IO.Snapshot()
 	for _, e := range tr.Order {
@@ -368,9 +462,11 @@ func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Repor
 	if m.Committer != nil {
 		lsn, err := m.Committer.Commit(1)
 		if err != nil {
+			obs.Flight().Record(obs.EvWindowFence, 0, wt.Seq(), lsn, 1)
 			return nil, fmt.Errorf("maintain: commit: %w", err)
 		}
 		rep.LSN = lsn
+		obs.Flight().Record(obs.EvWindowFence, 0, wt.Seq(), lsn, 0)
 	}
 	return rep, nil
 }

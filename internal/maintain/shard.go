@@ -94,7 +94,16 @@ type Sharded struct {
 	shards []*shard
 	router *Router
 	merged map[int]*mergedView
+
+	// windowSpan is the current window's root span ID (single-writer:
+	// set at the top of ApplyBatch). The Coordinator reads it from
+	// inside the window to parent its LSN-vector commit span.
+	windowSpan uint64
 }
+
+// WindowSpanID returns the current sharded window's root span ID for
+// coordinator commit spans.
+func (s *Sharded) WindowSpanID() uint64 { return s.windowSpan }
 
 // ShardedReport describes one maintained window across all shards.
 type ShardedReport struct {
@@ -267,6 +276,10 @@ func (s *Sharded) Route(rel string, t value.Tuple) int {
 // LSN vector.
 func (s *Sharded) ApplyBatch(txns []txn.Transaction) (*ShardedReport, error) {
 	n := len(s.shards)
+	wt := obs.StartWindow("maintain.window", 0)
+	s.windowSpan = wt.RootID()
+	obs.Flight().Record(obs.EvWindowOpen, 0, wt.Seq(), uint64(len(txns)), wt.RootID())
+	defer wt.Finish()
 	rep := &ShardedReport{
 		Size:   len(txns),
 		Shards: make([]*BatchReport, n),
@@ -296,6 +309,7 @@ func (s *Sharded) ApplyBatch(txns []txn.Transaction) (*ShardedReport, error) {
 	}
 	for i, sh := range s.shards {
 		sh.routed.Add(rep.Routed[i])
+		obs.Flight().Record(obs.EvShardRoute, uint16(i), wt.Seq(), uint64(rep.Routed[i]), 0)
 	}
 	rep.Skew = skew(rep.Routed)
 	obsShardSkew.Set(rep.Skew)
@@ -310,7 +324,13 @@ func (s *Sharded) ApplyBatch(txns []txn.Transaction) (*ShardedReport, error) {
 		go func(i int) {
 			defer wg.Done()
 			start := time.Now()
+			// Parent the shard pipeline's window (and everything under
+			// it, including its committer's fsync chain) to this window's
+			// root: the shard maintainer is owned by this goroutine for
+			// the duration, so the set is race-free.
+			s.shards[i].m.SetSpanParent(wt.RootID())
 			rep.Shards[i], errs[i] = s.shards[i].m.ApplyBatch(per[i])
+			s.shards[i].m.SetSpanParent(0)
 			s.shards[i].applyNs.Observe(time.Since(start).Nanoseconds())
 		}(i)
 	}
@@ -320,15 +340,20 @@ func (s *Sharded) ApplyBatch(txns []txn.Transaction) (*ShardedReport, error) {
 			return nil, fmt.Errorf("maintain: shard %d: %w", i, err)
 		}
 	}
-	if err := s.mergeSpanning(rep); err != nil {
+	msp := wt.Child("maintain.merge_spanning")
+	err := s.mergeSpanning(rep)
+	msp.Finish()
+	if err != nil {
 		return nil, err
 	}
 	if s.Coordinator != nil {
 		lsn, err := s.Coordinator.Commit(len(txns))
 		if err != nil {
+			obs.Flight().Record(obs.EvWindowFence, 0, wt.Seq(), lsn, 1)
 			return nil, err
 		}
 		rep.LSN = lsn
+		obs.Flight().Record(obs.EvWindowFence, 0, wt.Seq(), lsn, 0)
 	}
 	return rep, nil
 }

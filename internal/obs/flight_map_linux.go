@@ -1,0 +1,51 @@
+//go:build linux
+
+package obs
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// OpenFlightFile returns a recorder whose ring lives in an mmap'd file:
+// every atomic store lands directly in the shared mapping, so when the
+// process dies — SIGKILL, panic, OOM — the file holds the ring as of
+// the last completed Record call with no flush step in between. Reading
+// the file afterwards (same machine; page cache) decodes with
+// DecodeFlight.
+//
+// The file is created (or truncated) at the size implied by slots.
+func OpenFlightFile(path string, slots int) (*FlightRecorder, error) {
+	n := uint64(64)
+	for int(n) < slots {
+		n <<= 1
+	}
+	size := int((flightHdr + n*flightSlotLen) * 8)
+	fd, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := fd.Truncate(int64(size)); err != nil {
+		fd.Close()
+		return nil, err
+	}
+	data, err := syscall.Mmap(int(fd.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	fd.Close() // the mapping outlives the descriptor
+	if err != nil {
+		return nil, fmt.Errorf("flight: mmap %s: %w", path, err)
+	}
+	f := &FlightRecorder{
+		words: unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), size/8),
+		n:     n,
+		epoch: time.Now(),
+		path:  path,
+		closer: func([]uint64) error {
+			return syscall.Munmap(data)
+		},
+	}
+	f.initHeader()
+	return f, nil
+}

@@ -1,0 +1,26 @@
+//go:build !linux
+
+package obs
+
+import (
+	"os"
+	"time"
+)
+
+// OpenFlightFile without mmap support falls back to a heap-backed ring
+// that writes its image to path on Close. The dump then reflects a
+// clean shutdown only — kill-survivability is a linux feature.
+func OpenFlightFile(path string, slots int) (*FlightRecorder, error) {
+	f := NewFlight(slots)
+	f.path = path
+	f.closer = func([]uint64) error {
+		return os.WriteFile(path, f.Dump(), 0o644)
+	}
+	// Create eagerly so callers see the file exist either way.
+	if err := os.WriteFile(path, f.Dump(), 0o644); err != nil {
+		return nil, err
+	}
+	f.epoch = time.Now()
+	f.initHeader()
+	return f, nil
+}

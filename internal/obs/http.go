@@ -5,13 +5,37 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
-// Handler serves the registry and tracer over HTTP:
+// wantsPrometheus decides the /metrics representation: explicit
+// ?format=prom|prometheus|text wins, ?format=json forces JSON, and
+// otherwise an Accept header naming text/plain or openmetrics-text
+// (what Prometheus and its ecosystem send) selects the text format.
+// With no signal the JSON snapshot is served, preserving every
+// pre-existing consumer.
+func wantsPrometheus(req *http.Request) bool {
+	switch req.URL.Query().Get("format") {
+	case "prom", "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := req.Header.Get("Accept")
+	return strings.Contains(accept, "openmetrics-text") ||
+		strings.Contains(accept, "text/plain")
+}
+
+// Handler serves the registry, tracer, and flight recorder over HTTP:
 //
-//	/metrics        registry snapshot as JSON (expvar-style)
+//	/metrics        registry snapshot — JSON by default, Prometheus
+//	                text under content negotiation (Accept: text/plain
+//	                or ?format=prom)
 //	/spans          buffered spans as JSON, oldest first
 //	/spans/summary  per-name self-time table (text)
+//	/debug/flight   flight-recorder events as text (newest last);
+//	                ?format=bin serves the raw binary image,
+//	                ?format=json the decoded events
 //	/debug/pprof/   the standard pprof handlers
 //
 // Nil registry or tracer arguments fall back to the package defaults.
@@ -23,11 +47,35 @@ func Handler(r *Registry, t *Tracer) http.Handler {
 		t = Trace
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if wantsPrometheus(req) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			WritePrometheus(w, r.Snapshot())
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, req *http.Request) {
+		f := Flight()
+		switch req.URL.Query().Get("format") {
+		case "bin":
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(f.Dump())
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Total  uint64        `json:"total"`
+				Events []FlightEvent `json:"events"`
+			}{Total: f.Total(), Events: f.Events()})
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte(FormatEvents(f.Events(), 0)))
+		}
 	})
 	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
 		spans, dropped := t.Spans()

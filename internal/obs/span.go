@@ -28,12 +28,18 @@ type Tracer struct {
 	epoch time.Time
 	now   func() time.Time // replaceable for deterministic tests
 
-	nextID atomic.Uint64
+	nextID   atomic.Uint64
+	disabled atomic.Bool
 
 	mu    sync.Mutex
 	ring  []Span
 	total uint64 // finished spans ever recorded
 }
+
+// spansDropped mirrors ring overwrites into the Default registry so
+// silent span loss shows up next to every other counter (mvshell
+// \stats, /metrics) instead of only inside the /spans payload.
+var spansDropped = C("obs.spans.dropped")
 
 // NewTracer returns a tracer whose ring holds the most recent capacity
 // finished spans (minimum 16).
@@ -57,10 +63,25 @@ type Active struct {
 	start  time.Time
 }
 
+// SetEnabled turns span recording on or off. Disabled tracers return
+// nil from Start, so the entire span path (two atomics + two clock
+// reads + ring publish) collapses to one atomic load — this is what the
+// obs-overhead bench gate toggles to price the instrumentation.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.disabled.Store(!on)
+	}
+}
+
+// Enabled reports whether the tracer records spans.
+func (t *Tracer) Enabled() bool {
+	return t != nil && !t.disabled.Load()
+}
+
 // Start begins a span. parent is the ID of the enclosing span (0 for a
 // root). Safe on a nil tracer (returns a no-op Active).
 func (t *Tracer) Start(name string, parent uint64) *Active {
-	if t == nil {
+	if t == nil || t.disabled.Load() {
 		return nil
 	}
 	return &Active{
@@ -94,13 +115,18 @@ func (a *Active) Finish() {
 		Dur:    t.now().Sub(a.start).Nanoseconds(),
 	}
 	t.mu.Lock()
+	overwrote := false
 	if len(t.ring) < cap(t.ring) {
 		t.ring = append(t.ring, sp)
 	} else {
 		t.ring[t.total%uint64(cap(t.ring))] = sp
+		overwrote = true
 	}
 	t.total++
 	t.mu.Unlock()
+	if overwrote && t == Trace {
+		spansDropped.Inc()
+	}
 }
 
 // Spans returns the buffered finished spans ordered by start time, plus
@@ -184,6 +210,9 @@ func (t *Tracer) Summary() []NameStat {
 }
 
 // SummaryTable renders the self-time summary as an aligned text table.
+// When the ring has wrapped, a trailing warning line reports how many
+// spans were overwritten, so a profile of a partial window is never
+// mistaken for the full run.
 func (t *Tracer) SummaryTable() string {
 	rows := t.Summary()
 	var b strings.Builder
@@ -191,6 +220,9 @@ func (t *Tracer) SummaryTable() string {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-32s %8d %14s %14s\n",
 			r.Name, r.Count, time.Duration(r.Total), time.Duration(r.Self))
+	}
+	if _, dropped := t.Spans(); dropped > 0 {
+		fmt.Fprintf(&b, "WARNING: %d span(s) dropped (ring wrapped); totals cover the retained window only\n", dropped)
 	}
 	return b.String()
 }

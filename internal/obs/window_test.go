@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHistogramSnapshotSub isolates one measurement window from a
+// long-lived histogram — the pattern mvtop and the bench harness use to
+// report per-interval quantiles off process-lifetime counters.
+func TestHistogramSnapshotSub(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 3, 3, 100} {
+		h.Observe(v)
+	}
+	before := h.Snapshot()
+	for _, v := range []int64{5, 700, 700, 700, 1 << 20} {
+		h.Observe(v)
+	}
+	after := h.Snapshot()
+
+	d := after.Sub(before)
+	if d.Count != 5 {
+		t.Fatalf("window count %d, want 5", d.Count)
+	}
+	if want := int64(5 + 700*3 + 1<<20); d.Sum != want {
+		t.Fatalf("window sum %d, want %d", d.Sum, want)
+	}
+	// The window's median sits in the 700 bucket (le 1023); the lifetime
+	// snapshot's does not.
+	if q := d.Quantile(0.5); q != 1023 {
+		t.Fatalf("window p50 le %d, want 1023", q)
+	}
+	if q := after.Quantile(0.5); q == 1023 {
+		t.Fatal("lifetime p50 unexpectedly matches the window p50")
+	}
+	// p100 of the window reaches the 2^20 observation's bucket.
+	if q := d.Quantile(1); q < 1<<20-1 {
+		t.Fatalf("window p100 le %d, want >= %d", q, 1<<20-1)
+	}
+
+	// Subtracting a snapshot from itself leaves an empty window.
+	z := after.Sub(after)
+	if z.Count != 0 || z.Sum != 0 || len(z.Buckets) != 0 {
+		t.Fatalf("self-subtraction not empty: %+v", z)
+	}
+}
+
+// TestSpansDroppedWarning checks the ring-wrap accounting surfaces in
+// both the obs.spans.dropped counter and the SummaryTable warning line.
+func TestSpansDroppedWarning(t *testing.T) {
+	tr, clk := newTestTracer(16)
+
+	// Before wrapping, no warning.
+	sp := tr.Start("warm", 0)
+	clk.advance(time.Millisecond)
+	sp.Finish()
+	if tbl := tr.SummaryTable(); strings.Contains(tbl, "WARNING") {
+		t.Fatalf("premature warning:\n%s", tbl)
+	}
+
+	for i := 0; i < 40; i++ {
+		s := tr.Start("spin", 0)
+		clk.advance(time.Millisecond)
+		s.Finish()
+	}
+	tbl := tr.SummaryTable()
+	if !strings.Contains(tbl, "WARNING: 25 span(s) dropped") {
+		t.Fatalf("summary table missing drop warning:\n%s", tbl)
+	}
+
+	// Only the global tracer feeds the registry counter; a private
+	// tracer wrapping must not have bumped it.
+	countBefore := Default.Snapshot().Counters["obs.spans.dropped"]
+	marker := Trace.Start("drop.test.marker", 0)
+	marker.Finish()
+	// Wrap the global ring (capacity 4096) far enough that overwrites
+	// are guaranteed.
+	for i := 0; i < 2*4096+16; i++ {
+		s := Trace.Start("drop.test.spin", 0)
+		s.Finish()
+	}
+	countAfter := Default.Snapshot().Counters["obs.spans.dropped"]
+	if countAfter <= countBefore {
+		t.Fatalf("obs.spans.dropped did not advance: %d -> %d", countBefore, countAfter)
+	}
+}
+
+// TestWindowTraceNilSafety exercises the disabled-tracer path: window
+// helpers must stay inert rather than panic when Start returns nil.
+func TestWindowTraceNilSafety(t *testing.T) {
+	Trace.SetEnabled(false)
+	defer Trace.SetEnabled(true)
+
+	wt := StartWindow("disabled.window", 0)
+	if wt.RootID() != 0 {
+		t.Fatalf("disabled window has root %d, want 0", wt.RootID())
+	}
+	if wt.Seq() == 0 {
+		t.Fatal("window seq must advance even when tracing is off")
+	}
+	child := wt.Child("disabled.child")
+	if child.ID() != 0 {
+		t.Fatal("disabled child span has nonzero ID")
+	}
+	child.Finish()
+	wt.Finish()
+
+	var nilWT *WindowTrace
+	if nilWT.RootID() != 0 || nilWT.Seq() != 0 {
+		t.Fatal("nil WindowTrace not inert")
+	}
+	nilWT.Child("x").Finish()
+	nilWT.Finish()
+}

@@ -42,7 +42,12 @@ import (
 //	5: + allocs_per_txn/bytes_per_txn (heap allocation inside the timed
 //	     window only — runtime.MemStats deltas around the measured run,
 //	     excluding harness setup and oracle verification)
-const BenchSchemaVersion = 5
+//	6: + gc_pause_p99_ns (GC stop-the-world pause tail inside the timed
+//	     window, from the runtime.gc.pause.ns histogram) and
+//	     obs_overhead_pct (throughput cost of the always-on tracer +
+//	     flight recorder, measured by toggling both off; only on rows
+//	     produced by MeasureObsOverhead)
+const BenchSchemaVersion = 6
 
 // Throughput is a maintained Figure 5 system plus a deterministic
 // hot-item workload generator. The generator never consults database
@@ -288,6 +293,17 @@ type ThroughputRow struct {
 	AllocsPerTxn float64 `json:"allocs_per_txn"`
 	BytesPerTxn  float64 `json:"bytes_per_txn"`
 
+	// GCPauseP99Ns (schema v6) is the stop-the-world pause tail the
+	// collector imposed inside the timed window, from the
+	// runtime.gc.pause.ns histogram delta. 0 when no cycle completed
+	// during the window.
+	GCPauseP99Ns uint64 `json:"gc_pause_p99_ns,omitempty"`
+	// ObsOverheadPct (schema v6) is the throughput cost of the always-on
+	// instrumentation: 100*(off-on)/off where "off" disables the span
+	// tracer and flight recorder. Only set on rows produced by
+	// MeasureObsOverhead; negative values are measurement noise.
+	ObsOverheadPct float64 `json:"obs_overhead_pct,omitempty"`
+
 	// Durable rows ran with a write-ahead log attached (one fsync per
 	// window); the extra columns report the commit-latency tail and the
 	// log-replay rate of recovering the run's own tail.
@@ -321,22 +337,27 @@ func MeasureThroughput(cfg corpus.Figure5Config, n, batch, workers int) (Through
 		return ThroughputRow{}, err
 	}
 	applyHist := obs.H("maintain.apply.ns")
-	before := applyHist.Snapshot()
+	gcHist := obs.H("runtime.gc.pause.ns")
 	// Setup (materialization, statistics) leaves a heap of garbage whose
 	// collection would otherwise be charged to the timed window; quiesce
 	// the collector so the measurement covers maintenance work only.
 	runtime.GC()
 	runtime.GC() // second cycle finishes the first's deferred sweep so the timed window pays no sweep-assist debt for setup garbage
+	obs.PollGCNow() // flush setup-era pauses out of the window
+	before := applyHist.Snapshot()
+	gcBefore := gcHist.Snapshot()
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	io, err := th.Run(n, batch)
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms1)
+	obs.PollGCNow()
 	if err != nil {
 		return ThroughputRow{}, err
 	}
 	window := applyHist.Snapshot().Sub(before)
+	gcWindow := gcHist.Snapshot().Sub(gcBefore)
 	if drift, err := th.Drift(); err != nil {
 		return ThroughputRow{}, err
 	} else if drift != "" {
@@ -353,7 +374,51 @@ func MeasureThroughput(cfg corpus.Figure5Config, n, batch, workers int) (Through
 		ApplyP99Ns:    window.Quantile(0.99),
 		AllocsPerTxn:  float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
 		BytesPerTxn:   float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
+		GCPauseP99Ns:  gcWindow.Quantile(0.99),
 	}, nil
+}
+
+// MeasureObsOverhead prices the always-on instrumentation: it measures
+// the same (batch, workers) configuration with the span tracer and
+// flight recorder enabled and disabled — best of trials each, to damp
+// scheduler noise on small machines — and reports the enabled row with
+// ObsOverheadPct filled in. The registry's counters stay live in both
+// runs (they are load-bearing: the harness itself reads them); the
+// toggles collapse exactly the paths the ISSUE's 5% budget covers.
+func MeasureObsOverhead(cfg corpus.Figure5Config, n, batch, workers, trials int) (ThroughputRow, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	measure := func(enabled bool) (ThroughputRow, error) {
+		obs.Trace.SetEnabled(enabled)
+		obs.Flight().SetEnabled(enabled)
+		return MeasureThroughput(cfg, n, batch, workers)
+	}
+	defer func() {
+		obs.Trace.SetEnabled(true)
+		obs.Flight().SetEnabled(true)
+	}()
+	var on, off ThroughputRow
+	// Interleave off/on trials so drift (thermal, page cache, competing
+	// load) hits both arms equally.
+	for i := 0; i < trials; i++ {
+		o, err := measure(false)
+		if err != nil {
+			return ThroughputRow{}, err
+		}
+		e, err := measure(true)
+		if err != nil {
+			return ThroughputRow{}, err
+		}
+		if o.TxnsPerSec > off.TxnsPerSec {
+			off = o
+		}
+		if e.TxnsPerSec > on.TxnsPerSec {
+			on = e
+		}
+	}
+	on.ObsOverheadPct = 100 * (off.TxnsPerSec - on.TxnsPerSec) / off.TxnsPerSec
+	return on, nil
 }
 
 // MeasureThroughputDurable is MeasureThroughput with a write-ahead log
@@ -386,10 +451,13 @@ func MeasureThroughputDurable(cfg corpus.Figure5Config, n, batch, workers int, f
 	}
 	applyHist := obs.H("maintain.apply.ns")
 	fsyncHist := obs.H("wal.fsync.ns")
-	applyBefore := applyHist.Snapshot()
-	fsyncBefore := fsyncHist.Snapshot()
+	gcHist := obs.H("runtime.gc.pause.ns")
 	runtime.GC()
 	runtime.GC() // second cycle finishes the first's deferred sweep so the timed window pays no sweep-assist debt for setup garbage
+	obs.PollGCNow()
+	applyBefore := applyHist.Snapshot()
+	fsyncBefore := fsyncHist.Snapshot()
+	gcBefore := gcHist.Snapshot()
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
@@ -399,11 +467,13 @@ func MeasureThroughputDurable(cfg corpus.Figure5Config, n, batch, workers int, f
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms1)
+	obs.PollGCNow()
 	if err != nil {
 		return ThroughputRow{}, err
 	}
 	applyWindow := applyHist.Snapshot().Sub(applyBefore)
 	fsyncWindow := fsyncHist.Snapshot().Sub(fsyncBefore)
+	gcWindow := gcHist.Snapshot().Sub(gcBefore)
 	if drift, err := th.Drift(); err != nil {
 		return ThroughputRow{}, err
 	} else if drift != "" {
@@ -434,6 +504,7 @@ func MeasureThroughputDurable(cfg corpus.Figure5Config, n, batch, workers int, f
 		ApplyP99Ns:            applyWindow.Quantile(0.99),
 		AllocsPerTxn:          float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
 		BytesPerTxn:           float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
+		GCPauseP99Ns:          gcWindow.Quantile(0.99),
 		Durable:               true,
 		FsyncP99Ns:            fsyncWindow.Quantile(0.99),
 		RecoveryReplayTxnsSec: replayRate,
@@ -646,17 +717,22 @@ func MeasureThroughputSharded(cfg corpus.Figure5Config, n, batch, shards, worker
 	if err != nil {
 		return ThroughputRow{}, err
 	}
+	gcHist := obs.H("runtime.gc.pause.ns")
 	runtime.GC()
 	runtime.GC() // second cycle finishes the first's deferred sweep so the timed window pays no sweep-assist debt for setup garbage
+	obs.PollGCNow()
+	gcBefore := gcHist.Snapshot()
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	io, err := ts.Run(n, batch)
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms1)
+	obs.PollGCNow()
 	if err != nil {
 		return ThroughputRow{}, err
 	}
+	gcWindow := gcHist.Snapshot().Sub(gcBefore)
 	if drift, err := ts.Drift(); err != nil {
 		return ThroughputRow{}, err
 	} else if drift != "" {
@@ -671,6 +747,7 @@ func MeasureThroughputSharded(cfg corpus.Figure5Config, n, batch, shards, worker
 		IOPerTxn:      float64(io.Total()) / float64(n),
 		AllocsPerTxn:  float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
 		BytesPerTxn:   float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
+		GCPauseP99Ns:  gcWindow.Quantile(0.99),
 		Shards:        shards,
 		CPUs:          runtime.NumCPU(),
 	}, nil

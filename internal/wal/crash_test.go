@@ -23,6 +23,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/delta"
 	"repro/internal/maintain"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/storage"
 	"repro/internal/tracks"
@@ -251,6 +252,23 @@ func dumpOnFailure(t *testing.T, fsys *wal.FaultFS) {
 	} else {
 		t.Logf("surviving WAL state dumped to %s", sub)
 	}
+	dumpFlight(t, sub)
+}
+
+// dumpFlight writes the flight recorder's current ring next to a failed
+// test's WAL image: the black box says what the pipeline was doing
+// (windows, routes, fsyncs, GC) around the failing fault point.
+func dumpFlight(t *testing.T, sub string) {
+	t.Helper()
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return
+	}
+	path := filepath.Join(sub, "flight.bin")
+	if err := obs.Flight().DumpToFile(path); err != nil {
+		t.Logf("failed to dump flight recorder: %v", err)
+	} else {
+		t.Logf("flight recorder dumped to %s", path)
+	}
 }
 
 // verifyRecovery recovers from fsys and asserts the recovery contract:
@@ -368,6 +386,7 @@ func dumpOnFailureNow(t *testing.T, fsys *wal.FaultFS) {
 	if err := fsys.DumpTo(sub); err == nil {
 		t.Logf("surviving WAL state dumped to %s", sub)
 	}
+	dumpFlight(t, sub)
 }
 
 // TestCrashRecoveryEveryPoint enumerates every mutating filesystem

@@ -267,6 +267,12 @@ func (l *Log) commitPayload(payload []byte) (uint64, error) {
 		l.broken = err
 		return 0, err
 	}
+	// Flight-recorder ordering contract: the start event lands BEFORE
+	// the record's bytes reach the filesystem and the done event only
+	// after fsync returns, so in any post-mortem image
+	// max(done LSNs) <= recovered LSN <= max(start LSNs) — the black box
+	// and the log can be cross-checked against each other.
+	obs.Flight().Record(obs.EvFsyncStart, 0, lsn, uint64(len(frame)), 0)
 	if _, err := l.cur.Write(frame); err != nil {
 		l.broken = fmt.Errorf("wal: write: %w", err)
 		return 0, l.broken
@@ -277,6 +283,7 @@ func (l *Log) commitPayload(payload []byte) (uint64, error) {
 		return 0, l.broken
 	}
 	fsyncNs.Observe(time.Since(start).Nanoseconds())
+	obs.Flight().Record(obs.EvFsyncDone, 0, lsn, uint64(len(frame)), 0)
 	walBytes.Add(int64(len(frame)))
 	walRecs.Inc()
 	l.curSize += len(frame)

@@ -152,7 +152,11 @@ func (g *Manager) Sync() (uint64, error) {
 // fence mode the in-flight chain is drained first, so an explicit
 // Commit is always a full durability point.
 func (g *Manager) Commit(txns int) (uint64, error) {
-	sp := obs.Trace.Start("wal.commit", 0)
+	// Parent the commit span to the window that staged the deltas:
+	// Commit is called either on the window's goroutine or on a commit
+	// goroutine the window spawned and joins before returning, so the
+	// read is ordered with the window-start write.
+	sp := obs.Trace.Start("wal.commit", g.m.WindowSpanID())
 	defer sp.Finish()
 	if lsn, err := g.Sync(); err != nil {
 		return lsn, err
@@ -188,7 +192,7 @@ func (g *Manager) BeginWindow(w delta.Coalesced, txns int) func() (uint64, error
 	if g.opts.DeferredFence {
 		return g.beginWindowDeferred(w, txns)
 	}
-	sp := obs.Trace.Start("wal.commit", 0)
+	sp := obs.Trace.Start("wal.commit", g.m.WindowSpanID())
 	g.col.Suspend()
 	type result struct {
 		lsn uint64
@@ -231,7 +235,12 @@ func (g *Manager) BeginWindow(w delta.Coalesced, txns int) func() (uint64, error
 // and LSNs in order; the returned wait joins the PREVIOUS window's
 // commit and reports its LSN (0 before the first commit lands).
 func (g *Manager) beginWindowDeferred(w delta.Coalesced, txns int) func() (uint64, error) {
-	sp := obs.Trace.Start("wal.commit", 0)
+	// The parent is captured NOW, under the window barrier: the chained
+	// goroutine below outlives this window's body (it drains under the
+	// next window), so it must carry its originating window's root span,
+	// not whatever window is current when it finally runs.
+	parent := g.m.WindowSpanID()
+	sp := obs.Trace.Start("wal.commit", parent)
 	g.col.Suspend()
 	prev := g.lastJob
 	var durable uint64
@@ -258,7 +267,13 @@ func (g *Manager) beginWindowDeferred(w delta.Coalesced, txns int) func() (uint6
 					return
 				}
 			}
+			// The chained span covers only this window's own write+fsync
+			// (queueing behind the predecessor is the chain's pipelining,
+			// not this window's cost) and parents to the window that
+			// staged the payload.
+			csp := obs.Trace.Start("wal.commit.chained", parent)
 			_, job.err = g.log.commitPreEncoded(payload, job.lsn)
+			csp.Finish()
 			close(job.done)
 		}()
 		g.lastJob = job
@@ -318,6 +333,7 @@ func (g *Manager) Checkpoint(extra map[string]string) error {
 	if err := WriteCheckpoint(g.fsys, g.dir, c); err != nil {
 		return err
 	}
+	obs.Flight().Record(obs.EvCheckpoint, 0, c.LSN, 0, 0)
 	return g.log.Prune(c.LSN)
 }
 
@@ -476,6 +492,10 @@ func (r *Recovery) Resume(m *maintain.Maintainer, opts Options) (*Manager, error
 		store:           m.Store,
 		RecomputedViews: r.recomputed,
 	}
+	// Replayed windows parent under the recovery span, so a recovery
+	// trace is connected just like a live window trace.
+	m.SetSpanParent(sp.ID())
+	defer m.SetSpanParent(0)
 	expect := r.ckpt.LSN
 	err = log.Replay(r.ckpt.LSN, mgr.col.Schema, func(rec Record) error {
 		if rec.LSN != expect+1 {
@@ -499,6 +519,7 @@ func (r *Recovery) Resume(m *maintain.Maintainer, opts Options) (*Manager, error
 	replayWindows.Add(int64(mgr.ReplayedWindows))
 	replayTxns.Add(int64(mgr.ReplayedTxns))
 	mgr.RecoveredLSN = log.LastLSN()
+	obs.Flight().Record(obs.EvRecovery, 0, mgr.RecoveredLSN, uint64(mgr.ReplayedWindows), 0)
 	mgr.install()
 	return mgr, nil
 }

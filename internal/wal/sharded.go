@@ -88,6 +88,11 @@ func AttachSharded(s *maintain.Sharded, fsys FS, dir string, opts Options) (*Sha
 // sub-windows) and appends the vector as one raw coordinator record.
 // A window that advanced no shard reuses the previous record.
 func (sm *ShardedManager) Commit(txns int) (uint64, error) {
+	// The coordinator commit runs on the sharded window's goroutine;
+	// parenting to the window root ties the LSN-vector record into the
+	// same trace as the per-shard fsyncs it fences.
+	sp := obs.Trace.Start("wal.coord.commit", sm.s.WindowSpanID())
+	defer sp.Finish()
 	vec := make([]uint64, len(sm.mgrs))
 	changed := false
 	for i, mgr := range sm.mgrs {
