@@ -272,6 +272,7 @@ func BenchmarkMaintainThroughput(b *testing.B) {
 	record := func(row paper.ThroughputRow) {
 		for i := range results {
 			if results[i].Batch == row.Batch && results[i].Workers == row.Workers &&
+				results[i].Txns == row.Txns &&
 				results[i].Durable == row.Durable && results[i].Shards == row.Shards &&
 				(results[i].ObsOverheadPct != 0) == (row.ObsOverheadPct != 0) {
 				results[i] = row
@@ -299,6 +300,27 @@ func BenchmarkMaintainThroughput(b *testing.B) {
 			})
 		}
 	}
+	// Long-stream steady-state row (schema v7): batch 64 over an
+	// 8192-txn stream (128 windows). The short grid rows above mostly
+	// measure warm-up — arenas, slabs and delta buffers growing toward
+	// the workload's joint fan-out — while this row is where cross-window
+	// recycling either holds bytes/txn and GC cycles flat or doesn't.
+	// cmd/benchdiff's -bytes-ceiling gate reads this cell.
+	b.Run("longstream/batch64/workers1", func(b *testing.B) {
+		var last paper.ThroughputRow
+		for i := 0; i < b.N; i++ {
+			row, err := paper.MeasureThroughput(cfg, 8192, 64, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = row
+		}
+		b.ReportMetric(last.TxnsPerSec, "txns/sec")
+		b.ReportMetric(last.BytesPerTxn, "bytes/txn")
+		b.ReportMetric(last.AllocsPerTxn, "allocs/txn")
+		b.ReportMetric(last.GCCyclesPer10kTxns, "gc/10k-txns")
+		record(last)
+	})
 	// Durable rows: the same workload with a WAL attached — deferred-
 	// fence group commit, one pipelined fsync per window — then a timed
 	// recovery. The batch-64 row runs a longer stream (32 windows) so

@@ -50,7 +50,23 @@
 // instrumentation costs more than -obs-overhead-ceiling percent
 // (default 5). Like the durable gate it is a within-file ratio, so no
 // committed counterpart is required; it skips when the fresh file
-// predates v6. -obs-overhead-ceiling 0 disables the gate.
+// predates v6. -obs-overhead-ceiling 0 disables the gate. Riding the
+// same smoke, gc_pause_p99_ns on the long-stream row must not grow past
+// -gc-pause-ceiling times the committed value (default 4 — two
+// power-of-two histogram bucket steps); it skips when either side
+// completed no GC cycle inside its timed window.
+//
+// When BOTH files carry a long-stream steady-state row (schema v7: the
+// in-memory batch-64/workers-1 cell measured over the longest stream in
+// the file), a sixth gate compares heap bytes per transaction on that
+// row. Like allocs/txn, bytes/txn is a property of the code path, not
+// the host, so it is compared directly: the gate fails when the fresh
+// long-stream bytes/txn exceed the committed value by more than
+// -bytes-ceiling (default 0.20). It skips with a message — and so arms
+// itself on the first v7 bench commit — when the committed file
+// predates v7 or the two files measured different stream lengths (the
+// workload is non-stationary, so bytes/txn at different n are not
+// comparable). -bytes-ceiling 0 disables the gate.
 package main
 
 import (
@@ -106,6 +122,8 @@ func main() {
 	scalingFloor := flag.Float64("scaling-floor", 2.5, "minimum shards=8 / shards=1 throughput ratio at -batch (0 disables; skipped under 8 CPUs)")
 	allocCeiling := flag.Float64("alloc-ceiling", 0.20, "maximum allowed relative allocs/txn growth at -batch (0 disables; skipped when -old predates schema v5)")
 	obsCeiling := flag.Float64("obs-overhead-ceiling", 5, "maximum observability overhead percent at -batch (0 disables; skipped when the fresh file predates schema v6)")
+	bytesCeiling := flag.Float64("bytes-ceiling", 0.20, "maximum allowed relative bytes/txn growth on the long-stream row at -batch (0 disables; skipped when -old predates schema v7)")
+	gcPauseCeiling := flag.Float64("gc-pause-ceiling", 4, "maximum gc_pause_p99_ns growth factor on the long-stream row (0 disables; skipped when either file lacks a GC cycle in its window; only checked when the obs gate runs)")
 	flag.Parse()
 	if *oldPath == "" {
 		log.Fatal("benchdiff: -old is required")
@@ -136,6 +154,13 @@ func main() {
 			// measurement protocol (best-of-trials); they feed only the
 			// obs gate, never the speedup/alloc comparisons.
 			if r.Batch == *batch && r.Durable == durable && r.Shards == 0 && r.ObsOverheadPct == 0 {
+				// Schema v7 adds a long-stream steady-state row at the same
+				// (batch, workers) as a grid cell. The speedup and alloc
+				// gates compare grid rows (shortest stream); the long-stream
+				// row feeds only the bytes gate below.
+				if prev, ok := out[r.Workers]; ok && r.Txns > prev.Txns {
+					continue
+				}
 				out[r.Workers] = r
 			}
 		}
@@ -284,6 +309,53 @@ func main() {
 		}
 	}
 
+	// Bytes gate: steady-state heap bytes per transaction on the
+	// long-stream batch-N row must not grow more than -bytes-ceiling
+	// over the committed file. The long-stream cell (largest Txns) is
+	// where cross-window recycling shows up — short grid rows mostly
+	// measure warm-up growth toward the workload's fan-out. Requires v7
+	// data on both sides at the same stream length; older committed
+	// files skip with a message so the gate arms itself on the first
+	// commit that regenerates the bench file.
+	// longStream picks a file's steady-state cell: the in-memory
+	// batch-N/workers-1 row measured over the longest stream (schema v7
+	// adds the n=8192 row; older files resolve to their grid row).
+	longStream := func(f *benchFile) *paper.ThroughputRow {
+		var best *paper.ThroughputRow
+		for i := range f.Rows {
+			r := &f.Rows[i]
+			if r.Batch == *batch && r.Workers == 1 && !r.Durable && r.Shards == 0 && r.ObsOverheadPct == 0 {
+				if best == nil || r.Txns >= best.Txns {
+					best = r
+				}
+			}
+		}
+		return best
+	}
+	if *bytesCeiling > 0 {
+		oldLS, newLS := longStream(oldF), longStream(newF)
+		switch {
+		case newLS == nil || newLS.SchemaVersion < 7 || newLS.BytesPerTxn <= 0:
+			fmt.Printf("benchdiff: no schema-v7 long-stream row at batch %d in %s; bytes gate skipped\n", *batch, *newPath)
+		case oldLS == nil || oldLS.SchemaVersion < 7 || oldLS.BytesPerTxn <= 0:
+			fmt.Printf("benchdiff: committed file lacks schema-v7 long-stream data; bytes gate skipped (arms on the next bench commit)\n")
+		case oldLS.Txns != newLS.Txns:
+			fmt.Printf("benchdiff: long-stream lengths differ (n=%d committed vs n=%d fresh); bytes gate skipped — bytes/txn is stream-length-dependent\n",
+				oldLS.Txns, newLS.Txns)
+		default:
+			rel := newLS.BytesPerTxn/oldLS.BytesPerTxn - 1
+			status := "ok"
+			if rel > *bytesCeiling {
+				status = "TOO FAT"
+			}
+			fmt.Printf("bytes batch %d (n=%d): %.0f → %.0f bytes/txn (%+.1f%%) %s\n",
+				*batch, newLS.Txns, oldLS.BytesPerTxn, newLS.BytesPerTxn, 100*rel, status)
+			if rel > *bytesCeiling {
+				log.Fatalf("benchdiff: long-stream batch-%d bytes/txn grew more than %.0f%% over committed", *batch, 100**bytesCeiling)
+			}
+		}
+	}
+
 	// Observability gate: the always-on tracer + flight recorder must
 	// cost at most -obs-overhead-ceiling percent of batch-N throughput.
 	// The overhead is a within-file enabled/disabled comparison on one
@@ -308,6 +380,30 @@ func main() {
 				*batch, obsRow.ObsOverheadPct, *obsCeiling, status)
 			if obsRow.ObsOverheadPct > *obsCeiling {
 				log.Fatalf("benchdiff: observability overhead above %.1f%% at batch %d", *obsCeiling, *batch)
+			}
+		}
+		// GC-pause regression rides the same smoke: the stop-the-world
+		// p99 on the long-stream row must not grow past
+		// -gc-pause-ceiling × the committed value. The histogram's
+		// power-of-two buckets quantize the tail, so the default factor
+		// (4 = two bucket steps) only trips on a real collector-pressure
+		// regression, not bucket jitter. Skips when either side lacks a
+		// completed GC cycle inside its timed window.
+		if *gcPauseCeiling > 0 {
+			oldLS, newLS := longStream(oldF), longStream(newF)
+			if oldLS == nil || newLS == nil || oldLS.GCPauseP99Ns == 0 || newLS.GCPauseP99Ns == 0 {
+				fmt.Printf("benchdiff: gc_pause_p99_ns missing on a long-stream row; GC-pause gate skipped\n")
+			} else {
+				ratio := float64(newLS.GCPauseP99Ns) / float64(oldLS.GCPauseP99Ns)
+				status := "ok"
+				if ratio > *gcPauseCeiling {
+					status = "TOO LONG"
+				}
+				fmt.Printf("gc pause p99 batch %d: %dns → %dns (%.2fx, ceiling %.1fx) %s\n",
+					*batch, oldLS.GCPauseP99Ns, newLS.GCPauseP99Ns, ratio, *gcPauseCeiling, status)
+				if ratio > *gcPauseCeiling {
+					log.Fatalf("benchdiff: batch-%d gc_pause_p99_ns grew more than %.1fx over committed", *batch, *gcPauseCeiling)
+				}
 			}
 		}
 	}

@@ -1,8 +1,9 @@
 // Command mvtop is a live terminal dashboard for a running mvbench
 // -http process: it polls /metrics (JSON form), diffs consecutive
 // snapshots, and renders per-interval rates — txns/sec, page IO per
-// txn, fsync and GC pause p99, shard balance, arena reuse. Stdlib only;
-// point it at any process serving the obs handler.
+// txn, heap bytes per txn, GC cycles/sec, fsync and GC pause p99,
+// slab slot recycling, shard balance, arena reuse. Stdlib only; point
+// it at any process serving the obs handler.
 //
 // Usage:
 //
@@ -102,6 +103,21 @@ func renderFrame(prev, cur obs.Snapshot, dt time.Duration) string {
 		nsStr(fsync.Quantile(0.99)), fsync.Count)
 	fmt.Fprintf(&b, "%-22s %12s   (cycles=%d)\n", "GC pause p99",
 		nsStr(gc.Quantile(0.99)), gc.Count)
+	// The GC-ceiling panels (DESIGN.md §14): live bytes/txn and GC
+	// cycles/sec are the dashboard view of the schema-v7 long-stream
+	// bench columns, and the slab line shows recycling absorbing the
+	// rewrite churn that would otherwise grow them.
+	dg := func(name string) float64 { return cur.Gauges[name] - prev.Gauges[name] }
+	if alloc := dg("runtime.heap.allocs.bytes"); txns > 0 {
+		fmt.Fprintf(&b, "%-22s %12s\n", "heap bytes / txn", byteStr(uint64(alloc/float64(txns))))
+	} else {
+		fmt.Fprintf(&b, "%-22s %12s\n", "heap bytes / txn", "-")
+	}
+	fmt.Fprintf(&b, "%-22s %12.2f /s\n", "GC cycles", dg("runtime.gc.cycles")/secs)
+	if recycled, grownB := dc("storage.slab.slots_recycled"), dc("storage.slab.bytes_allocated"); recycled > 0 || grownB > 0 {
+		fmt.Fprintf(&b, "%-22s %12.0f /s   (slab grew %s)\n", "slab slots recycled",
+			float64(recycled)/secs, byteStr(uint64(grownB)))
+	}
 	fmt.Fprintf(&b, "%-22s %12s\n", "arena reuse", arenaReuse(prev, cur))
 	if g, ok := cur.Gauges["runtime.goroutines"]; ok {
 		fmt.Fprintf(&b, "%-22s %12.0f\n", "goroutines", g)

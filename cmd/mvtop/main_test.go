@@ -28,12 +28,16 @@ func snapPair() (obs.Snapshot, obs.Snapshot) {
 	reg.Counter("maintain.arena.grown_bytes").Add(100)
 	reg.Counter("maintain.shard00.routed_units").Add(20)
 	reg.Counter("maintain.shard01.routed_units").Add(60)
+	reg.Counter("storage.slab.slots_recycled").Add(300)
+	reg.Counter("storage.slab.bytes_allocated").Add(2048)
 	for i := 0; i < 98; i++ {
 		h.Observe(1000)
 	}
 	h.Observe(5_000_000) // the window's p99 tail
 	h.Observe(5_000_000)
 	reg.Gauge("runtime.goroutines").Set(12)
+	reg.Gauge("runtime.heap.allocs.bytes").Set(1_000_000)
+	reg.Gauge("runtime.gc.cycles").Set(4)
 	cur := reg.Snapshot()
 	return prev, cur
 }
@@ -46,6 +50,10 @@ func TestRenderFrame(t *testing.T) {
 		"txns", "100 /s", // 200 txns over 2s
 		"page IO / txn", "0.80", // 160 page IO / 200 txns
 		"fsync p99",
+		"heap bytes / txn", "4.9 KiB", // 1e6 alloc bytes / 200 txns
+		"GC cycles", "2.00 /s", // 4 cycles over 2s
+		"slab slots recycled", "150 /s", // 300 over 2s
+		"slab grew 2.0 KiB",
 		"arena reuse", "75.0%", // 300 reused vs 100 grown
 		"goroutines", "12",
 		"shard balance",

@@ -64,13 +64,19 @@ func (c Coalesced) Get(rel string) *Delta {
 }
 
 // Coalescer performs window coalescing with reusable scratch: the
-// per-relation concatenation deltas and the normalizer's netting table
+// per-relation concatenation deltas, the normalizer's netting table,
+// the per-relation normalized output deltas and the output slice all
 // persist across windows (truncated, not freed), so a steady-state
-// window allocates only its output. Not safe for concurrent use; each
-// maintainer owns one.
+// window coalesces with no heap allocation at all. The returned
+// Coalesced — and every delta it points at — is therefore valid only
+// until the next Coalesce call on the same Coalescer, matching the
+// maintenance contract that a window's deltas die at the next window.
+// Not safe for concurrent use; each maintainer owns one.
 type Coalescer struct {
 	nz     Normalizer
 	concat map[string]*Delta
+	norm   map[string]*Delta // recycled normalized outputs, one per relation
+	out    Coalesced         // recycled output slice
 }
 
 // Coalesce merges a window of per-transaction update maps into one net
@@ -113,18 +119,27 @@ func (co *Coalescer) Coalesce(windows []map[string]*Delta) Coalesced {
 			acc.Changes = append(acc.Changes, d.Changes...)
 		}
 	}
-	var out Coalesced
+	if co.norm == nil {
+		co.norm = map[string]*Delta{}
+	}
+	out := co.out[:0]
 	var changesOut int64
 	for rel, acc := range co.concat {
 		if len(acc.Changes) == 0 {
 			continue
 		}
-		if net := co.nz.Normalize(acc); !net.Empty() {
+		dst, ok := co.norm[rel]
+		if !ok {
+			dst = New(acc.Schema)
+			co.norm[rel] = dst
+		}
+		if net := co.nz.NormalizeInto(acc, dst); !net.Empty() {
 			out = append(out, RelDelta{Rel: rel, Delta: net})
 			changesOut += signedUnits(net)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Rel < out[j].Rel })
+	co.out = out
 	obsCoalesceChangesIn.Add(changesIn)
 	obsCoalesceChangesOut.Add(changesOut)
 	obsCoalesceAnnihilated.Add(changesIn - changesOut)

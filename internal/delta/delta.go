@@ -160,6 +160,14 @@ type Normalizer struct {
 // deletions, in first-seen tuple order — identical semantics to
 // Delta.Normalize.
 func (nz *Normalizer) Normalize(d *Delta) *Delta {
+	return nz.NormalizeInto(d, New(d.Schema))
+}
+
+// NormalizeInto is Normalize with a caller-recycled output delta: out's
+// changes are truncated and rebuilt in place, so a holder that feeds
+// the same output delta back every window normalizes with no steady-
+// state allocation. Returns out.
+func (nz *Normalizer) NormalizeInto(d, out *Delta) *Delta {
 	nz.net.Reset()
 	nz.rows = nz.rows[:0]
 	nz.sbuf = d.appendSigned(nz.sbuf[:0])
@@ -172,7 +180,8 @@ func (nz *Normalizer) Normalize(d *Delta) *Delta {
 			nz.rows = append(nz.rows, sr)
 		}
 	}
-	out := New(d.Schema)
+	out.Schema = d.Schema
+	out.Changes = out.Changes[:0]
 	for i := range nz.rows {
 		e := &nz.rows[i]
 		switch {

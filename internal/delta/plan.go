@@ -281,6 +281,7 @@ type JoinPlan struct {
 	enc        value.KeyEncoder
 	arena      *value.Arena
 	nz         Normalizer
+	nzOut      Delta
 	cat        Delta
 	ddOut      Delta
 	sbufL      []signedRow
@@ -352,7 +353,7 @@ func (p *JoinPlan) ApplyBoth(dl, dr *Delta, probeL, probeR Probe) (*Delta, error
 	cat.Changes = append(cat.Changes, a.Changes...)
 	cat.Changes = append(cat.Changes, b.Changes...)
 	cat.Changes = append(cat.Changes, c.Changes...)
-	return p.nz.Normalize(cat), nil
+	return p.nz.NormalizeInto(cat, &p.nzOut), nil
 }
 
 // applyDeltaDelta computes the signed join ΔL⋈ΔR with precompiled

@@ -63,6 +63,12 @@ type Evaluator struct {
 	// Memo, when non-nil, shares full-evaluation results across repeated
 	// subtrees within one maintenance window (see Memo).
 	Memo Memo
+	// Win, when non-nil, is the maintenance window's arena: join output
+	// tuples are bump-allocated from it instead of the heap, which makes
+	// every Result subject to the window ownership rule — rows are valid
+	// only until the arena's next Reset. Leave nil for oracle /
+	// materialization evaluators whose results must outlive a window.
+	Win *value.Arena
 }
 
 // New returns a charging evaluator over the store.
@@ -120,7 +126,7 @@ func (ev *Evaluator) evalNode(n algebra.Node) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return hashJoin(t, l, r)
+		return ev.hashJoin(t, l, r)
 	case *algebra.Aggregate:
 		in, err := ev.Eval(t.Input)
 		if err != nil {
@@ -207,7 +213,7 @@ func projectResult(in *Result, p *algebra.Project) (*Result, error) {
 	return out, nil
 }
 
-func hashJoin(j *algebra.Join, l, r *Result) (*Result, error) {
+func (ev *Evaluator) hashJoin(j *algebra.Join, l, r *Result) (*Result, error) {
 	lpos := make([]int, len(j.On))
 	rpos := make([]int, len(j.On))
 	for i, c := range j.On {
@@ -240,9 +246,7 @@ func hashJoin(j *algebra.Join, l, r *Result) (*Result, error) {
 	for _, lrow := range l.Rows {
 		kb := enc.ProjectedKey(lrow.Tuple, lpos)
 		for _, rrow := range build[string(kb)] {
-			t := make(value.Tuple, 0, len(lrow.Tuple)+len(rrow.Tuple))
-			t = append(t, lrow.Tuple...)
-			t = append(t, rrow.Tuple...)
+			t := ev.Win.ConcatTuples(lrow.Tuple, rrow.Tuple)
 			if residual != nil && !residual(t).Truth() {
 				continue
 			}

@@ -192,7 +192,7 @@ func (ev *Evaluator) filteredJoin(j *algebra.Join, cols []string, key value.Tupl
 		if err != nil {
 			return nil, err
 		}
-		return hashJoin(j, l, r)
+		return ev.hashJoin(j, l, r)
 	case len(lcols) > 0:
 		l, err := ev.EvalFiltered(j.L, lcols, lkey)
 		if err != nil {
@@ -262,9 +262,9 @@ func (ev *Evaluator) probeJoin(j *algebra.Join, drive *Result, driveLeft bool) (
 		for _, orow := range matches.Rows {
 			var t value.Tuple
 			if driveLeft {
-				t = append(append(value.Tuple{}, drow.Tuple...), orow.Tuple...)
+				t = ev.Win.ConcatTuples(drow.Tuple, orow.Tuple)
 			} else {
-				t = append(append(value.Tuple{}, orow.Tuple...), drow.Tuple...)
+				t = ev.Win.ConcatTuples(orow.Tuple, drow.Tuple)
 			}
 			if residual != nil && !residual(t).Truth() {
 				continue

@@ -103,7 +103,15 @@ func (c *Checker) Execute(t *txn.Type, updates map[string]*delta.Delta) (*Outcom
 	for _, a := range c.Assertions {
 		rows := c.M.Contents(a.View)
 		if len(rows) > 0 {
-			out.Violations = append(out.Violations, Violation{Assertion: a.Name, Rows: rows})
+			// Contents rows alias view storage, which the rollback below
+			// mutates (and storage recycles freed tuple slots on insert),
+			// so the outcome keeps its own copies. Violations are the
+			// exceptional path; the clone never runs on a clean window.
+			owned := make([]storage.Row, len(rows))
+			for i, row := range rows {
+				owned[i] = storage.Row{Tuple: row.Tuple.Clone(), Count: row.Count}
+			}
+			out.Violations = append(out.Violations, Violation{Assertion: a.Name, Rows: owned})
 		}
 	}
 	if c.Mode == Reject && !out.OK() {

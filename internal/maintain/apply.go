@@ -318,13 +318,16 @@ func (m *Maintainer) answerQuery(target *dag.EqNode, cols []string, key value.Tu
 		if !ok {
 			return nil, fmt.Errorf("maintain: relation %q not stored", target.BaseRel)
 		}
-		rows = rel.Lookup(cols, key)
+		rows = w.lookup(rel, cols, key)
 	} else if v := m.views[target.ID]; v != nil {
-		rows = v.Rel.Lookup(cols, key)
+		rows = w.lookup(v.Rel, cols, key)
 	} else {
 		tree := m.queryTree(target)
 		ev := exec.New(m.Store)
 		ev.Memo = w.eval
+		// Join outputs come from the window arena: the rows land in the
+		// window memo and in deltas, both of which die at the next Reset.
+		ev.Win = &m.arena
 		res, err := ev.EvalFiltered(tree, cols, key)
 		if err != nil {
 			return nil, err

@@ -31,6 +31,10 @@ func workerHist(w int) *obs.Histogram {
 // queries are posed once for the whole window instead of once per
 // transaction, and changes that annihilate within the window are never
 // propagated at all.
+//
+// Lifetime: ApplyBatch returns a recycled report — the same object,
+// reset in place, every window — so the report and everything it points
+// at are valid only until the next Apply/ApplyBatch on the maintainer.
 type BatchReport struct {
 	// Size is the number of transactions in the window.
 	Size  int
@@ -99,11 +103,20 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 	}
 	merged := m.coalescer.Coalesce(m.winBuf)
 	bt := txn.MergedType(txns, merged)
-	rep := &BatchReport{
+	// Recycled report: the maintainer hands back the same BatchReport
+	// every window, reset in place — callers may use it only until the
+	// next Apply/ApplyBatch (the same lifetime its Deltas already had).
+	rep := &m.batchRep
+	*rep = BatchReport{
 		Size:   len(txns),
 		Type:   bt,
-		Deltas: map[int]*delta.Delta{},
+		Deltas: rep.Deltas,
 		Merged: merged,
+	}
+	if rep.Deltas == nil {
+		rep.Deltas = map[int]*delta.Delta{}
+	} else {
+		clear(rep.Deltas)
 	}
 	if len(merged) == 0 {
 		rep.Track = &tracks.Track{}
@@ -257,22 +270,26 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 	return rep, nil
 }
 
+// viewWork is one view-apply job; the maintainer keeps a recycled
+// slice of these across windows (workBuf).
+type viewWork struct {
+	v    *View
+	root bool
+}
+
 // applyViews applies the computed deltas to every materialized view on
 // the track, in parallel when configured and safe. parent is the
 // enclosing apply_views span: each worker goroutine publishes one
 // maintain.apply.worker span under it, so cross-goroutine view
 // application stays inside the window trace.
 func (m *Maintainer) applyViews(rep *BatchReport, tr *tracks.Track, parent uint64) error {
-	type viewWork struct {
-		v    *View
-		root bool
-	}
-	var work []viewWork
+	work := m.workBuf[:0]
 	for _, e := range tr.Order {
 		if v, ok := m.views[e.ID]; ok {
 			work = append(work, viewWork{v: v, root: m.D.IsRoot(e)})
 		}
 	}
+	m.workBuf = work
 	if len(work) == 0 {
 		return nil
 	}

@@ -76,9 +76,14 @@ func rowsEqual(a, b []storage.Row) bool {
 }
 
 func sortedContents(m *maintain.Maintainer, e *dag.EqNode) []storage.Row {
+	// Contents rows alias view storage and die at the view's next
+	// mutation; these snapshots are compared across later windows, so
+	// they must own their tuples.
 	rows := m.Contents(e)
 	out := make([]storage.Row, len(rows))
-	copy(out, rows)
+	for i, r := range rows {
+		out[i] = storage.Row{Tuple: r.Tuple.Clone(), Count: r.Count}
+	}
 	sort.Slice(out, func(i, j int) bool {
 		return out[i].Tuple.Compare(out[j].Tuple) < 0
 	})

@@ -148,6 +148,15 @@ type Maintainer struct {
 	winBuf    []map[string]*delta.Delta
 	mutBuf    []storage.Mutation
 
+	// Cross-window recycled report scratch (DESIGN.md §14): Apply and
+	// ApplyBatch each return the same report object every window, reset
+	// in place — the whole report (not just its Deltas) is valid only
+	// until the next Apply/ApplyBatch on this maintainer.
+	batchRep BatchReport
+	txnRep   Report
+	workBuf  []viewWork
+	winMemo  windowMemo
+
 	// Window-causal tracing state. Both fields follow the single-writer
 	// rule: spanParent is set by the dispatching goroutine (a Sharded
 	// window) before ApplyBatch runs, windowSpan at the top of each
@@ -344,6 +353,10 @@ func (m *Maintainer) Contents(e *dag.EqNode) []storage.Row {
 // updates to the additional materialized views, updates to the top-level
 // view(s), and updates to the base relations (the last two are excluded
 // from the paper's §3.6 totals).
+//
+// Lifetime: Apply returns a recycled report — the same object, reset in
+// place, every call — so the report and everything it points at are
+// valid only until the next Apply/ApplyBatch on the maintainer.
 type Report struct {
 	Txn     string
 	Track   *tracks.Track
@@ -391,7 +404,13 @@ func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Repor
 		return nil, err
 	}
 	tr := plan.track
-	rep := &Report{Txn: t.Name, Track: tr, Deltas: map[int]*delta.Delta{}}
+	rep := &m.txnRep
+	*rep = Report{Txn: t.Name, Track: tr, Deltas: rep.Deltas}
+	if rep.Deltas == nil {
+		rep.Deltas = map[int]*delta.Delta{}
+	} else {
+		clear(rep.Deltas)
+	}
 
 	// Seed leaf deltas.
 	for _, e := range m.D.Eqs() {
@@ -638,9 +657,10 @@ func (m *Maintainer) Drift(e *dag.EqNode) (string, error) {
 	}
 	stored := map[string]int64{}
 	var enc value.KeyEncoder
-	for _, row := range v.Rel.ScanFree() {
+	v.Rel.Iterate(func(row storage.Row) bool {
 		stored[string(enc.Key(row.Tuple))] += row.Count
-	}
+		return true
+	})
 	for _, row := range want.Rows {
 		stored[string(enc.Key(row.Tuple))] -= row.Count
 	}

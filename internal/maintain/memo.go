@@ -36,16 +36,35 @@ var (
 type windowMemo struct {
 	rows map[string][]storage.Row
 	eval exec.Memo
+	// buf is the window's probe-row slab: answerQuery directs
+	// LookupAppend into it and memoizes sub-slices, so a window's probes
+	// share one grow-once buffer instead of allocating a fresh []Row
+	// each. Truncated (not freed) at window start — cross-window
+	// recycling per DESIGN.md §14.
+	buf []storage.Row
 }
 
-// newWindowMemo returns the memo for one window. With DisableMQO set
-// (test knob) the memo is inert: every query goes back to storage, which
-// is the per-query oracle the equivalence suite compares against.
+// newWindowMemo returns the memo for one window. The memo struct and
+// its maps are owned by the maintainer and recycled across windows
+// (cleared, not reallocated); single-threaded use per the propagation
+// pass. With DisableMQO set (test knob) the memo is inert: every query
+// goes back to storage, which is the per-query oracle the equivalence
+// suite compares against.
 func (m *Maintainer) newWindowMemo() *windowMemo {
+	w := &m.winMemo
+	w.buf = w.buf[:0]
 	if m.DisableMQO {
-		return &windowMemo{}
+		w.rows, w.eval = nil, nil
+		return w
 	}
-	return &windowMemo{rows: map[string][]storage.Row{}, eval: exec.Memo{}}
+	if w.rows == nil {
+		w.rows = map[string][]storage.Row{}
+		w.eval = exec.Memo{}
+	} else {
+		clear(w.rows)
+		clear(w.eval)
+	}
+	return w
 }
 
 // get looks up an answered query; a nil rows map (DisableMQO) never hits.
@@ -68,6 +87,15 @@ func (w *windowMemo) put(key string, rows []storage.Row) {
 	if w.rows != nil {
 		w.rows[key] = rows
 	}
+}
+
+// lookup probes rel through the window's shared row slab: matches are
+// appended to buf and the answer is the capacity-clipped sub-slice, so
+// a later probe growing buf can never scribble over an earlier answer.
+func (w *windowMemo) lookup(rel *storage.Relation, cols []string, key value.Tuple) []storage.Row {
+	start := len(w.buf)
+	w.buf = rel.LookupAppend(cols, key, w.buf)
+	return w.buf[start:len(w.buf):len(w.buf)]
 }
 
 // memoKey builds the memo key for σ[cols = key](target): structural

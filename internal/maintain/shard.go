@@ -99,6 +99,16 @@ type Sharded struct {
 	// set at the top of ApplyBatch). The Coordinator reads it from
 	// inside the window to parent its LSN-vector commit span.
 	windowSpan uint64
+
+	// Cross-window recycled window scratch (DESIGN.md §14). Sharded is
+	// single-writer, so the one report, the per-shard routing slices and
+	// the merge stage's maps are reset in place each window; the
+	// returned ShardedReport is valid only until the next ApplyBatch.
+	rep      ShardedReport
+	per      [][]txn.Transaction
+	errs     []error
+	affected map[string]value.Tuple
+	partials []map[string]storage.Row
 }
 
 // WindowSpanID returns the current sharded window's root span ID for
@@ -280,14 +290,25 @@ func (s *Sharded) ApplyBatch(txns []txn.Transaction) (*ShardedReport, error) {
 	s.windowSpan = wt.RootID()
 	obs.Flight().Record(obs.EvWindowOpen, 0, wt.Seq(), uint64(len(txns)), wt.RootID())
 	defer wt.Finish()
-	rep := &ShardedReport{
-		Size:   len(txns),
-		Shards: make([]*BatchReport, n),
-		Routed: make([]int64, n),
+	// Recycled window scratch: same report object every window, reset in
+	// place (callers use it only until the next ApplyBatch).
+	rep := &s.rep
+	if rep.Shards == nil {
+		rep.Shards = make([]*BatchReport, n)
+		rep.Routed = make([]int64, n)
+		s.per = make([][]txn.Transaction, n)
+		s.errs = make([]error, n)
 	}
-	per := make([][]txn.Transaction, n)
+	*rep = ShardedReport{Size: len(txns), Shards: rep.Shards, Routed: rep.Routed}
+	for i := 0; i < n; i++ {
+		rep.Shards[i] = nil
+		rep.Routed[i] = 0
+		s.per[i] = s.per[i][:0]
+		s.errs[i] = nil
+	}
+	per := s.per
 	if n == 1 {
-		per[0] = txns
+		per[0] = append(per[0], txns...)
 		for _, t := range txns {
 			for _, d := range t.Updates {
 				rep.Routed[0] += int64(d.Size())
@@ -314,7 +335,7 @@ func (s *Sharded) ApplyBatch(txns []txn.Transaction) (*ShardedReport, error) {
 	rep.Skew = skew(rep.Routed)
 	obsShardSkew.Set(rep.Skew)
 
-	errs := make([]error, n)
+	errs := s.errs
 	var wg sync.WaitGroup
 	for i := range s.shards {
 		if len(per[i]) == 0 {
@@ -380,7 +401,11 @@ func skew(routed []int64) float64 {
 // not O(view).
 func (s *Sharded) mergeSpanning(rep *ShardedReport) error {
 	for eqID, mv := range s.merged {
-		affected := map[string]value.Tuple{}
+		if s.affected == nil {
+			s.affected = map[string]value.Tuple{}
+		}
+		affected := s.affected
+		clear(affected)
 		var enc value.KeyEncoder
 		for _, br := range rep.Shards {
 			if br == nil {
@@ -403,14 +428,22 @@ func (s *Sharded) mergeSpanning(rep *ShardedReport) error {
 		if len(affected) == 0 {
 			continue
 		}
-		// One uncharged scan per shard yields group→partial maps; each
-		// affected key is then recombined across them.
-		partials := make([]map[string]storage.Row, len(s.shards))
+		// One uncharged zero-copy walk per shard fills the recycled
+		// group→partial maps; each affected key is then recombined
+		// across them. The partial rows alias shard storage, which is
+		// safe: combineGroup clones before it accumulates.
+		if s.partials == nil {
+			s.partials = make([]map[string]storage.Row, len(s.shards))
+		}
 		for i, sh := range s.shards {
-			partials[i] = groupIndex(sh.m.Contents(mv.eq), mv.part.NGroup)
+			if s.partials[i] == nil {
+				s.partials[i] = map[string]storage.Row{}
+			}
+			clear(s.partials[i])
+			groupIndexInto(s.partials[i], sh.m, mv.eq, mv.part.NGroup)
 		}
 		for key := range affected {
-			combined, found := combineGroup(partials, key, mv.part)
+			combined, found := combineGroup(s.partials, key, mv.part)
 			if found {
 				s.mergedSet(mv, key, combined)
 			} else {
@@ -437,6 +470,22 @@ func groupIndex(rows []storage.Row, nGroup int) map[string]storage.Row {
 		out[string(enc.Key(r.Tuple[:nGroup]))] = r
 	}
 	return out
+}
+
+// groupIndexInto is groupIndex over a materialized node's live rows,
+// filling a caller-recycled map via the relation's zero-copy iterator
+// (no []Row materialization). The indexed rows alias relation storage
+// and are valid only until the node's next mutation.
+func groupIndexInto(out map[string]storage.Row, m *Maintainer, e *dag.EqNode, nGroup int) {
+	v, ok := m.views[e.ID]
+	if !ok {
+		return
+	}
+	var enc value.KeyEncoder
+	v.Rel.Iterate(func(r storage.Row) bool {
+		out[string(enc.Key(r.Tuple[:nGroup]))] = r
+		return true
+	})
 }
 
 // combineGroup merges one group's per-shard partial aggregates: SUM and

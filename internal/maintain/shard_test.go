@@ -372,7 +372,10 @@ func mergeWindows(t *testing.T, setup *maintain.ShardSetup, serial *maintain.Mai
 		}
 		nt := row.Tuple.Clone()
 		nt[2] = value.NewInt(nt[2].I + int64(7*i+13))
-		mod.Modify(row.Tuple, nt, row.Count)
+		// Clone the old side too: ScanFree rows alias Emp's storage and
+		// this delta is replayed into the sharded runs after the baseline
+		// has mutated (and recycled) those slots.
+		mod.Modify(row.Tuple.Clone(), nt, row.Count)
 	}
 	push([]txn.Transaction{mkTxn(">Emp", txn.Modify, mod)})
 
@@ -398,7 +401,7 @@ func mergeWindows(t *testing.T, setup *maintain.ShardSetup, serial *maintain.Mai
 	for _, row := range empRel.ScanFree() {
 		dn := row.Tuple[1].S
 		if dn == corpus.DeptName(1) || dn == corpus.DeptName(2) {
-			del.Delete(row.Tuple, row.Count)
+			del.Delete(row.Tuple.Clone(), row.Count)
 		}
 	}
 	push([]txn.Transaction{mkTxn("-Emp", txn.Delete, del)})

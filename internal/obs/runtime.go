@@ -40,6 +40,17 @@ func init() {
 		}
 		return 0
 	})
+	// Cumulative heap bytes allocated: the dashboard divides interval
+	// deltas by transactions to show bytes/txn live (the quantity the
+	// schema-v7 long-stream bench row and -bytes-ceiling gate on).
+	Default.GaugeFunc("runtime.heap.allocs.bytes", func() float64 {
+		s := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+		metrics.Read(s)
+		if s[0].Value.Kind() == metrics.KindUint64 {
+			return float64(s[0].Value.Uint64())
+		}
+		return 0
+	})
 }
 
 var gcWatch struct {

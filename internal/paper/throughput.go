@@ -47,7 +47,11 @@ import (
 //	     obs_overhead_pct (throughput cost of the always-on tracer +
 //	     flight recorder, measured by toggling both off; only on rows
 //	     produced by MeasureObsOverhead)
-const BenchSchemaVersion = 6
+//	7: + gc_cycles_per_10k_txns (completed GC cycles inside the timed
+//	     window, normalized per 10k transactions — the cross-window
+//	     recycling story measured where it lives) and the n=8192
+//	     long-stream steady-state row
+const BenchSchemaVersion = 7
 
 // Throughput is a maintained Figure 5 system plus a deterministic
 // hot-item workload generator. The generator never consults database
@@ -298,6 +302,12 @@ type ThroughputRow struct {
 	// runtime.gc.pause.ns histogram delta. 0 when no cycle completed
 	// during the window.
 	GCPauseP99Ns uint64 `json:"gc_pause_p99_ns,omitempty"`
+	// GCCyclesPer10kTxns (schema v7) is the number of completed GC
+	// cycles inside the timed window per 10k transactions
+	// (runtime.MemStats.NumGC delta). With cross-window recycling the
+	// steady-state figure should approach zero; a regression here means
+	// some per-window buffer went back to the heap.
+	GCCyclesPer10kTxns float64 `json:"gc_cycles_per_10k_txns"`
 	// ObsOverheadPct (schema v6) is the throughput cost of the always-on
 	// instrumentation: 100*(off-on)/off where "off" disables the span
 	// tracer and flight recorder. Only set on rows produced by
@@ -342,7 +352,7 @@ func MeasureThroughput(cfg corpus.Figure5Config, n, batch, workers int) (Through
 	// collection would otherwise be charged to the timed window; quiesce
 	// the collector so the measurement covers maintenance work only.
 	runtime.GC()
-	runtime.GC() // second cycle finishes the first's deferred sweep so the timed window pays no sweep-assist debt for setup garbage
+	runtime.GC()    // second cycle finishes the first's deferred sweep so the timed window pays no sweep-assist debt for setup garbage
 	obs.PollGCNow() // flush setup-era pauses out of the window
 	before := applyHist.Snapshot()
 	gcBefore := gcHist.Snapshot()
@@ -364,17 +374,18 @@ func MeasureThroughput(cfg corpus.Figure5Config, n, batch, workers int) (Through
 		return ThroughputRow{}, fmt.Errorf("throughput run drifted: %s", drift)
 	}
 	return ThroughputRow{
-		SchemaVersion: BenchSchemaVersion,
-		Batch:         batch,
-		Workers:       workers,
-		Txns:          n,
-		TxnsPerSec:    float64(n) / elapsed.Seconds(),
-		IOPerTxn:      float64(io.Total()) / float64(n),
-		ApplyP50Ns:    window.Quantile(0.50),
-		ApplyP99Ns:    window.Quantile(0.99),
-		AllocsPerTxn:  float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
-		BytesPerTxn:   float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
-		GCPauseP99Ns:  gcWindow.Quantile(0.99),
+		SchemaVersion:      BenchSchemaVersion,
+		Batch:              batch,
+		Workers:            workers,
+		Txns:               n,
+		TxnsPerSec:         float64(n) / elapsed.Seconds(),
+		IOPerTxn:           float64(io.Total()) / float64(n),
+		ApplyP50Ns:         window.Quantile(0.50),
+		ApplyP99Ns:         window.Quantile(0.99),
+		AllocsPerTxn:       float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+		BytesPerTxn:        float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
+		GCPauseP99Ns:       gcWindow.Quantile(0.99),
+		GCCyclesPer10kTxns: float64(ms1.NumGC-ms0.NumGC) * 10000 / float64(n),
 	}, nil
 }
 
@@ -505,6 +516,7 @@ func MeasureThroughputDurable(cfg corpus.Figure5Config, n, batch, workers int, f
 		AllocsPerTxn:          float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
 		BytesPerTxn:           float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
 		GCPauseP99Ns:          gcWindow.Quantile(0.99),
+		GCCyclesPer10kTxns:    float64(ms1.NumGC-ms0.NumGC) * 10000 / float64(n),
 		Durable:               true,
 		FsyncP99Ns:            fsyncWindow.Quantile(0.99),
 		RecoveryReplayTxnsSec: replayRate,
@@ -739,17 +751,18 @@ func MeasureThroughputSharded(cfg corpus.Figure5Config, n, batch, shards, worker
 		return ThroughputRow{}, fmt.Errorf("sharded throughput run drifted: %s", drift)
 	}
 	return ThroughputRow{
-		SchemaVersion: BenchSchemaVersion,
-		Batch:         batch,
-		Workers:       workers,
-		Txns:          n,
-		TxnsPerSec:    float64(n) / elapsed.Seconds(),
-		IOPerTxn:      float64(io.Total()) / float64(n),
-		AllocsPerTxn:  float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
-		BytesPerTxn:   float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
-		GCPauseP99Ns:  gcWindow.Quantile(0.99),
-		Shards:        shards,
-		CPUs:          runtime.NumCPU(),
+		SchemaVersion:      BenchSchemaVersion,
+		Batch:              batch,
+		Workers:            workers,
+		Txns:               n,
+		TxnsPerSec:         float64(n) / elapsed.Seconds(),
+		IOPerTxn:           float64(io.Total()) / float64(n),
+		AllocsPerTxn:       float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+		BytesPerTxn:        float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
+		GCPauseP99Ns:       gcWindow.Quantile(0.99),
+		GCCyclesPer10kTxns: float64(ms1.NumGC-ms0.NumGC) * 10000 / float64(n),
+		Shards:             shards,
+		CPUs:               runtime.NumCPU(),
 	}, nil
 }
 

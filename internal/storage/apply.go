@@ -45,6 +45,9 @@ func (r *Relation) ApplyBatch(batch []Mutation) {
 	if len(batch) == 0 {
 		return
 	}
+	// Advance the batch fence: slots freed slotGrace fences ago become
+	// harvestable for this batch's inserts (see allocTuple).
+	r.batchSeq++
 	if r.store != nil {
 		if h := r.store.onMutation; h != nil {
 			h(r, batch)

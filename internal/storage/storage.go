@@ -25,7 +25,10 @@
 // hot apply/lookup path materializes no string keys and performs no
 // per-operation heap allocation. Stored tuples are cloned out of
 // whatever buffer the caller handed in (mutation batches may be built
-// in per-window arenas), so relation state never aliases caller memory.
+// in per-window arenas), so relation state never aliases caller memory;
+// the copies live in a per-relation paged slab (tupleSlab), so the
+// resident set is a few slab blocks per relation rather than one
+// GC-tracked object per tuple.
 package storage
 
 import (
@@ -57,6 +60,17 @@ var (
 	obsProbeSteps = obs.C("storage.openindex.probes")
 	obsProbeOps   = obs.C("storage.openindex.probe_ops")
 	obsProbeMax   = obs.G("storage.openindex.max_probe")
+)
+
+// Tuple-slab accounting: allocation and release are separate monotonic
+// counters (retained = allocated − released), so the exposition stays
+// counter-shaped while compaction swaps still show up.
+var (
+	obsSlabBlockAllocs = obs.C("storage.slab.blocks_allocated")
+	obsSlabBlockFrees  = obs.C("storage.slab.blocks_released")
+	obsSlabBytesAlloc  = obs.C("storage.slab.bytes_allocated")
+	obsSlabBytesFreed  = obs.C("storage.slab.bytes_released")
+	obsSlabSlotReuse   = obs.C("storage.slab.slots_recycled")
 )
 
 // IOCounter accumulates page I/O charges.
@@ -141,12 +155,94 @@ type entry struct {
 	tuple value.Tuple
 	count int64
 	kref  bytemap.Ref
+	// freedSeq is the batch fence at which the entry last died (count
+	// reached zero). A free-list record whose seq doesn't match is stale
+	// — the entry was revived and re-freed since, and only the record
+	// from the latest death may harvest the slot (see allocTuple).
+	freedSeq uint64
 	// indexed marks the entry as present in every hash-index bucket it
 	// belongs to. Index removal is lazy: a fully deleted tuple keeps its
 	// bucket positions (readers skip count-zero entries), so hot-bucket
 	// deletes cost nothing and a revived tuple is not re-appended.
 	// Compaction prunes dead entries from buckets wholesale.
 	indexed bool
+}
+
+// tupleSlab bump-allocates the Value arrays backing stored tuples out
+// of paged blocks, so a relation's resident set is a few hundred slab
+// blocks instead of one GC-tracked object per tuple. The slab is
+// grow-only between sweeps: blocks are appended as tuples arrive and
+// individual tuples are never freed — a fully deleted tuple's storage
+// is reclaimed when the lazy-deletion sweep (maybeCompact) or Restore
+// copies the live tuples into the relation's spare slab and swaps the
+// two (see Relation.slab/spare). Swapping instead of reallocating is
+// what keeps steady-state compaction allocation-free, at the cost of
+// holding roughly twice the live tuple bytes — the paper's
+// space-for-time trade applied to the allocator itself.
+type tupleSlab struct {
+	blocks [][]value.Value
+	bi     int // current block index
+	off    int // next free slot in blocks[bi]
+}
+
+const slabBlockVals = 4096 // Values per slab block
+
+// alloc reserves an n-Value slot in the slab without initializing it
+// (the slot may hold stale Values from a retired generation; callers
+// either copy over it or hand it out as dead free-slot storage that is
+// overwritten on harvest). Oversize tuples get a dedicated block.
+func (s *tupleSlab) alloc(n int) value.Tuple {
+	for {
+		if s.bi < len(s.blocks) {
+			blk := s.blocks[s.bi]
+			if s.off+n <= len(blk) {
+				dst := blk[s.off : s.off+n : s.off+n]
+				s.off += n
+				return value.Tuple(dst)
+			}
+			s.bi++
+			s.off = 0
+			continue
+		}
+		size := slabBlockVals
+		if n > size {
+			size = n
+		}
+		s.blocks = append(s.blocks, make([]value.Value, size))
+		obsSlabBlockAllocs.Inc()
+		obsSlabBytesAlloc.Add(int64(size) * int64(value.Size))
+	}
+}
+
+// clone copies t into the slab and returns the stable copy.
+func (s *tupleSlab) clone(t value.Tuple) value.Tuple {
+	if len(t) == 0 {
+		return value.Tuple{}
+	}
+	dst := s.alloc(len(t))
+	copy(dst, t)
+	return dst
+}
+
+// rewind resets the bump cursor so existing blocks are refilled from
+// the start. Only safe when every tuple previously served from the
+// slab is dead (the compaction swap's contract).
+func (s *tupleSlab) rewind() {
+	s.bi, s.off = 0, 0
+}
+
+// release drops every block to the collector (Restore). Rows already
+// handed out keep the old blocks alive for as long as they are
+// referenced.
+func (s *tupleSlab) release() {
+	var vals int64
+	for _, blk := range s.blocks {
+		vals += int64(len(blk))
+	}
+	obsSlabBlockFrees.Add(int64(len(s.blocks)))
+	obsSlabBytesFreed.Add(vals * int64(value.Size))
+	s.blocks = nil
+	s.bi, s.off = 0, 0
 }
 
 type hashIndex struct {
@@ -196,10 +292,28 @@ type Relation struct {
 	Resident bool
 
 	entries []entry
-	rows    bytemap.Map[int32] // canonical tuple key bytes → entry id
-	indexes []*hashIndex
-	io      *IOCounter
-	store   *Store
+	slab    tupleSlab // backing store for every entry's tuple
+	// spare is the previous generation's slab, retained across the
+	// compaction swap so the next compaction refills its blocks instead
+	// of allocating. Its contents stay intact for one full compaction
+	// cycle — at least a window — which is longer than any reader is
+	// allowed to hold a row (rows die at the relation's next mutation).
+	spare tupleSlab
+	// freeSlots lists dead entries (by id, per tuple arity) whose slab
+	// slot a later insert may harvest once slotGrace batch fences have
+	// passed; see allocTuple. The stock survives compaction: kept
+	// records are re-slotted into the fresh slab generation as donor
+	// entries. batchSeq counts ApplyBatch fences on this relation and
+	// dates each freed slot; freeStock counts outstanding records (one
+	// per pushed, not-yet-popped slot) so maybeCompact can separate
+	// recyclable dead entries from reclaimable ones.
+	freeSlots map[int]*slotList
+	batchSeq  uint64
+	freeStock int
+	rows      bytemap.Map[int32] // canonical tuple key bytes → entry id
+	indexes   []*hashIndex
+	io        *IOCounter
+	store     *Store
 	// liveTuples counts distinct live tuples so Card is O(1) and
 	// cardinality statistics stay fresh between full refreshes.
 	liveTuples int
@@ -232,6 +346,14 @@ type Store struct {
 	IO     *IOCounter
 	Buffer *Buffer
 	rels   map[string]*Relation
+
+	// FreshAlloc (testing knob) disables slab-arena tuple storage and
+	// slot recycling for every relation in the store: each stored tuple
+	// is an individually heap-allocated Clone, the pre-recycling
+	// behavior. The differential recycling suite runs identical streams
+	// through a recycled and a fresh store and asserts byte-identical
+	// results; nothing in production sets this.
+	FreshAlloc bool
 
 	onMutation MutationHook
 }
@@ -416,6 +538,21 @@ func (r *Relation) ScanFree() []Row {
 	return out
 }
 
+// Iterate walks the live rows in first-insertion order without I/O
+// accounting and without materializing a slice — the zero-copy read
+// path for callers that consume rows in place. The yielded Tuple
+// aliases relation storage: it is valid only until the next mutation
+// (compaction may move it) and must be cloned to be retained. Iteration
+// stops when yield returns false.
+func (r *Relation) Iterate(yield func(Row) bool) {
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.count > 0 && !yield(Row{Tuple: e.tuple, Count: e.count}) {
+			return
+		}
+	}
+}
+
 func (r *Relation) findIndex(cols []string) *hashIndex {
 	want := make([]string, len(cols))
 	copy(want, cols)
@@ -490,14 +627,23 @@ func (r *Relation) lookupPlanFor(cols []string) *lookupPlan {
 // unclustered-storage convention). Falls back to a full scan (charged)
 // when no usable index exists.
 func (r *Relation) Lookup(cols []string, key value.Tuple) []Row {
+	return r.LookupAppend(cols, key, nil)
+}
+
+// LookupAppend is Lookup with a caller-recycled output buffer: matching
+// rows are appended to dst and the extended slice returned. Probe-heavy
+// paths (the maintenance window memo) pass one long-lived buffer per
+// window instead of allocating a fresh slice per probe. The appended
+// rows alias relation storage under the usual Scan contract — valid
+// only until the relation's next mutation.
+func (r *Relation) LookupAppend(cols []string, key value.Tuple, dst []Row) []Row {
 	pl := r.lookupPlanFor(cols)
 	if pl.ix == nil {
-		return r.scanMatch(pl, key)
+		return r.scanMatch(pl, key, dst)
 	}
 	ix := pl.ix
 	bucket := r.encAux.ProjectedKey(key, pl.keyPos)
 	r.chargeIndexRead(ix.def.Name, bucket)
-	var out []Row
 	if bid, ok := ix.buckets.Get(bucket); ok {
 		for _, eid := range ix.lists[bid] {
 			e := &r.entries[eid]
@@ -506,11 +652,11 @@ func (r *Relation) Lookup(cols []string, key value.Tuple) []Row {
 			}
 			r.chargePageRead(r.keyBytes(e))
 			if tupleMatches(e.tuple, pl.pos, key) {
-				out = append(out, Row{Tuple: e.tuple, Count: e.count})
+				dst = append(dst, Row{Tuple: e.tuple, Count: e.count})
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // tupleMatches reports whether t projected to pos equals key — the
@@ -564,8 +710,7 @@ func (r *Relation) findUsableIndex(cols []string) (*hashIndex, []int) {
 
 // scanMatch scans the relation for tuples matching key on the plan's
 // columns.
-func (r *Relation) scanMatch(pl *lookupPlan, key value.Tuple) []Row {
-	var out []Row
+func (r *Relation) scanMatch(pl *lookupPlan, key value.Tuple, dst []Row) []Row {
 	for i := range r.entries {
 		e := &r.entries[i]
 		if e.count <= 0 {
@@ -574,10 +719,10 @@ func (r *Relation) scanMatch(pl *lookupPlan, key value.Tuple) []Row {
 		// A scan touches every live tuple's page.
 		r.chargePageRead(r.keyBytes(e))
 		if tupleMatches(e.tuple, pl.pos, key) {
-			out = append(out, Row{Tuple: e.tuple, Count: e.count})
+			dst = append(dst, Row{Tuple: e.tuple, Count: e.count})
 		}
 	}
-	return out
+	return dst
 }
 
 // GetCount returns the stored multiplicity of a tuple without charging
@@ -627,7 +772,11 @@ func (r *Relation) insertRawKeyed(t value.Tuple, tk []byte, count int64) {
 		e := &r.entries[*p]
 		if e.count == 0 {
 			// Revival: with lazy index deletion the entry is usually
-			// still sitting in its buckets.
+			// still sitting in its buckets. Its tuple slot may have been
+			// harvested by an insert while it was dead — re-clone.
+			if e.tuple == nil {
+				e.tuple = r.allocTuple(t)
+			}
 			if !e.indexed {
 				r.indexInsert(t, *p)
 				e.indexed = true
@@ -638,11 +787,131 @@ func (r *Relation) insertRawKeyed(t value.Tuple, tk []byte, count int64) {
 		return
 	}
 	eid := *p
-	// Clone: stored state must not alias caller buffers (per-window
-	// arenas, encoder scratch) that are reset between windows.
-	r.entries = append(r.entries, entry{tuple: t.Clone(), count: count, kref: ref, indexed: true})
+	if value.EpochChecksEnabled() {
+		value.CheckEpoch(t)
+	}
+	// Stored copy: stored state must not alias caller buffers (per-window
+	// arenas, encoder scratch) that are reset between windows, and the
+	// copy lands in the relation's paged slab — preferentially in a slot
+	// harvested from a dead entry — rather than as its own GC-tracked
+	// object.
+	r.entries = append(r.entries, entry{tuple: r.allocTuple(t), count: count, kref: ref, indexed: true})
 	r.indexInsert(t, eid)
 	r.liveTuples++
+}
+
+// slotRec is one harvestable dead-entry slot: the entry id plus the
+// relation batch fence at which it was freed. Records in a list are in
+// nondecreasing seq order (freeSlot appends at the current fence).
+type slotRec struct {
+	eid int32
+	seq uint64
+}
+
+// slotList is a FIFO of slot records per tuple arity; head avoids
+// shifting on pop and the backing array is recycled once drained.
+type slotList struct {
+	recs []slotRec
+	head int
+}
+
+// slotGrace is how many ApplyBatch fences a freed slot must age before
+// an insert may harvest it. Two fences cover every sanctioned holder of
+// a dead tuple: deltas computed in a window's propagation are consumed
+// by that window's applies (one fence), and a rejecting rollback
+// replays inverse deltas whose tuples alias slots the forward apply
+// just freed (a second fence on the same relation). Anything older is
+// dead under the window ownership rule.
+const slotGrace = 2
+
+// allocTuple places t's stored copy, preferring a same-arity slab slot
+// harvested from an aged dead entry over the bump allocator:
+// rewrite-heavy streams (a modify deletes the old tuple and inserts
+// the new one) recycle the space their own deletes freed instead of
+// growing the slab until the next compaction. The donor entry's tuple
+// is nilled; if that entry is later revived, insertRawKeyed re-clones
+// fresh storage for it.
+func (r *Relation) allocTuple(t value.Tuple) value.Tuple {
+	if r.store != nil && r.store.FreshAlloc {
+		return t.Clone()
+	}
+	if n := len(t); n > 0 && r.freeSlots != nil {
+		if sl := r.freeSlots[n]; sl != nil {
+			for sl.head < len(sl.recs) {
+				rec := sl.recs[sl.head]
+				if rec.seq+slotGrace > r.batchSeq {
+					// Oldest record is still inside the grace window; so
+					// is everything behind it.
+					break
+				}
+				sl.head++
+				r.freeStock--
+				d := &r.entries[rec.eid]
+				if d.count != 0 || d.tuple == nil || d.freedSeq != rec.seq {
+					// Revived since it was freed, its slot was already
+					// harvested by an earlier insert, or this record is
+					// stale (the entry died again after a revival — the
+					// re-death pushed a younger record, and only that one
+					// may harvest the slot: this batch's own readers may
+					// still alias the newer incarnation's bytes).
+					continue
+				}
+				slot := d.tuple
+				d.tuple = nil
+				copy(slot, t)
+				obsSlabSlotReuse.Inc()
+				return slot
+			}
+			if sl.head == len(sl.recs) {
+				sl.recs = sl.recs[:0]
+				sl.head = 0
+			}
+		}
+	}
+	return r.slab.clone(t)
+}
+
+// freeSlot offers a freshly dead entry's tuple slot for reuse by an
+// insert of the same arity at least slotGrace fences from now.
+func (r *Relation) freeSlot(eid int32) {
+	if r.store != nil && r.store.FreshAlloc {
+		return
+	}
+	e := &r.entries[eid]
+	n := len(e.tuple)
+	if n == 0 {
+		return
+	}
+	if r.freeSlots == nil {
+		r.freeSlots = map[int]*slotList{}
+	}
+	sl := r.freeSlots[n]
+	if sl == nil {
+		sl = &slotList{}
+		r.freeSlots[n] = sl
+	}
+	e.freedSeq = r.batchSeq
+	if sl.head > len(sl.recs)/2 && sl.head >= 64 {
+		// Slide the live tail to the front so the backing array is
+		// recycled instead of growing by the popped prefix forever.
+		sl.recs = sl.recs[:copy(sl.recs, sl.recs[sl.head:])]
+		sl.head = 0
+	}
+	sl.recs = append(sl.recs, slotRec{eid: eid, seq: r.batchSeq})
+	r.freeStock++
+}
+
+// clearFreeSlots empties every per-arity free list, keeping the slices
+// for reuse. Called when the slab's blocks are released wholesale
+// (Restore) — the recorded slots would otherwise point into freed
+// storage. Compaction does NOT clear the lists; it carries them into
+// the new generation (see maybeCompact).
+func (r *Relation) clearFreeSlots() {
+	for _, sl := range r.freeSlots {
+		sl.recs = sl.recs[:0]
+		sl.head = 0
+	}
+	r.freeStock = 0
 }
 
 // deleteRaw removes count copies of t with no I/O accounting. Counts
@@ -667,34 +936,77 @@ func (r *Relation) deleteRawKeyed(t value.Tuple, tk []byte, count int64) int64 {
 	if e.count <= 0 {
 		e.count = 0
 		// Lazy index deletion: the entry stays in its buckets (readers
-		// skip count-zero entries) until the next compaction.
+		// skip count-zero entries) until the next compaction. Its tuple
+		// slot goes on the free list for a later same-arity insert.
 		r.liveTuples--
+		r.freeSlot(*p)
 	}
 	return e.count
 }
 
-// maybeCompact reclaims dead entries once they outnumber live tuples:
-// the entries slice, row directory and every index are rebuilt from the
+// maybeCompact reclaims dead entries once the reclaimable ones — dead
+// entries NOT serving as free-slot stock — outnumber live tuples: the
+// entries slice, row directory and every index are rebuilt from the
 // live rows (preserving first-insertion scan order), dropping dead
 // bucket positions and dead directory keys. Amortized O(1) per delete —
 // a compaction's O(live) rebuild is paid for by the >= live deletions
 // that accumulated since the last one. No I/O is charged: compaction is
 // physical reorganization below the page model, like Restore.
+//
+// The free-slot stock survives the sweep: clearing it would starve
+// allocTuple for the slotGrace windows after every compaction and
+// force the rewrite churn back onto the bump allocator exactly when it
+// is heaviest. Each kept record is re-slotted as a bare donor entry —
+// dead, unindexed, absent from the row directory — whose tuple is an
+// uninitialized slot in the fresh generation (capacity is all a dead
+// slot carries; the bytes are written on harvest). Stock beyond what
+// one grace period can consume is dropped oldest-first.
 func (r *Relation) maybeCompact() {
-	dead := len(r.entries) - r.liveTuples
-	if dead < 1024 || dead <= r.liveTuples {
+	reclaimable := len(r.entries) - r.liveTuples - r.freeStock
+	if reclaimable < 1024 || reclaimable <= r.liveTuples {
 		return
 	}
 	old := r.entries
+	// Validate and trim the free lists against the outgoing entries
+	// BEFORE the live copy reuses the entries array in place: only each
+	// record's seq and arity survive; eids are reassigned below.
+	stockCap := 2*r.liveTuples + 1024
+	for _, sl := range r.freeSlots {
+		w := 0
+		for _, rec := range sl.recs[sl.head:] {
+			d := &old[rec.eid]
+			if d.count != 0 || d.tuple == nil || d.freedSeq != rec.seq {
+				continue // revived, harvested, or stale — not stock
+			}
+			sl.recs[w] = slotRec{eid: -1, seq: rec.seq}
+			w++
+		}
+		sl.recs = sl.recs[:w]
+		sl.head = 0
+		if w > stockCap {
+			// Keep the newest records; slots older than the cap would
+			// outlast any plausible demand before the next sweep.
+			sl.recs = sl.recs[:copy(sl.recs, sl.recs[w-stockCap:])]
+		}
+	}
 	r.entries = old[:0]
 	r.rows.Reset()
 	for _, ix := range r.indexes {
 		ix.resetIndex()
 	}
+	// Live tuples move into the spare slab, whose blocks were retired a
+	// full compaction cycle ago: every row served from them is dead by
+	// contract, so the blocks are refilled in place instead of
+	// reallocated. The outgoing slab becomes the next spare.
+	fresh := r.spare
+	fresh.rewind()
 	for i := range old {
 		e := old[i]
 		if e.count <= 0 {
 			continue
+		}
+		if r.store == nil || !r.store.FreshAlloc {
+			e.tuple = fresh.clone(e.tuple)
 		}
 		eid := int32(len(r.entries))
 		_, ref, _ := r.rows.GetOrPut(r.encNew.Key(e.tuple), eid)
@@ -703,6 +1015,23 @@ func (r *Relation) maybeCompact() {
 		r.entries = append(r.entries, e)
 		r.indexInsert(e.tuple, eid)
 	}
+	// Re-slot the surviving stock as donor entries in the fresh
+	// generation. In steady state the slots come from retained blocks,
+	// so carrying the stock allocates nothing.
+	r.freeStock = 0
+	for arity, sl := range r.freeSlots {
+		for i := range sl.recs {
+			eid := int32(len(r.entries))
+			r.entries = append(r.entries, entry{
+				tuple:    fresh.alloc(arity),
+				freedSeq: sl.recs[i].seq,
+			})
+			sl.recs[i].eid = eid
+			r.freeStock++
+		}
+	}
+	r.spare = r.slab
+	r.slab = fresh
 }
 
 // publishProbeStats folds the open-index probe counters accumulated
@@ -752,36 +1081,48 @@ func (r *Relation) LoadTuples(tuples []value.Tuple) {
 // RefreshStats recomputes Card and per-column distinct counts into the
 // relation's table definition.
 func (r *Relation) RefreshStats() {
-	rows := r.ScanFree()
 	distinct := make(map[string]float64, len(r.Def.Schema.Cols))
-	// One reused encoder + single-value tuple + seen-set across columns:
-	// the only per-row cost is an encode into the scratch buffer, and a
-	// string is allocated only once per distinct value.
+	// One reused encoder + single-value tuple + seen-set across columns,
+	// walking the zero-copy iterator: the only per-row cost is an encode
+	// into the scratch buffer, and a string is allocated only once per
+	// distinct value.
 	var enc value.KeyEncoder
 	one := make(value.Tuple, 1)
 	seen := map[string]struct{}{}
 	for ci, col := range r.Def.Schema.Cols {
 		clear(seen)
-		for _, row := range rows {
+		r.Iterate(func(row Row) bool {
 			one[0] = row.Tuple[ci]
 			kb := enc.Key(one)
 			if _, ok := seen[string(kb)]; !ok {
 				seen[string(kb)] = struct{}{}
 			}
-		}
+			return true
+		})
 		distinct[col.Name] = float64(len(seen))
 	}
-	r.Def.Stats = catalog.Stats{Card: float64(len(rows)), Distinct: distinct}
+	r.Def.Stats = catalog.Stats{Card: float64(r.liveTuples), Distinct: distinct}
 }
 
-// Snapshot captures the current contents for later restore.
+// Snapshot captures the current contents for later restore: owning
+// copies, independent of the relation's slab.
 func (r *Relation) Snapshot() []Row {
-	rows := r.ScanFree()
-	out := make([]Row, len(rows))
-	for i, row := range rows {
-		out[i] = Row{Tuple: row.Tuple.Clone(), Count: row.Count}
+	return r.SnapshotAppend(make([]Row, 0, r.liveTuples))
+}
+
+// SnapshotAppend appends owning copies of the live rows to dst — the
+// reusable-buffer form of Snapshot for callers (checkpoints, periodic
+// savepoints) that take snapshots repeatedly and want to amortize the
+// slice. Tuples are still cloned: a snapshot must survive arbitrary
+// later mutation and compaction of the relation.
+func (r *Relation) SnapshotAppend(dst []Row) []Row {
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.count > 0 {
+			dst = append(dst, Row{Tuple: e.tuple.Clone(), Count: e.count})
+		}
 	}
-	return out
+	return dst
 }
 
 // RetainWhere keeps only the rows keep accepts and rebuilds the
@@ -798,10 +1139,16 @@ func (r *Relation) RetainWhere(keep func(t value.Tuple, count int64) bool) {
 }
 
 // Restore replaces the contents with a snapshot, without I/O accounting.
+// The snapshot may alias the relation's own slab (RetainWhere feeds
+// ScanFree rows straight back), so the old slab is dropped — not reused
+// — and Load clones each row into a fresh one.
 func (r *Relation) Restore(rows []Row) {
 	r.entries = r.entries[:0]
 	r.rows.Reset()
 	r.liveTuples = 0
+	r.slab.release()
+	r.spare.release()
+	r.clearFreeSlots()
 	for _, ix := range r.indexes {
 		ix.resetIndex()
 	}

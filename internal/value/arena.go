@@ -1,6 +1,11 @@
 package value
 
-import "unsafe"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
 
 // Arena bump-allocates tuples and byte scratch for one maintenance
 // window. Reset rewinds it without freeing, so a steady-state window
@@ -40,7 +45,11 @@ const (
 	arenaBlockBytes = 64 * 1024 // bytes per scratch block
 )
 
-var valueSize = uint64(unsafe.Sizeof(Value{}))
+// Size is the in-memory footprint of one Value, exported for slab
+// byte accounting in storage.
+const Size = unsafe.Sizeof(Value{})
+
+var valueSize = uint64(Size)
 
 // NewTuple returns a zeroed n-column tuple from the arena (or from the
 // heap when a is nil).
@@ -145,14 +154,104 @@ func (a *Arena) AppendBytes(b []byte) []byte {
 
 // Reset rewinds the arena to empty, keeping every block for reuse.
 // Everything previously handed out is invalidated.
+//
+// Under EnableEpochChecks the blocks are retired instead of rewound:
+// their address ranges are recorded in the global retired set and fresh
+// blocks are allocated for the next window, so a tuple that escaped its
+// window keeps pointing into memory CheckEpoch can recognize as dead.
 func (a *Arena) Reset() {
 	if a == nil {
 		return
+	}
+	if epochChecks.Load() {
+		retireBlocks(a.blocks)
+		a.blocks = nil
+		a.bblocks = nil
 	}
 	a.bi, a.off = 0, 0
 	a.bbi, a.boff = 0, 0
 	a.markV = len(a.blocks)
 	a.markB = len(a.bblocks)
+}
+
+// Epoch checking (debug builds only): the arena ownership rule — "no
+// tuple escapes its window" (anything an Arena hands out dies at the
+// next Reset) — is normally enforced by review and the differential
+// recycling tests. With checks enabled, every Reset retires its tuple
+// blocks into a process-wide set of dead address ranges, and long-lived
+// sinks (relation storage, the WAL collector) call CheckEpoch on each
+// tuple they are handed: a tuple whose backing array lies in a retired
+// range escaped an earlier window, and the check panics with both
+// epochs. The gate is one atomic load, but retiring blocks defeats
+// block reuse, so this stays off outside tests.
+var (
+	epochChecks atomic.Bool
+	retiredMu   sync.Mutex
+	retired     []retiredRange
+	epochNow    atomic.Uint64 // bumped per retire batch ~ one per window
+)
+
+type retiredRange struct {
+	lo, hi uintptr
+	epoch  uint64
+}
+
+// EnableEpochChecks turns the debug epoch check on or off. Enabling
+// starts with an empty retired set; disabling clears it so retained
+// ranges cannot leak across tests.
+func EnableEpochChecks(on bool) {
+	retiredMu.Lock()
+	retired = nil
+	epochNow.Store(0)
+	retiredMu.Unlock()
+	epochChecks.Store(on)
+}
+
+// EpochChecksEnabled reports whether the debug check is armed; callers
+// use it to gate CheckEpoch off the hot path.
+func EpochChecksEnabled() bool { return epochChecks.Load() }
+
+func retireBlocks(blocks [][]Value) {
+	if len(blocks) == 0 {
+		return
+	}
+	retiredMu.Lock()
+	epoch := epochNow.Add(1)
+	for _, blk := range blocks {
+		if len(blk) == 0 {
+			continue
+		}
+		lo := uintptr(unsafe.Pointer(&blk[0]))
+		retired = append(retired, retiredRange{
+			lo:    lo,
+			hi:    lo + uintptr(len(blk))*uintptr(valueSize),
+			epoch: epoch,
+		})
+	}
+	retiredMu.Unlock()
+}
+
+// CheckEpoch panics if t's backing array lies inside an arena block
+// retired by an earlier window's Reset — i.e. the tuple escaped its
+// window. No-op (beyond one atomic load) when checks are disabled or
+// for heap-allocated tuples.
+func CheckEpoch(t Tuple) {
+	if !epochChecks.Load() || len(t) == 0 {
+		return
+	}
+	p := uintptr(unsafe.Pointer(&t[0]))
+	retiredMu.Lock()
+	for i := range retired {
+		if p >= retired[i].lo && p < retired[i].hi {
+			epoch := retired[i].epoch
+			now := epochNow.Load()
+			retiredMu.Unlock()
+			panic(fmt.Sprintf(
+				"value: tuple %v escaped its window: backing array retired in epoch %d (current epoch %d)",
+				t, epoch, now))
+		}
+	}
+	retiredMu.Unlock()
 }
 
 // Stats returns cumulative bytes served from retained blocks (reused)

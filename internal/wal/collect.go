@@ -6,6 +6,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/delta"
 	"repro/internal/storage"
+	"repro/internal/value"
 )
 
 // Collector stages base-relation mutations between group commits. It is
@@ -14,9 +15,14 @@ import (
 // deltas reach the log. The maintenance worker pool applies view
 // mutations concurrently, hence the mutex.
 type Collector struct {
-	mu        sync.Mutex
-	schemas   map[string]*catalog.Schema
-	staged    map[string]*delta.Delta
+	mu      sync.Mutex
+	schemas map[string]*catalog.Schema
+	staged  map[string]*delta.Delta
+	// spare is the map handed out by the previous Drain, recycled (keys
+	// kept, change slices truncated) at the next Drain. The double
+	// buffer gives drained deltas exactly one window of validity, which
+	// covers the synchronous coalesce+encode every consumer performs.
+	spare     map[string]*delta.Delta
 	suspended bool
 }
 
@@ -70,6 +76,12 @@ func (c *Collector) Hook(r *storage.Relation, batch []storage.Mutation) {
 		d = delta.New(s)
 		c.staged[r.Def.Name] = d
 	}
+	if value.EpochChecksEnabled() {
+		for _, m := range batch {
+			value.CheckEpoch(m.Old)
+			value.CheckEpoch(m.New)
+		}
+	}
 	for _, m := range batch {
 		count := m.Count
 		if count == 0 {
@@ -89,10 +101,23 @@ func (c *Collector) Hook(r *storage.Relation, batch []storage.Mutation) {
 // Drain returns the staged deltas and resets the stage. The caller
 // coalesces them: a transaction applied and rolled back inside one
 // window (ic Reject mode) annihilates to nothing and is never logged.
+//
+// The returned map is recycled: it is valid until the NEXT Drain, at
+// which point its deltas are truncated in place for restaging. The
+// map may contain relations whose deltas are empty this window
+// (recycled keys); coalescing skips them.
 func (c *Collector) Drain() map[string]*delta.Delta {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := c.staged
-	c.staged = map[string]*delta.Delta{}
+	next := c.spare
+	if next == nil {
+		next = map[string]*delta.Delta{}
+	}
+	for _, d := range next {
+		d.Changes = d.Changes[:0]
+	}
+	c.staged = next
+	c.spare = out
 	return out
 }

@@ -54,6 +54,11 @@ type Manager struct {
 	lastJob *commitJob
 	defSeq  uint64
 
+	// coalescer is Commit's recycled window-netting scratch; Commit runs
+	// under the window barrier (one window at a time per manager), and
+	// its output is consumed synchronously by CommitWindow's encode.
+	coalescer delta.Coalescer
+
 	// Recovery statistics, populated by Resume.
 	RecoveredLSN    uint64
 	ReplayedWindows int
@@ -162,7 +167,7 @@ func (g *Manager) Commit(txns int) (uint64, error) {
 		return lsn, err
 	}
 	staged := g.col.Drain()
-	w := delta.Coalesce([]map[string]*delta.Delta{staged})
+	w := g.coalescer.Coalesce([]map[string]*delta.Delta{staged})
 	if len(w) == 0 {
 		return g.log.LastLSN(), nil
 	}
