@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	mvmaint "repro"
 	"repro/internal/core"
@@ -274,6 +275,7 @@ func BenchmarkMaintainThroughput(b *testing.B) {
 			if results[i].Batch == row.Batch && results[i].Workers == row.Workers &&
 				results[i].Txns == row.Txns &&
 				results[i].Durable == row.Durable && results[i].Shards == row.Shards &&
+				results[i].ReadClients == row.ReadClients &&
 				(results[i].ObsOverheadPct != 0) == (row.ObsOverheadPct != 0) {
 				results[i] = row
 				return
@@ -374,6 +376,31 @@ func BenchmarkMaintainThroughput(b *testing.B) {
 		}
 		b.ReportMetric(last.ObsOverheadPct, "obs-overhead-%")
 		b.ReportMetric(last.TxnsPerSec, "txns/sec")
+		record(last)
+	})
+	// Client-swarm serving row (schema v8): a paced batch-64 writer while
+	// 1000 readers poll epoch-pinned snapshots and 5% hold SSE
+	// changefeeds, over the in-memory listener. CI-scale — the 10k-client
+	// acceptance run is `mvbench -swarm`; this row keeps the serving
+	// gates in cmd/benchdiff armed (swarm floor within-file, read p99 vs
+	// committed) on every bench regeneration.
+	b.Run("swarm/batch64/clients1000", func(b *testing.B) {
+		var last paper.ThroughputRow
+		for i := 0; i < b.N; i++ {
+			row, err := paper.MeasureServing(cfg, paper.SwarmOptions{
+				Txns: 2048, Batch: 64, Workers: 1,
+				Clients: 1000, WindowRate: 40, PollInterval: time.Second,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = row
+		}
+		b.ReportMetric(last.TxnsPerSec, "txns/sec")
+		b.ReportMetric(float64(last.ReadP99Ns), "readP99-ns")
+		if last.NoReaderTxnsPerSec > 0 {
+			b.ReportMetric(100*last.TxnsPerSec/last.NoReaderTxnsPerSec, "%of-no-reader")
+		}
 		record(last)
 	})
 	// Sharded rows (schema v4): batch-64 windows split across N

@@ -67,6 +67,18 @@
 // predates v7 or the two files measured different stream lengths (the
 // workload is non-stationary, so bytes/txn at different n are not
 // comparable). -bytes-ceiling 0 disables the gate.
+//
+// When the fresh file carries a client-swarm serving row (schema v8:
+// read_clients > 0), two serving gates run. The swarm floor is a
+// within-file ratio — the paced writer's throughput under readers must
+// keep at least -swarm-floor (default 0.90) of its own no-reader
+// baseline, both measured in the same process on the same host. The
+// read-latency gate compares the client-side read p99 against the
+// committed swarm row and fails past -read-p99-ceiling times it
+// (default 4 — read latency is host-dependent, so only a large factor
+// is meaningful); it skips with a message — and so arms itself on the
+// first v8 bench commit — when the committed file predates v8 or the
+// swarm compositions differ. 0 disables either gate.
 package main
 
 import (
@@ -124,6 +136,8 @@ func main() {
 	obsCeiling := flag.Float64("obs-overhead-ceiling", 5, "maximum observability overhead percent at -batch (0 disables; skipped when the fresh file predates schema v6)")
 	bytesCeiling := flag.Float64("bytes-ceiling", 0.20, "maximum allowed relative bytes/txn growth on the long-stream row at -batch (0 disables; skipped when -old predates schema v7)")
 	gcPauseCeiling := flag.Float64("gc-pause-ceiling", 4, "maximum gc_pause_p99_ns growth factor on the long-stream row (0 disables; skipped when either file lacks a GC cycle in its window; only checked when the obs gate runs)")
+	swarmFloor := flag.Float64("swarm-floor", 0.90, "minimum writer-under-readers / no-reader throughput ratio on the fresh swarm row (0 disables; skipped when the fresh file has no swarm row)")
+	readP99Ceiling := flag.Float64("read-p99-ceiling", 4, "maximum read_p99_ns growth factor over the committed swarm row (0 disables; skipped when -old predates schema v8 or swarm compositions differ)")
 	flag.Parse()
 	if *oldPath == "" {
 		log.Fatal("benchdiff: -old is required")
@@ -352,6 +366,76 @@ func main() {
 				*batch, newLS.Txns, oldLS.BytesPerTxn, newLS.BytesPerTxn, 100*rel, status)
 			if rel > *bytesCeiling {
 				log.Fatalf("benchdiff: long-stream batch-%d bytes/txn grew more than %.0f%% over committed", *batch, 100**bytesCeiling)
+			}
+		}
+	}
+
+	// Serving gates (schema v8). swarmRow picks a file's client-swarm
+	// row at the gated batch: the one with the most read clients, so a
+	// file carrying both a CI-scale and a full-scale run gates on the
+	// full-scale one.
+	swarmRow := func(f *benchFile) *paper.ThroughputRow {
+		var best *paper.ThroughputRow
+		for i := range f.Rows {
+			r := &f.Rows[i]
+			if r.Batch == *batch && r.ReadClients > 0 {
+				if best == nil || r.ReadClients > best.ReadClients {
+					best = r
+				}
+			}
+		}
+		return best
+	}
+	if *swarmFloor > 0 || *readP99Ceiling > 0 {
+		newSwarm := swarmRow(newF)
+		if newSwarm == nil {
+			fmt.Printf("benchdiff: no schema-v8 swarm row at batch %d in %s; serving gates skipped\n", *batch, *newPath)
+		} else {
+			// Swarm floor: within the fresh file, the writer under readers
+			// against its own no-reader baseline — same host, same process,
+			// so the ratio is host-independent.
+			if *swarmFloor > 0 {
+				if newSwarm.NoReaderTxnsPerSec <= 0 {
+					log.Fatalf("benchdiff: swarm row lacks a no-reader baseline in %s", *newPath)
+				}
+				ratio := newSwarm.TxnsPerSec / newSwarm.NoReaderTxnsPerSec
+				status := "ok"
+				if ratio < *swarmFloor {
+					status = "TOO SLOW"
+				}
+				fmt.Printf("swarm batch %d (%d pollers + %d sse): writer %.0f vs %.0f no-reader txns/sec (%.0f%%, floor %.0f%%) %s\n",
+					*batch, newSwarm.ReadClients, newSwarm.SSEClients,
+					newSwarm.TxnsPerSec, newSwarm.NoReaderTxnsPerSec, 100*ratio, 100**swarmFloor, status)
+				if ratio < *swarmFloor {
+					log.Fatalf("benchdiff: writer throughput under readers below %.0f%% of no-reader baseline", 100**swarmFloor)
+				}
+			}
+			// Read-latency gate: client-side p99 against the committed
+			// swarm row. Latency is host-dependent, so only a large growth
+			// factor is meaningful; differing swarm compositions make the
+			// comparison apples-to-oranges and skip it.
+			if *readP99Ceiling > 0 {
+				oldSwarm := swarmRow(oldF)
+				switch {
+				case oldSwarm == nil || oldSwarm.SchemaVersion < 8 || oldSwarm.ReadP99Ns == 0:
+					fmt.Printf("benchdiff: committed file lacks schema-v8 swarm data; read-p99 gate skipped (arms on the next bench commit)\n")
+				case oldSwarm.ReadClients != newSwarm.ReadClients || oldSwarm.SSEClients != newSwarm.SSEClients:
+					fmt.Printf("benchdiff: swarm compositions differ (%d+%d committed vs %d+%d fresh); read-p99 gate skipped\n",
+						oldSwarm.ReadClients, oldSwarm.SSEClients, newSwarm.ReadClients, newSwarm.SSEClients)
+				case newSwarm.ReadP99Ns == 0:
+					fmt.Printf("benchdiff: fresh swarm row recorded no reads; read-p99 gate skipped\n")
+				default:
+					ratio := float64(newSwarm.ReadP99Ns) / float64(oldSwarm.ReadP99Ns)
+					status := "ok"
+					if ratio > *readP99Ceiling {
+						status = "TOO LONG"
+					}
+					fmt.Printf("read p99 batch %d: %dns → %dns (%.2fx, ceiling %.1fx) %s\n",
+						*batch, oldSwarm.ReadP99Ns, newSwarm.ReadP99Ns, ratio, *readP99Ceiling, status)
+					if ratio > *readP99Ceiling {
+						log.Fatalf("benchdiff: swarm read p99 grew more than %.1fx over committed", *readP99Ceiling)
+					}
+				}
 			}
 		}
 	}

@@ -20,6 +20,12 @@
 //	                     # the in-memory baseline, plus recovery timings;
 //	                     # -waldir picks the log directory (default: a
 //	                     # temporary directory, removed afterwards)
+//	mvbench -swarm       # client-swarm serving benchmark: a paced writer
+//	                     # (batch 64, -rate windows/s for -duration) while
+//	                     # -clients readers poll snapshots every -poll and
+//	                     # -sse of them hold SSE changefeeds; reports the
+//	                     # writer's throughput against its own no-reader
+//	                     # baseline and the client-side read p99
 //
 // -j sets worker counts everywhere (alias: -workers). -cpuprofile and
 // -memprofile write pprof profiles of whatever modes were run.
@@ -38,6 +44,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/obs"
@@ -55,6 +62,12 @@ func main() {
 	shards := flag.Bool("shards", false, "measure sharded maintenance scaling (shard counts 1, 2, 4, 8)")
 	durable := flag.Bool("durable", false, "measure WAL-attached throughput and recovery")
 	waldir := flag.String("waldir", "", "directory for -durable WAL state; must not hold prior state (default: fresh temp dir)")
+	swarm := flag.Bool("swarm", false, "client-swarm serving benchmark: paced writer under concurrent snapshot readers and SSE subscribers")
+	clients := flag.Int("clients", 10000, "concurrent read clients for -swarm")
+	sseFrac := flag.Float64("sse", 0.05, "fraction of -swarm clients holding SSE changefeeds")
+	rate := flag.Float64("rate", 15, "offered writer load for -swarm, windows/second (the Figure 5 workload gets costlier per window as the stream grows — pick a rate the host sustains at end-of-stream, or the ratio measures saturation, not serving overhead)")
+	poll := flag.Duration("poll", 5*time.Second, "mean poll interval per -swarm read client (jittered)")
+	duration := flag.Duration("duration", 15*time.Second, "target writer runtime for -swarm (sets the transaction count)")
 	var workers int
 	flag.IntVar(&workers, "j", 0, "worker count for -parallel and -throughput (0 = default)")
 	flag.IntVar(&workers, "workers", 0, "alias for -j")
@@ -108,7 +121,7 @@ func main() {
 		}()
 	}
 
-	all := *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*throughput && !*shards && !*durable && !*dot
+	all := *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*throughput && !*shards && !*durable && !*swarm && !*dot
 
 	var f *paper.Fixture
 	needFixture := all || *table > 0 || *figure == 1 || *figure == 2 || *dot
@@ -221,6 +234,23 @@ func main() {
 		}
 		emit(out)
 	}
+	if *swarm {
+		w := workers
+		if w <= 0 {
+			w = 1
+		}
+		batch := 64
+		txns := int(*rate*duration.Seconds()) * batch
+		_, out, err := paper.ServingTable(corpus.DefaultFigure5Config(), paper.SwarmOptions{
+			Txns: txns, Batch: batch, Workers: w,
+			Clients: *clients, SSEFraction: *sseFrac,
+			WindowRate: *rate, PollInterval: *poll,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(out)
+	}
 	if all || *sweeps {
 		_, out, err := paper.SweepFanout(1000, []int{1, 2, 5, 10, 20, 50, 100})
 		if err != nil {
@@ -248,7 +278,7 @@ func main() {
 		}
 		emit(out)
 	}
-	if !all && *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*throughput && !*shards && !*durable && !*dot {
+	if !all && *table == 0 && *figure == 0 && !*measured && !*sweeps && !*parallel && !*throughput && !*shards && !*durable && !*swarm && !*dot {
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -21,6 +21,8 @@
 //	.io              print cumulative page I/O counters
 //	.stats           print the metrics registry and span self-time summary
 //	.flight [path]   print the flight-recorder tail, or dump it to path
+//	.serve [addr]    start the mvserve HTTP surface over this session (default :7070)
+//	.subscribe v [n] print the next n changefeed events for view v (default 10)
 //	.quit            exit
 package main
 
@@ -32,6 +34,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	mvmaint "repro"
 	"repro/internal/obs"
@@ -44,6 +47,7 @@ type shell struct {
 	db     *mvmaint.DB
 	sys    *mvmaint.System
 	mgr    *wal.Manager
+	sv     *mvmaint.Serving
 	waldir string
 	ddl    []string // CREATE statements run this session, persisted at checkpoint
 	names  []string // view/assertion names passed to .build
@@ -155,6 +159,10 @@ func (sh *shell) meta(cmd string) bool {
 			fmt.Printf("  %s ×%d\n", r.Tuple, r.Count)
 		}
 		fmt.Printf("  (%d rows)\n", len(rows))
+	case "serve":
+		sh.serve(fields[1:])
+	case "subscribe":
+		sh.subscribe(fields[1:])
 	case "io":
 		fmt.Println(" ", sh.db.Store.IO.String())
 	case "stats":
@@ -165,6 +173,85 @@ func (sh *shell) meta(cmd string) bool {
 		fmt.Println("unknown meta command:", fields[0])
 	}
 	return true
+}
+
+// serve starts the mvserve HTTP surface — snapshot reads, changefeeds,
+// POST /txn, obs endpoints — over the session's built system. The
+// listener runs in a goroutine; the shell stays interactive and shell
+// SQL keeps flowing through the same maintained pipeline the server
+// uses, so HTTP subscribers see shell-driven windows too.
+func (sh *shell) serve(args []string) {
+	if sh.sys == nil {
+		fmt.Println("no system built yet (.build first)")
+		return
+	}
+	if sh.sv != nil {
+		fmt.Println("already serving (one listener per session)")
+		return
+	}
+	addr := ":7070"
+	if len(args) > 0 {
+		addr = args[0]
+	}
+	feedDir := ""
+	if sh.waldir != "" {
+		feedDir = sh.waldir + "/feed"
+	}
+	sv, err := sh.sys.NewServing(mvmaint.ServeOptions{FeedDir: feedDir})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sh.sv = sv
+	go func() {
+		if err := sv.Server.Serve(addr, func(bound string) {
+			fmt.Printf("\n  serving on %s (views, feeds, /txn, /metrics)\nmv> ", bound)
+		}); err != nil {
+			fmt.Printf("\n  serve: %v\nmv> ", err)
+		}
+	}()
+}
+
+// subscribe prints the next n changefeed events (default 10) for a view
+// from the in-process hub — the same stream SSE clients get — then
+// detaches. It gives up after 30 seconds without an event.
+func (sh *shell) subscribe(args []string) {
+	if sh.sv == nil {
+		fmt.Println("not serving (.serve first)")
+		return
+	}
+	if len(args) < 1 {
+		fmt.Println("usage: .subscribe view [n]")
+		return
+	}
+	n := 10
+	if len(args) > 1 {
+		if _, err := fmt.Sscanf(args[1], "%d", &n); err != nil || n < 1 {
+			fmt.Println("usage: .subscribe view [n]")
+			return
+		}
+	}
+	sub, err := sh.sv.Hub.Subscribe(args[0], 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer sub.Close()
+	fmt.Printf("  waiting for %d events on %s (30s timeout; shell is blocked)\n", n, args[0])
+	timeout := time.After(30 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				fmt.Println("  subscription reset (buffer overflow)")
+				return
+			}
+			fmt.Printf("  %s\n", ev.Data)
+		case <-timeout:
+			fmt.Printf("  timed out after %d of %d events\n", i, n)
+			return
+		}
+	}
 }
 
 // attach arms durability after .build when -waldir was given. The DDL

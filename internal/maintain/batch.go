@@ -133,6 +133,7 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 			rep.LSN = lsn
 			obs.Flight().Record(obs.EvWindowFence, 0, wt.Seq(), lsn, 0)
 		}
+		m.fireWindowHook(rep.LSN, rep.Size, rep.Deltas)
 		return rep, nil
 	}
 	// Pipelined group commit: a WindowCommitter gets the window's net
@@ -267,6 +268,7 @@ func (m *Maintainer) ApplyBatch(txns []txn.Transaction) (*BatchReport, error) {
 	if verr != nil {
 		return nil, verr
 	}
+	m.fireWindowHook(rep.LSN, rep.Size, rep.Deltas)
 	return rep, nil
 }
 

@@ -105,6 +105,38 @@ type WindowCommitter interface {
 	BeginWindow(w delta.Coalesced, txns int) (wait func() (uint64, error))
 }
 
+// WindowUpdate describes one successfully applied maintenance window
+// (an ApplyBatch window, a single Apply transaction, or a rollback's
+// compensation) as seen by a window hook.
+//
+// Ownership: Deltas is the window report's delta map — arena-backed and
+// recycled, valid ONLY for the duration of the hook call. A hook that
+// retains any tuple or change past its return must deep-clone it first;
+// the next window's arena reset invalidates everything the map points
+// at. The hook runs on the window's goroutine, so heavy work belongs on
+// the consumer's side of a queue, after cloning.
+type WindowUpdate struct {
+	// Seq numbers applied windows on this maintainer, starting at 1.
+	// Rollback compensations get their own sequence number: the feed of
+	// updates is exactly the sequence of state transitions.
+	Seq uint64
+	// LSN is the durability point covering the window (0 in-memory, and
+	// 0 on rollback compensations — the rollback's own commit is driven
+	// by the checker after the hook fires).
+	LSN uint64
+	// Txns is the window's transaction count (0 for a compensation).
+	Txns int
+	// Deltas maps equivalence-node IDs to the net change applied at
+	// that node this window. Empty (but non-nil) for windows that
+	// coalesced to nothing.
+	Deltas map[int]*delta.Delta
+}
+
+// WindowHook observes applied windows; see WindowUpdate for the
+// ownership contract. Installed via SetWindowHook; the server's
+// changefeed/snapshot hub is the intended consumer.
+type WindowHook func(WindowUpdate)
+
 // Maintainer owns a view set over a store and keeps it incrementally
 // maintained.
 type Maintainer struct {
@@ -171,6 +203,14 @@ type Maintainer struct {
 	// handles by canonical type name, so the per-window accounting loop
 	// allocates nothing in steady state.
 	typeStats map[string]*typeStat
+
+	// onWindow, when set, observes every applied window at its fence —
+	// after the commit wait and view application, while the report's
+	// deltas are still alive. winSeq numbers those windows; rollbackDel
+	// is the compensation hook's recycled delta map.
+	onWindow    WindowHook
+	winSeq      uint64
+	rollbackDel map[int]*delta.Delta
 
 	pubArenaReused, pubArenaGrown uint64
 }
@@ -242,6 +282,23 @@ func (m *Maintainer) observeTxnTypes(txns []txn.Transaction, elapsed int64) {
 // pipeline at its window root before dispatch, so shard-goroutine spans
 // link into one window trace.
 func (m *Maintainer) SetSpanParent(id uint64) { m.spanParent = id }
+
+// SetWindowHook installs (or, with nil, removes) the window hook: fn is
+// called once per applied window — ApplyBatch window, single Apply
+// transaction, or rollback compensation — at the window fence, after
+// the commit wait and view application succeed. The WindowUpdate's
+// delta map is valid only for the duration of the call; see the
+// WindowUpdate ownership contract.
+func (m *Maintainer) SetWindowHook(fn WindowHook) { m.onWindow = fn }
+
+// fireWindowHook advances the window sequence and invokes the hook.
+func (m *Maintainer) fireWindowHook(lsn uint64, txns int, deltas map[int]*delta.Delta) {
+	if m.onWindow == nil {
+		return
+	}
+	m.winSeq++
+	m.onWindow(WindowUpdate{Seq: m.winSeq, LSN: lsn, Txns: txns, Deltas: deltas})
+}
 
 // WindowSpanID returns the current window's root span ID. Committers
 // call this from BeginWindow/Commit — both happen-after the window
@@ -487,6 +544,7 @@ func (m *Maintainer) Apply(t *txn.Type, updates map[string]*delta.Delta) (*Repor
 		rep.LSN = lsn
 		obs.Flight().Record(obs.EvWindowFence, 0, wt.Seq(), lsn, 0)
 	}
+	m.fireWindowHook(rep.LSN, 1, rep.Deltas)
 	return rep, nil
 }
 
@@ -625,6 +683,24 @@ func (m *Maintainer) Rollback(rep *Report, updates map[string]*delta.Delta) erro
 			}
 		}
 		_ = inv
+	}
+	// Announce the compensation as its own window: a hook that mirrored
+	// the rejected transaction's deltas must mirror their inverse too,
+	// or downstream state (server snapshots, changefeeds) keeps the
+	// rolled-back change. The inverse deltas are freshly built above the
+	// arena, so the usual call-scoped ownership applies unchanged.
+	if m.onWindow != nil {
+		if m.rollbackDel == nil {
+			m.rollbackDel = map[int]*delta.Delta{}
+		} else {
+			clear(m.rollbackDel)
+		}
+		for id, d := range rep.Deltas {
+			if !d.Empty() {
+				m.rollbackDel[id] = inverse(d)
+			}
+		}
+		m.fireWindowHook(0, 0, m.rollbackDel)
 	}
 	return nil
 }

@@ -51,7 +51,12 @@ import (
 //	     window, normalized per 10k transactions — the cross-window
 //	     recycling story measured where it lives) and the n=8192
 //	     long-stream steady-state row
-const BenchSchemaVersion = 7
+//	8: + client-swarm serving rows (MeasureServing): read_p99_ns
+//	     (client-side snapshot-read latency tail), read_clients and
+//	     sse_clients (swarm composition), no_reader_txns_per_sec (the
+//	     same paced writer measured without readers — the denominator
+//	     of the serving-overhead gate)
+const BenchSchemaVersion = 8
 
 // Throughput is a maintained Figure 5 system plus a deterministic
 // hot-item workload generator. The generator never consults database
@@ -336,6 +341,18 @@ type ThroughputRow struct {
 	// without it.
 	Shards int `json:"shards,omitempty"`
 	CPUs   int `json:"cpus,omitempty"`
+
+	// Client-swarm serving rows (schema v8, MeasureServing): the paced
+	// writer ran while ReadClients pollers and SSEClients changefeed
+	// subscribers consumed the same cores. ReadP99Ns is the client-side
+	// snapshot-read latency tail over the in-memory transport;
+	// NoReaderTxnsPerSec is the identical paced writer measured alone —
+	// TxnsPerSec/NoReaderTxnsPerSec is the serving overhead the swarm
+	// gate bounds.
+	ReadP99Ns          uint64  `json:"read_p99_ns,omitempty"`
+	ReadClients        int     `json:"read_clients,omitempty"`
+	SSEClients         int     `json:"sse_clients,omitempty"`
+	NoReaderTxnsPerSec float64 `json:"no_reader_txns_per_sec,omitempty"`
 }
 
 // MeasureThroughput runs n transactions for one (batch, workers)

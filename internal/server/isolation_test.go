@@ -1,0 +1,134 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSnapshotIsolation is the property test for the epoch read path:
+// readers that pin an epoch k must see byte-identical view contents
+// while windows k+1..k+n apply concurrently. It runs with slab
+// recycling active (FreshAlloc=false, the default — the interaction
+// most likely to bite, since view storage reuses freed tuple slots) and
+// with it disabled, under the race detector when -race is on.
+func TestSnapshotIsolation(t *testing.T) {
+	for _, fresh := range []bool{false, true} {
+		name := "slab-recycling"
+		if fresh {
+			name = "fresh-alloc"
+		}
+		t.Run(name, func(t *testing.T) {
+			db, sys := buildSystem(t, 12, 4)
+			db.Store.FreshAlloc = fresh
+			_, client := startServing(t, sys)
+
+			const (
+				windows = 80
+				readers = 4
+			)
+			var (
+				wg         sync.WaitGroup
+				writerDone atomic.Bool
+				violations atomic.Int64
+			)
+
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					type pin struct {
+						epoch uint64
+						body  string
+					}
+					var pins []pin
+					for !writerDone.Load() || len(pins) == 0 {
+						// Pin whatever is current now.
+						code, body := get(t, client, "http://mv/view/ProblemDept")
+						if code != 200 {
+							t.Errorf("reader %d: current read = %d", r, code)
+							return
+						}
+						var vr struct {
+							Epoch uint64 `json:"epoch"`
+						}
+						if err := json.Unmarshal(body, &vr); err != nil {
+							t.Errorf("reader %d: %v", r, err)
+							return
+						}
+						pins = append(pins, pin{epoch: vr.Epoch, body: string(body)})
+						if len(pins) > 8 {
+							pins = pins[1:]
+						}
+						// Re-read every held pin: identical bytes or an
+						// honest 410 once retention evicts it.
+						for _, p := range pins {
+							code, got := get(t, client,
+								fmt.Sprintf("http://mv/view/ProblemDept?epoch=%d", p.epoch))
+							switch code {
+							case http.StatusOK:
+								if string(got) != p.body {
+									violations.Add(1)
+									t.Errorf("reader %d: epoch %d mutated:\n  was %s\n  got %s",
+										r, p.epoch, p.body, got)
+								}
+							case http.StatusGone:
+								// evicted: acceptable, drop the pin next loop
+							default:
+								t.Errorf("reader %d: pinned read = %d %s", r, code, got)
+							}
+						}
+					}
+				}(r)
+			}
+
+			// Writer: churn the view (insert + delete transitions) for
+			// `windows` windows while the readers hammer pinned epochs.
+			for i := 0; i < windows; i++ {
+				dept := i % 12
+				sal := 9000
+				if i%2 == 1 {
+					sal = 100 // undo: deletes the dept from the view
+				}
+				stmt := fmt.Sprintf(`UPDATE Emp SET Salary = %d WHERE EName = 'e%03d_00'`, sal, dept)
+				if _, err := sys.Execute(stmt); err != nil {
+					t.Fatal(err)
+				}
+			}
+			writerDone.Store(true)
+			wg.Wait()
+
+			if n := violations.Load(); n != 0 {
+				t.Fatalf("%d snapshot-isolation violations", n)
+			}
+
+			// Convergence: after the writer quiesces the current epoch
+			// must match the maintained view exactly.
+			rows, err := sys.ViewRows("ProblemDept")
+			if err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				_, body := get(t, client, "http://mv/view/ProblemDept")
+				var vr struct {
+					Total int `json:"total"`
+				}
+				if err := json.Unmarshal(body, &vr); err != nil {
+					t.Fatal(err)
+				}
+				if vr.Total == len(rows) {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("server never converged: view has %d rows, server %d", len(rows), vr.Total)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		})
+	}
+}

@@ -1,0 +1,211 @@
+// Package server is the network surface of the maintenance engine: an
+// HTTP/JSON server (stdlib only) that serves point and scan queries
+// against epoch-pinned MVCC view snapshots, accepts transaction batches,
+// and streams per-view changefeeds over SSE with resume-from-sequence
+// backed by the changefeed log (wal.FeedLog).
+//
+// The design premise is that the maintainer's storage has NO read locks:
+// slab recycling (DESIGN.md §14) frees readers were never promised.
+// Readers therefore never touch maintainer storage. Instead the window
+// hook (maintain.SetWindowHook) hands every applied window's per-view
+// deltas to a Hub, which deep-clones them synchronously — inside the
+// hook, before the next window's arena reset — and folds them, on its
+// own goroutine, into per-view immutable Epochs published through an
+// atomic pointer. A reader pins an Epoch with one atomic load and owns
+// it forever; the writer never blocks on readers and readers never block
+// on the writer.
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/value"
+)
+
+// Row is one view row inside an Epoch: an owning tuple copy and its bag
+// multiplicity.
+type Row struct {
+	Tuple value.Tuple
+	Count int64
+}
+
+// Epoch is an immutable snapshot of one view as of a feed sequence
+// number. Published epochs are never mutated: handlers serve from them
+// without synchronization, and a client that pins Seq re-reads
+// byte-identical contents for as long as the epoch is retained.
+type Epoch struct {
+	// Seq is the feed sequence number whose application produced this
+	// epoch (0 for the seed snapshot taken before any window).
+	Seq uint64
+	// LSN is the WAL durability point covering the epoch (0 in-memory).
+	LSN uint64
+	// Rows is sorted by encoded tuple key, so scans paginate stably.
+	Rows []Row
+	// keys maps encoded tuple key -> index into Rows for point queries.
+	keys map[string]int
+}
+
+// Lookup returns the row matching the encoded key, if any.
+func (e *Epoch) Lookup(key []byte) (Row, bool) {
+	i, ok := e.keys[string(key)]
+	if !ok {
+		return Row{}, false
+	}
+	return e.Rows[i], true
+}
+
+// viewState is one served view. The rows map and ring are owned by the
+// hub goroutine; cur is the lock-free read path.
+type viewState struct {
+	name   string
+	schema *catalog.Schema
+	eqID   int
+
+	rows map[string]Row // encoded key -> live row (hub goroutine only)
+	cur  atomic.Pointer[Epoch]
+
+	// ring retains recent epochs, oldest first, so a client can pin a
+	// sequence number across several requests (hub goroutine appends
+	// under the hub mutex; readers copy the slice header under it too).
+	ring []*Epoch
+
+	subs []*subscriber // guarded by the hub mutex
+}
+
+// fold applies one view delta to the live rows map. Counts are
+// normalized to >= 1 by the cloning path, matching the wire codec.
+func (vs *viewState) fold(changes []Change, enc *value.KeyEncoder) {
+	for _, c := range changes {
+		if c.Old != nil {
+			k := string(enc.Key(c.Old))
+			r := vs.rows[k]
+			r.Count -= c.Count
+			if r.Count <= 0 {
+				delete(vs.rows, k)
+			} else {
+				vs.rows[k] = r
+			}
+		}
+		if c.New != nil {
+			k := string(enc.Key(c.New))
+			r, ok := vs.rows[k]
+			if !ok {
+				r = Row{Tuple: c.New}
+			}
+			r.Count += c.Count
+			vs.rows[k] = r
+		}
+	}
+}
+
+// snapshot builds a fresh immutable Epoch from the live rows map.
+func (vs *viewState) snapshot(seq, lsn uint64, enc *value.KeyEncoder) *Epoch {
+	ep := &Epoch{
+		Seq:  seq,
+		LSN:  lsn,
+		Rows: make([]Row, 0, len(vs.rows)),
+		keys: make(map[string]int, len(vs.rows)),
+	}
+	for _, r := range vs.rows {
+		ep.Rows = append(ep.Rows, r)
+	}
+	sort.Slice(ep.Rows, func(i, j int) bool {
+		return ep.Rows[i].Tuple.Compare(ep.Rows[j].Tuple) < 0
+	})
+	for i, r := range ep.Rows {
+		ep.keys[string(enc.Key(r.Tuple))] = i
+	}
+	return ep
+}
+
+// appendValueJSON renders one scalar as JSON. Int stays integral (no
+// float round-trip), strings go through encoding/json for escaping, and
+// non-finite floats degrade to null (JSON has no NaN/Inf).
+func appendValueJSON(dst []byte, v value.Value) []byte {
+	switch v.Kind {
+	case value.Int:
+		return strconv.AppendInt(dst, v.I, 10)
+	case value.Float:
+		if math.IsNaN(v.F) || math.IsInf(v.F, 0) {
+			return append(dst, "null"...)
+		}
+		return strconv.AppendFloat(dst, v.F, 'g', -1, 64)
+	case value.String:
+		b, _ := json.Marshal(v.S)
+		return append(dst, b...)
+	case value.Bool:
+		if v.B {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	default:
+		return append(dst, "null"...)
+	}
+}
+
+// appendTupleJSON renders a tuple as a JSON array.
+func appendTupleJSON(dst []byte, t value.Tuple) []byte {
+	dst = append(dst, '[')
+	for i, v := range t {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendValueJSON(dst, v)
+	}
+	return append(dst, ']')
+}
+
+// tupleFromJSON decodes a JSON array into a tuple typed by the schema —
+// the point-query key parser. JSON numbers land as Int or Float per the
+// column kind, so clients can write [3] for an INT column.
+func tupleFromJSON(data []byte, s *catalog.Schema) (value.Tuple, error) {
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, errf("key is not a JSON array: %v", err)
+	}
+	if len(raw) != s.Len() {
+		return nil, errf("key has %d values, view has %d columns", len(raw), s.Len())
+	}
+	t := make(value.Tuple, len(raw))
+	for i, r := range raw {
+		col := s.Cols[i]
+		if string(r) == "null" {
+			t[i] = value.NewNull()
+			continue
+		}
+		switch col.Type {
+		case value.Int:
+			var n int64
+			if err := json.Unmarshal(r, &n); err != nil {
+				return nil, errf("column %s wants INT: %v", col.Name, err)
+			}
+			t[i] = value.NewInt(n)
+		case value.Float:
+			var f float64
+			if err := json.Unmarshal(r, &f); err != nil {
+				return nil, errf("column %s wants FLOAT: %v", col.Name, err)
+			}
+			t[i] = value.NewFloat(f)
+		case value.String:
+			var str string
+			if err := json.Unmarshal(r, &str); err != nil {
+				return nil, errf("column %s wants VARCHAR: %v", col.Name, err)
+			}
+			t[i] = value.NewString(str)
+		case value.Bool:
+			var b bool
+			if err := json.Unmarshal(r, &b); err != nil {
+				return nil, errf("column %s wants BOOLEAN: %v", col.Name, err)
+			}
+			t[i] = value.NewBool(b)
+		default:
+			t[i] = value.NewNull()
+		}
+	}
+	return t, nil
+}

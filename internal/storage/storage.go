@@ -1104,6 +1104,13 @@ func (r *Relation) RefreshStats() {
 	r.Def.Stats = catalog.Stats{Card: float64(r.liveTuples), Distinct: distinct}
 }
 
+// Version returns the relation's batch-fence counter: it advances on
+// every non-empty ApplyBatch, so a caller that reads it before and
+// after a Snapshot can detect whether a maintenance window landed in
+// between (a torn seed) and retry. It is not synchronized — read it
+// only from the maintenance goroutine or while the writer is quiescent.
+func (r *Relation) Version() uint64 { return r.batchSeq }
+
 // Snapshot captures the current contents for later restore: owning
 // copies, independent of the relation's slab.
 func (r *Relation) Snapshot() []Row {
